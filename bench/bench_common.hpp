@@ -1,0 +1,152 @@
+#pragma once
+
+// Shared helpers for the bench binaries regenerating the paper's tables and
+// figures.  Every binary honours --key=value flags and REPRO_* environment
+// variables (see util::Args); defaults are sized so the full bench/
+// directory runs on a laptop in minutes.  Set REPRO_APPS=100 to match the
+// paper's replication counts exactly.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "spg/generator.hpp"
+#include "spg/streamit.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace spgcmp::bench {
+
+/// The four CCR settings of the StreamIt experiments: the original value,
+/// then uniformly 10, 1 and 0.1 (Section 6.1.1).
+inline const std::vector<std::pair<std::string, double>>& ccr_settings() {
+  static const std::vector<std::pair<std::string, double>> settings = {
+      {"original", 0.0}, {"10", 10.0}, {"1", 1.0}, {"0.1", 0.1}};
+  return settings;
+}
+
+/// Run the full StreamIt campaign on one grid and print one table per CCR:
+/// normalized energy per (application, heuristic), the layout of Figures 8
+/// and 9.  Returns per-heuristic failure counts (the grid's Table 2 row).
+inline std::vector<std::size_t> streamit_figure(int rows, int cols,
+                                                std::ostream& os) {
+  const auto platform = cmp::Platform::reference(rows, cols);
+  const auto names = [] {
+    std::vector<std::string> v;
+    for (const auto& h : heuristics::make_paper_heuristics()) v.push_back(h->name());
+    return v;
+  }();
+  std::vector<std::size_t> failures(names.size(), 0);
+
+  for (const auto& [label, ccr] : ccr_settings()) {
+    os << "\n-- CCR = " << label << " --\n";
+    std::vector<std::string> header = {"app", "name", "T (s)"};
+    header.insert(header.end(), names.begin(), names.end());
+    util::Table t(header);
+    for (const auto& info : spg::streamit_table()) {
+      const spg::Spg g = spg::make_streamit(info, ccr);
+      const auto hs = heuristics::make_paper_heuristics();
+      const auto c = harness::run_campaign(g, platform, hs);
+      std::vector<std::string> row = {std::to_string(info.index), info.name,
+                                      util::fmt_double(c.period, 3)};
+      for (std::size_t h = 0; h < names.size(); ++h) {
+        if (c.results[h].success) {
+          row.push_back(util::fmt_double(c.normalized_energy(h), 4));
+        } else {
+          row.push_back("fail");
+          ++failures[h];
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(os);
+  }
+  return failures;
+}
+
+/// One elevation series of the random-SPG figures: for each elevation,
+/// `apps` workloads of `n` stages at the given CCR, averaged normalized
+/// 1/E per heuristic (Figures 10-13) plus failure counts (Table 3).
+struct RandomSeries {
+  std::vector<int> elevations;
+  // cell[e][h]: mean inverse energy; failures[e][h]: failure count.
+  std::vector<std::vector<double>> mean_inverse;
+  std::vector<std::vector<std::size_t>> failures;
+  std::size_t apps = 0;
+};
+
+inline RandomSeries random_series(std::size_t n, const std::vector<int>& elevations,
+                                  double ccr, std::size_t apps, int rows, int cols,
+                                  std::uint64_t seed_base) {
+  const auto platform = cmp::Platform::reference(rows, cols);
+  RandomSeries series;
+  series.elevations = elevations;
+  series.apps = apps;
+  for (const int y : elevations) {
+    const auto cell = harness::sweep(
+        [&](std::size_t w) {
+          // Seed derived from (n, y, ccr bucket, workload index) so every
+          // figure re-run sees identical workloads.
+          std::uint64_t s = seed_base;
+          s = s * 1000003 + n;
+          s = s * 1000003 + static_cast<std::uint64_t>(y);
+          s = s * 1000003 + static_cast<std::uint64_t>(ccr * 1000);
+          s = s * 1000003 + w;
+          util::Rng rng(s);
+          spg::Spg g = spg::random_spg(n, y, rng);
+          g.rescale_ccr(ccr);
+          return g;
+        },
+        apps, platform, [] { return heuristics::make_paper_heuristics(); });
+    series.mean_inverse.push_back(cell.mean_inverse_energy);
+    series.failures.push_back(cell.failures);
+  }
+  return series;
+}
+
+/// Print one random-SPG figure (three CCR panels) in the layout of
+/// Figures 10-13; returns total failures per (ccr, heuristic) for Table 3.
+inline std::vector<std::vector<std::size_t>> random_figure(
+    std::size_t n, int rows, int cols, const std::vector<int>& elevations,
+    std::size_t apps, std::ostream& os) {
+  const auto names = [] {
+    std::vector<std::string> v;
+    for (const auto& h : heuristics::make_paper_heuristics()) v.push_back(h->name());
+    return v;
+  }();
+  std::vector<std::vector<std::size_t>> failures;
+  for (const double ccr : {10.0, 1.0, 0.1}) {
+    os << "\n-- n = " << n << ", " << rows << "x" << cols << " grid, CCR = " << ccr
+       << " (mean normalized 1/E; higher is better, 0 = always failed) --\n";
+    const auto series = random_series(n, elevations, ccr, apps, rows, cols, 42);
+    std::vector<std::string> header = {"elevation"};
+    header.insert(header.end(), names.begin(), names.end());
+    util::Table t(header);
+    std::vector<std::size_t> ccr_failures(names.size(), 0);
+    for (std::size_t e = 0; e < series.elevations.size(); ++e) {
+      std::vector<std::string> row = {std::to_string(series.elevations[e])};
+      for (std::size_t h = 0; h < names.size(); ++h) {
+        row.push_back(util::fmt_double(series.mean_inverse[e][h], 3));
+        ccr_failures[h] += series.failures[e][h];
+      }
+      t.add_row(std::move(row));
+    }
+    t.print(os);
+    failures.push_back(std::move(ccr_failures));
+  }
+  return failures;
+}
+
+/// Elevation grids used on the figures' x axes (subset of the paper's
+/// 1..20 / 1..30 sweep; override density with --step).
+inline std::vector<int> default_elevations(int max_y, int step) {
+  std::vector<int> v{1};
+  for (int y = 2; y <= max_y; y += step) v.push_back(y);
+  if (v.back() != max_y) v.push_back(max_y);
+  return v;
+}
+
+}  // namespace spgcmp::bench

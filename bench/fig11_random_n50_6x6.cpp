@@ -1,0 +1,17 @@
+// Figure 11: as Figure 10 (random 50-stage SPGs) on a 6x6 CMP grid.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spgcmp;
+  const util::Args args(argc, argv);
+  const auto apps = static_cast<std::size_t>(args.get_int("apps", "REPRO_APPS", 5));
+  const int step = static_cast<int>(args.get_int("step", "REPRO_STEP", 3));
+  std::cout << "Figure 11: random SPGs, n=50, 6x6 CMP (" << apps
+            << " workloads per point)\n";
+  bench::random_figure(50, 6, 6, bench::default_elevations(20, step), apps,
+                       std::cout);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 13: random 150-stage SPGs on a 6x6 CMP, elevations up to 30.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spgcmp;
+  const util::Args args(argc, argv);
+  const auto apps = static_cast<std::size_t>(args.get_int("apps", "REPRO_APPS", 3));
+  const int step = static_cast<int>(args.get_int("step", "REPRO_STEP", 5));
+  std::cout << "Figure 13: random SPGs, n=150, 6x6 CMP (" << apps
+            << " workloads per point)\n";
+  bench::random_figure(150, 6, 6, bench::default_elevations(30, step), apps,
+                       std::cout);
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Figure 8: normalized energy of the five heuristics on the StreamIt suite
+// for a 4x4 CMP grid, at the original CCR and CCR in {10, 1, 0.1}.  Values
+// are E / E_min per application (1 = best heuristic, "fail" = no mapping).
+//
+// Expected shape (paper Section 6.2.1): the DP heuristics and Greedy are
+// close when computation dominates; Random is within ~2x there and degrades
+// to 2-4x (or fails) when communication dominates; DPA1D fails on the fat
+// graphs (apps 1-5); DPA2D struggles on pipeline-like graphs (7, 9, 12);
+// apps 11's long 2-elevation shape favours the 1D heuristics.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  std::cout << "Figure 8: normalized energy, StreamIt suite, 4x4 CMP\n";
+  spgcmp::bench::streamit_figure(4, 4, std::cout);
+  return 0;
+}

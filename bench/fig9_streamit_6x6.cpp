@@ -1,0 +1,13 @@
+// Figure 9: normalized energy of the five heuristics on the StreamIt suite
+// for a 6x6 CMP grid (same layout as Figure 8).  With 36 cores the period
+// search retains tighter bounds and fewer heuristics fail (Table 2).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  std::cout << "Figure 9: normalized energy, StreamIt suite, 6x6 CMP\n";
+  spgcmp::bench::streamit_figure(6, 6, std::cout);
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Runtime microbenchmarks (google-benchmark): generator, evaluator,
+// simulator and each mapping heuristic on representative instances.  Not a
+// paper table — this documents the cost of the algorithms themselves.
+
+#include <benchmark/benchmark.h>
+
+#include "heuristics/dpa1d.hpp"
+#include "heuristics/dpa2d.hpp"
+#include "heuristics/greedy.hpp"
+#include "heuristics/random_heuristic.hpp"
+#include "sim/simulator.hpp"
+#include "spg/generator.hpp"
+#include "spg/streamit.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spgcmp;
+
+spg::Spg bench_graph(std::size_t n, int y, double ccr) {
+  util::Rng rng(1234);
+  spg::Spg g = spg::random_spg(n, y, rng);
+  g.rescale_ccr(ccr);
+  return g;
+}
+
+double bench_period(const spg::Spg& g) { return g.total_work() / (8.0 * 0.6e9); }
+
+void BM_GenerateRandomSpg(benchmark::State& state) {
+  util::Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spg::random_spg(static_cast<std::size_t>(state.range(0)), 8, rng));
+  }
+}
+BENCHMARK(BM_GenerateRandomSpg)->Arg(50)->Arg(150);
+
+void BM_Evaluate(benchmark::State& state) {
+  const auto g = bench_graph(50, 8, 10);
+  const auto p = cmp::Platform::reference(4, 4);
+  const auto r = heuristics::GreedyHeuristic().run(g, p, bench_period(g));
+  if (!r.success) {
+    state.SkipWithError("greedy failed on the fixture");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapping::evaluate(g, p, r.mapping, bench_period(g)));
+  }
+}
+BENCHMARK(BM_Evaluate);
+
+void BM_Simulate(benchmark::State& state) {
+  const auto g = bench_graph(50, 8, 10);
+  const auto p = cmp::Platform::reference(4, 4);
+  const auto r = heuristics::GreedyHeuristic().run(g, p, bench_period(g));
+  if (!r.success) {
+    state.SkipWithError("greedy failed on the fixture");
+    return;
+  }
+  sim::SimConfig cfg;
+  cfg.datasets = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(g, p, r.mapping, cfg));
+  }
+}
+BENCHMARK(BM_Simulate);
+
+template <typename H>
+void run_heuristic(benchmark::State& state, const H& h, std::size_t n, int y,
+                   double ccr) {
+  const auto g = bench_graph(n, y, ccr);
+  const auto p = cmp::Platform::reference(4, 4);
+  const double T = bench_period(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.run(g, p, T));
+  }
+}
+
+void BM_Random(benchmark::State& state) {
+  run_heuristic(state, heuristics::RandomHeuristic(1), 50, 8, 10);
+}
+BENCHMARK(BM_Random);
+
+void BM_Greedy(benchmark::State& state) {
+  run_heuristic(state, heuristics::GreedyHeuristic(), 50, 8, 10);
+}
+BENCHMARK(BM_Greedy);
+
+void BM_Dpa2d(benchmark::State& state) {
+  run_heuristic(state, heuristics::Dpa2dHeuristic(), 50, 8, 10);
+}
+BENCHMARK(BM_Dpa2d);
+
+void BM_Dpa2d1d(benchmark::State& state) {
+  run_heuristic(state,
+                heuristics::Dpa2dHeuristic(heuristics::Dpa2dHeuristic::Mode::Line1D),
+                50, 8, 10);
+}
+BENCHMARK(BM_Dpa2d1d);
+
+void BM_Dpa1d_LowElevation(benchmark::State& state) {
+  run_heuristic(state, heuristics::Dpa1dHeuristic(), 50, 3, 10);
+}
+BENCHMARK(BM_Dpa1d_LowElevation);
+
+void BM_Dpa1d_BudgetBlow(benchmark::State& state) {
+  // Fat graph: measures how fast the budget guard rejects.
+  run_heuristic(state, heuristics::Dpa1dHeuristic(), 50, 15, 10);
+}
+BENCHMARK(BM_Dpa1d_BudgetBlow);
+
+void BM_Dpa2d_Vocoder(benchmark::State& state) {
+  const auto g = spg::make_streamit(5);  // n=114, ymax=17, xmax=32
+  const auto p = cmp::Platform::reference(4, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heuristics::Dpa2dHeuristic().run(g, p, 1.0));
+  }
+}
+BENCHMARK(BM_Dpa2d_Vocoder);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Table 2: number of failures per heuristic on the StreamIt campaigns (48
+// instances per grid size: 12 applications x 4 CCR settings).
+//
+// Expected shape (paper): Random/Greedy fail a handful of times on 4x4 and
+// never on 6x6; DPA2D fails on low-elevation graphs regardless of grid;
+// DPA1D fails most (fat graphs exceed its exploration budget); DPA2D1D
+// sits between and improves markedly on the larger grid.
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace spgcmp;
+  std::ostringstream sink;  // the per-app tables are Figure 8/9's output
+  const auto f44 = bench::streamit_figure(4, 4, sink);
+  const auto f66 = bench::streamit_figure(6, 6, sink);
+
+  const auto hs = heuristics::make_paper_heuristics();
+  std::vector<std::string> header = {"platform"};
+  for (const auto& h : hs) header.push_back(h->name());
+  util::Table t(header);
+  auto add = [&](const std::string& label, const std::vector<std::size_t>& f) {
+    std::vector<std::string> row = {label};
+    for (const auto v : f) row.push_back(std::to_string(v));
+    t.add_row(std::move(row));
+  };
+  std::cout << "Table 2: failures out of 48 instances per CMP grid size\n";
+  add("4x4", f44);
+  add("6x6", f66);
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Table 3: number of failures per heuristic on the random 50-stage
+// workloads, 4x4 grid, per CCR.  The paper counts 2000 instances per CCR
+// (100 workloads x 20 elevations); defaults here are scaled down and the
+// instance count is printed alongside.  Set REPRO_APPS=100 and
+// REPRO_STEP=1 to match the paper's totals.
+//
+// Expected ordering (paper): DPA1D fails by far the most (fat graphs),
+// then DPA2D (low-elevation graphs); DPA2D1D almost never fails at CCR
+// >= 1 but collapses at CCR 0.1; Random and Greedy are the most robust,
+// with Greedy always at least as robust as Random.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace spgcmp;
+  const util::Args args(argc, argv);
+  const auto apps = static_cast<std::size_t>(args.get_int("apps", "REPRO_APPS", 5));
+  const int step = static_cast<int>(args.get_int("step", "REPRO_STEP", 2));
+  const auto elevations = bench::default_elevations(20, step);
+  const std::size_t total = apps * elevations.size();
+
+  const auto hs = heuristics::make_paper_heuristics();
+  std::vector<std::string> header = {"CCR"};
+  for (const auto& h : hs) header.push_back(h->name());
+  util::Table t(header);
+
+  std::cout << "Table 3: failures out of " << total
+            << " random instances per CCR (n=50, 4x4 CMP)\n";
+  for (const double ccr : {10.0, 1.0, 0.1}) {
+    const auto series = bench::random_series(50, elevations, ccr, apps, 4, 4, 42);
+    std::vector<std::size_t> failures(hs.size(), 0);
+    for (const auto& row : series.failures) {
+      for (std::size_t h = 0; h < row.size(); ++h) failures[h] += row[h];
+    }
+    std::vector<std::string> out = {util::fmt_double(ccr, 3)};
+    for (const auto f : failures) out.push_back(std::to_string(f));
+    t.add_row(std::move(out));
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,138 @@
+#pragma once
+
+// Chip-multiprocessor platform model — Section 3.2 of the paper.
+//
+// A p x q grid of homogeneous DVFS cores.  Neighboring cores are joined by
+// bidirectional links of bandwidth BW; each direction is an independent
+// resource (full duplex), so loads and the period constraint are tracked
+// per *directed* link.  The grid can be logically reconfigured as a
+// uni-line CMP by embedding a boustrophedon ("snake") order, which visits
+// all p*q cores along physically adjacent hops — the configuration used by
+// the DPA1D / DPA2D1D heuristics.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spgcmp::cmp {
+
+/// Core coordinates, 0-based internally ((0,0) is the paper's C_{1,1}).
+struct CoreId {
+  int row = 0;  ///< u in the paper, 0..p-1
+  int col = 0;  ///< v in the paper, 0..q-1
+  friend bool operator==(CoreId a, CoreId b) noexcept = default;
+};
+
+/// Link directions out of a core.
+enum class Dir : std::uint8_t { North = 0, South = 1, West = 2, East = 3 };
+
+/// A directed link: from `from` toward `dir`.
+struct LinkId {
+  CoreId from;
+  Dir dir = Dir::East;
+  friend bool operator==(LinkId a, LinkId b) noexcept = default;
+};
+
+/// Rectangular grid topology with uniform link bandwidth.
+class Grid {
+ public:
+  Grid(int rows, int cols, double bandwidth_bytes_per_s);
+
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+  [[nodiscard]] int core_count() const noexcept { return rows_ * cols_; }
+  [[nodiscard]] double bandwidth() const noexcept { return bandwidth_; }
+
+  [[nodiscard]] bool contains(CoreId c) const noexcept {
+    return c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_;
+  }
+
+  /// Flat index of a core (row-major).
+  [[nodiscard]] int core_index(CoreId c) const noexcept { return c.row * cols_ + c.col; }
+  [[nodiscard]] CoreId core_at(int index) const noexcept {
+    return CoreId{index / cols_, index % cols_};
+  }
+
+  /// Neighbor in a given direction; `contains()` must be checked by caller
+  /// via `has_neighbor`.
+  [[nodiscard]] bool has_neighbor(CoreId c, Dir d) const noexcept;
+  [[nodiscard]] CoreId neighbor(CoreId c, Dir d) const noexcept;
+
+  /// Dense index of a directed link, for per-link load accumulators.
+  /// Valid links get indices in [0, link_count()).
+  [[nodiscard]] int link_index(LinkId l) const;
+  [[nodiscard]] int link_count() const noexcept { return 4 * rows_ * cols_; }
+
+  /// XY route: horizontal hops first (west/east), then vertical.
+  /// Empty when src == dst.
+  [[nodiscard]] std::vector<LinkId> xy_route(CoreId src, CoreId dst) const;
+
+  /// Route along the snake order between two cores (used by the 1D
+  /// heuristics): follows consecutive physically-adjacent snake hops from
+  /// the earlier snake position to the later one.  Requires
+  /// snake_position(src) <= snake_position(dst).
+  [[nodiscard]] std::vector<LinkId> snake_route(CoreId src, CoreId dst) const;
+
+  /// Boustrophedon embedding: snake_core(k) is the k-th core along
+  /// row 0 left->right, row 1 right->left, ...
+  [[nodiscard]] CoreId snake_core(int k) const;
+  [[nodiscard]] int snake_position(CoreId c) const noexcept;
+
+  /// Manhattan distance between two cores.
+  [[nodiscard]] int manhattan(CoreId a, CoreId b) const noexcept;
+
+ private:
+  int rows_;
+  int cols_;
+  double bandwidth_;
+};
+
+/// DVFS speed/power model (Intel XScale values from Section 6.1.2).
+/// Speeds in Hz, powers in Watts.  `speed(k)` is increasing in k.
+class SpeedModel {
+ public:
+  /// XScale: speeds {0.15, 0.4, 0.6, 0.8, 1.0} GHz,
+  /// dynamic power {80, 170, 400, 900, 1600} mW, leakage 80 mW.
+  [[nodiscard]] static SpeedModel xscale();
+
+  SpeedModel(std::vector<double> speeds_hz, std::vector<double> dynamic_w,
+             double leak_w);
+
+  [[nodiscard]] std::size_t mode_count() const noexcept { return speeds_.size(); }
+  [[nodiscard]] double speed(std::size_t k) const { return speeds_[k]; }
+  [[nodiscard]] double dynamic_power(std::size_t k) const { return dynamic_[k]; }
+  [[nodiscard]] double leak_power() const noexcept { return leak_; }
+  [[nodiscard]] double max_speed() const noexcept { return speeds_.back(); }
+
+  /// Slowest mode able to execute `work` cycles within `period` seconds;
+  /// returns mode_count() when even the fastest mode is too slow.
+  [[nodiscard]] std::size_t slowest_feasible(double work, double period) const;
+
+  /// Energy (J) for executing `work` cycles at mode k plus leakage over one
+  /// period: P_leak * T + (work / s_k) * P_k.
+  [[nodiscard]] double core_energy(double work, std::size_t k, double period) const;
+
+ private:
+  std::vector<double> speeds_;
+  std::vector<double> dynamic_;
+  double leak_;
+};
+
+/// Communication energy/bandwidth constants (Section 6.1.2).
+struct CommModel {
+  double energy_per_byte = 6e-12 * 8.0;  ///< E_bit = 6 pJ/bit, per link hop
+  double leak_power = 0.0;               ///< P_leak^(comm), 0 in the paper
+};
+
+/// Bundled platform description handed to heuristics.
+struct Platform {
+  Grid grid;
+  SpeedModel speeds;
+  CommModel comm;
+
+  /// The paper's reference platform: p x q grid, BW = 16 B * 1.2 GHz,
+  /// XScale cores, E_bit = 6 pJ.
+  [[nodiscard]] static Platform reference(int rows, int cols);
+};
+
+}  // namespace spgcmp::cmp

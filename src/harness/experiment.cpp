@@ -1,0 +1,111 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/thread_pool.hpp"
+
+namespace spgcmp::harness {
+
+double Campaign::best_energy() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& r : results) {
+    if (r.success) best = std::min(best, r.eval.energy);
+  }
+  return std::isfinite(best) ? best : 0.0;
+}
+
+double Campaign::normalized_energy(std::size_t h) const {
+  const double best = best_energy();
+  if (best <= 0 || !results[h].success) return 0.0;
+  return results[h].eval.energy / best;
+}
+
+double Campaign::normalized_inverse_energy(std::size_t h) const {
+  const double best = best_energy();
+  if (best <= 0 || !results[h].success) return 0.0;
+  return best / results[h].eval.energy;
+}
+
+std::size_t Campaign::success_count() const {
+  std::size_t c = 0;
+  for (const auto& r : results) c += r.success;
+  return c;
+}
+
+Campaign run_at_period(const spg::Spg& g, const cmp::Platform& p,
+                       const HeuristicSet& hs, double T) {
+  Campaign c;
+  c.period = T;
+  c.names.reserve(hs.size());
+  c.results.reserve(hs.size());
+  for (const auto& h : hs) {
+    c.names.push_back(h->name());
+    c.results.push_back(h->run(g, p, T));
+  }
+  return c;
+}
+
+Campaign run_campaign(const spg::Spg& g, const cmp::Platform& p,
+                      const HeuristicSet& hs, const PeriodSearchOptions& opt) {
+  double T = opt.start;
+  Campaign cur = run_at_period(g, p, hs, T);
+
+  // Defensive: if even T = 1 s is infeasible for every heuristic, scale up
+  // (does not happen for the paper's parameterizations; needed for
+  // user-supplied extreme workloads).
+  for (int up = 0; cur.success_count() == 0 && up < opt.max_upscale; ++up) {
+    T *= opt.factor;
+    cur = run_at_period(g, p, hs, T);
+  }
+  if (cur.success_count() == 0) return cur;  // give up; caller sees failures
+
+  // Tighten until everything fails; keep the penultimate campaign.
+  for (;;) {
+    const double next_T = T / opt.factor;
+    if (next_T < opt.floor) break;
+    Campaign next = run_at_period(g, p, hs, next_T);
+    if (next.success_count() == 0) break;
+    T = next_T;
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+SweepCell sweep(const std::function<spg::Spg(std::size_t)>& make_workload,
+                std::size_t count, const cmp::Platform& p,
+                const std::function<HeuristicSet()>& make_heuristics,
+                std::size_t threads) {
+  SweepCell cell;
+  cell.workloads = count;
+  std::vector<Campaign> campaigns(count);
+  util::parallel_for(
+      0, count,
+      [&](std::size_t w) {
+        const spg::Spg g = make_workload(w);
+        const HeuristicSet hs = make_heuristics();
+        campaigns[w] = run_campaign(g, p, hs);
+      },
+      threads);
+
+  if (count == 0) return cell;
+  const std::size_t H = campaigns[0].results.size();
+  cell.mean_inverse_energy.assign(H, 0.0);
+  cell.failures.assign(H, 0);
+  for (const auto& c : campaigns) {
+    for (std::size_t h = 0; h < H; ++h) {
+      if (c.results[h].success) {
+        cell.mean_inverse_energy[h] += c.normalized_inverse_energy(h);
+      } else {
+        ++cell.failures[h];
+      }
+    }
+  }
+  for (std::size_t h = 0; h < H; ++h) {
+    cell.mean_inverse_energy[h] /= static_cast<double>(count);
+  }
+  return cell;
+}
+
+}  // namespace spgcmp::harness

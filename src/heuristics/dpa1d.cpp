@@ -1,0 +1,278 @@
+#include "heuristics/dpa1d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "spg/sp_tree.hpp"
+#include "util/bitset.hpp"
+
+namespace spgcmp::heuristics {
+
+namespace {
+
+using util::DynBitset;
+using util::DynBitsetHash;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// DP machinery shared by the forward pass and the backward reconstruction.
+struct Dpa1dSolver {
+  const spg::Spg& g;
+  const cmp::Platform& p;
+  double T;
+  Dpa1dHeuristic::Options opt;
+
+  std::size_t n;
+  std::size_t r;             // cores on the line
+  double weight_cap;         // T * s_max: max cluster work
+  double cut_cap;            // T * BW: max cut volume
+  std::vector<int> topo_idx; // stage -> position in a fixed topological order
+  std::vector<spg::StageId> by_topo;
+
+  // dp[ideal][k] = min energy to run `ideal` on exactly k+1 leading cores.
+  std::unordered_map<DynBitset, std::vector<double>, DynBitsetHash> dp;
+  std::size_t expansions = 0;
+  bool budget_blown = false;
+
+  explicit Dpa1dSolver(const spg::Spg& graph, const cmp::Platform& plat, double period,
+                       Dpa1dHeuristic::Options options)
+      : g(graph), p(plat), T(period), opt(options), n(graph.size()),
+        r(static_cast<std::size_t>(plat.grid.core_count())),
+        weight_cap(period * plat.speeds.max_speed()),
+        cut_cap(period * plat.grid.bandwidth()) {
+    const auto order = g.topological_order();
+    topo_idx.assign(n, 0);
+    by_topo = order;
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      topo_idx[order[pos]] = static_cast<int>(pos);
+    }
+    r = std::min(r, n);  // never more clusters than stages
+  }
+
+  [[nodiscard]] double cluster_energy(double work) const {
+    const std::size_t k = p.speeds.slowest_feasible(work, T);
+    if (k == p.speeds.mode_count()) return kInf;
+    return p.speeds.core_energy(work, k, T);
+  }
+
+  /// Bytes crossing the cut after ideal `G` (edges G -> complement).
+  [[nodiscard]] double cut_bytes(const DynBitset& G) const {
+    double b = 0;
+    for (const auto& e : g.edges()) {
+      if (G.test(e.src) && !G.test(e.dst)) b += e.bytes;
+    }
+    return b;
+  }
+
+  /// Enumerate every cluster H extending ideal G (so G|H is an ideal) with
+  /// w(H) <= weight_cap, invoking visit(G|H, w(H)) — the union is what the
+  /// DP keys on, and maintaining it incrementally avoids a bitset
+  /// allocation per candidate.  Clusters are grown in increasing
+  /// topological index, which generates each exactly once.
+  template <typename Visit>
+  void for_each_cluster_with_union(const DynBitset& G, Visit&& visit) {
+    DynBitset GH = G;  // G union H
+    auto rec = [&](auto&& self, int last_pos, double w) -> void {
+      if (budget_blown) return;
+      for (std::size_t pos = static_cast<std::size_t>(last_pos + 1); pos < n; ++pos) {
+        const spg::StageId j = by_topo[pos];
+        if (GH.test(j)) continue;
+        bool ready = true;
+        for (spg::EdgeId e : g.in_edges(j)) {
+          if (!GH.test(g.edge(e).src)) {
+            ready = false;
+            break;
+          }
+        }
+        if (!ready) continue;
+        const double w2 = w + g.stage(j).work;
+        if (w2 > weight_cap) continue;
+        if (++expansions > opt.max_expansions) {
+          budget_blown = true;
+          return;
+        }
+        GH.set(j);
+        visit(GH, w2);
+        self(self, static_cast<int>(pos), w2);
+        GH.reset(j);
+      }
+    };
+    rec(rec, -1, 0.0);
+  }
+
+  /// Mirror enumeration used for reconstruction: every filter H of ideal G
+  /// (so G \ H is an ideal) with w(H) <= weight_cap.
+  template <typename Visit>
+  void for_each_tail_cluster(const DynBitset& G, Visit&& visit) {
+    DynBitset H(n);
+    auto rec = [&](auto&& self, int last_rpos, double w) -> void {
+      // Reverse topological order: successors have larger topo index, so we
+      // grow H from the tail in decreasing index.
+      for (int pos = last_rpos - 1; pos >= 0; --pos) {
+        const spg::StageId j = by_topo[static_cast<std::size_t>(pos)];
+        if (!G.test(j) || H.test(j)) continue;
+        bool ready = true;
+        for (spg::EdgeId e : g.out_edges(j)) {
+          const spg::StageId d = g.edge(e).dst;
+          if (G.test(d) && !H.test(d)) {
+            ready = false;
+            break;
+          }
+        }
+        if (!ready) continue;
+        const double w2 = w + g.stage(j).work;
+        if (w2 > weight_cap) continue;
+        H.set(j);
+        visit(H, w2);
+        self(self, pos, w2);
+        H.reset(j);
+      }
+    };
+    rec(rec, static_cast<int>(n), 0.0);
+  }
+
+  /// Forward pass.  Returns false if a budget was exceeded.
+  bool solve() {
+    // Fast pre-pass: the number of DP states is the ideal count of the
+    // stage poset (the n^ymax blowup of Theorem 1).  On SP graphs this is
+    // an O(n + m) tree recurrence, so hopeless instances are rejected
+    // before the DP allocates anything.
+    if (spg::ideal_count(g, opt.max_states) > opt.max_states) {
+      budget_blown = true;
+      return false;
+    }
+    const double comm_e = p.comm.energy_per_byte;
+    std::vector<std::vector<DynBitset>> buckets(n + 1);
+    const DynBitset empty(n);
+
+    // Seed: first cluster (no incoming cut); with an empty base ideal the
+    // union *is* the cluster.
+    for_each_cluster_with_union(empty, [&](const DynBitset& H, double w) {
+      const double e = cluster_energy(w);
+      if (!std::isfinite(e)) return;
+      auto [it, inserted] = dp.try_emplace(H, std::vector<double>(r, kInf));
+      if (inserted) buckets[H.count()].push_back(H);
+      it->second[0] = std::min(it->second[0], e);
+    });
+    if (budget_blown) return false;
+
+    for (std::size_t size = 1; size <= n; ++size) {
+      for (std::size_t bi = 0; bi < buckets[size].size(); ++bi) {
+        const DynBitset G = buckets[size][bi];  // copy: buckets may reallocate
+        if (G.count() == n) continue;           // complete; no expansion
+        // Copy, not reference: inserting G2 below may rehash the table.
+        const std::vector<double> row = dp.at(G);
+        const double cut = cut_bytes(G);
+        if (cut > cut_cap * (1 + 1e-12)) continue;  // link saturated
+        const double cut_energy = cut * comm_e;
+
+        for_each_cluster_with_union(G, [&](const DynBitset& G2, double w) {
+          const double e_cluster = cluster_energy(w);
+          if (!std::isfinite(e_cluster)) return;
+          auto [it, inserted] = dp.try_emplace(G2, std::vector<double>(r, kInf));
+          if (inserted) {
+            if (dp.size() > opt.max_states) {
+              budget_blown = true;
+              return;
+            }
+            buckets[G2.count()].push_back(G2);
+          }
+          auto& row2 = it->second;
+          for (std::size_t k = 0; k + 1 < r; ++k) {
+            if (!std::isfinite(row[k])) continue;
+            const double cand = row[k] + cut_energy + e_cluster;
+            if (cand < row2[k + 1]) row2[k + 1] = cand;
+          }
+        });
+        if (budget_blown) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Reconstruct the optimal cluster sequence from the DP table.
+  /// Returns stage -> cluster index (clusters 0..K-1 in topological order).
+  std::optional<std::vector<int>> reconstruct() {
+    DynBitset full(n);
+    for (std::size_t i = 0; i < n; ++i) full.set(i);
+    const auto it = dp.find(full);
+    if (it == dp.end()) return std::nullopt;
+
+    std::size_t best_k = r;
+    double best_e = kInf;
+    for (std::size_t k = 0; k < r; ++k) {
+      if (it->second[k] < best_e) {
+        best_e = it->second[k];
+        best_k = k;
+      }
+    }
+    if (!std::isfinite(best_e)) return std::nullopt;
+
+    const double comm_e = p.comm.energy_per_byte;
+    std::vector<int> cluster_of(n, -1);
+    DynBitset cur = full;
+    std::size_t k = best_k;
+    double target = best_e;
+    const auto close = [](double a, double b) {
+      return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+    };
+
+    while (k > 0) {
+      bool found = false;
+      for_each_tail_cluster(cur, [&](const DynBitset& H, double w) {
+        if (found) return;
+        const double e_cluster = cluster_energy(w);
+        if (!std::isfinite(e_cluster)) return;
+        const DynBitset G = cur - H;
+        const auto pit = dp.find(G);
+        if (pit == dp.end() || !std::isfinite(pit->second[k - 1])) return;
+        const double cut = cut_bytes(G);
+        if (cut > cut_cap * (1 + 1e-12)) return;
+        if (!close(pit->second[k - 1] + cut * comm_e + e_cluster, target)) return;
+        H.for_each([&](std::size_t i) { cluster_of[i] = static_cast<int>(k); });
+        target = pit->second[k - 1];
+        cur = G;
+        found = true;
+      });
+      if (!found) return std::nullopt;  // numerical mismatch; treat as failure
+      --k;
+    }
+    cur.for_each([&](std::size_t i) { cluster_of[i] = 0; });
+    return cluster_of;
+  }
+};
+
+}  // namespace
+
+Result Dpa1dHeuristic::run(const spg::Spg& g, const cmp::Platform& p, double T) const {
+  Dpa1dSolver solver(g, p, T, options_);
+  if (!solver.solve()) {
+    return Result::fail("DPA1D: exploration budget exceeded");
+  }
+  auto clusters = solver.reconstruct();
+  if (!clusters) {
+    return Result::fail("DPA1D: no feasible line partition");
+  }
+
+  // Cluster j lives on snake core j; edges follow the snake.
+  const cmp::Grid& grid = p.grid;
+  mapping::Mapping m;
+  m.core_of.resize(g.size());
+  for (spg::StageId i = 0; i < g.size(); ++i) {
+    m.core_of[i] = grid.core_index(grid.snake_core((*clusters)[i]));
+  }
+  m.edge_paths.assign(g.edge_count(), {});
+  for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    const int a = (*clusters)[edge.src];
+    const int b = (*clusters)[edge.dst];
+    if (a != b) {
+      m.edge_paths[e] = grid.snake_route(grid.snake_core(a), grid.snake_core(b));
+    }
+  }
+  return finalize_with_paths(g, p, T, std::move(m), /*downgrade=*/true);
+}
+
+}  // namespace spgcmp::heuristics

@@ -1,0 +1,42 @@
+#pragma once
+
+// DPA1D — Sections 4.1 and 5.4.
+//
+// The CMP is configured as a uni-directional uni-line of r = p*q cores by
+// embedding a snake (boustrophedon) walk in the grid.  On that line, the
+// dynamic program of Theorem 1 is exact for bounded-elevation SPGs: states
+// are the admissible subgraphs (order ideals) of the SPG, and a transition
+// peels one cluster off the frontier, paying its computation energy at the
+// slowest feasible speed plus the cut energy on the link it crosses, while
+// checking the cut bandwidth against T * BW.
+//
+// The ideal count grows like n^ymax, so the implementation carries explicit
+// budgets on distinct states and on cluster enumerations; exceeding either
+// reports failure — exactly the regime where the paper's DPA1D "fails to
+// return a solution because there are too many possible splits to explore".
+
+#include <cstddef>
+
+#include "heuristics/heuristic.hpp"
+
+namespace spgcmp::heuristics {
+
+class Dpa1dHeuristic final : public Heuristic {
+ public:
+  struct Options {
+    std::size_t max_states = 200000;       ///< distinct ideals in the DP table
+    std::size_t max_expansions = 4000000;  ///< candidate clusters enumerated
+  };
+
+  Dpa1dHeuristic() : Dpa1dHeuristic(Options{}) {}
+  explicit Dpa1dHeuristic(Options options) : options_(options) {}
+
+  [[nodiscard]] std::string name() const override { return "DPA1D"; }
+  [[nodiscard]] Result run(const spg::Spg& g, const cmp::Platform& p,
+                           double T) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace spgcmp::heuristics

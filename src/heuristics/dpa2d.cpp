@@ -1,0 +1,468 @@
+#include "heuristics/dpa2d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <optional>
+
+namespace spgcmp::heuristics {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One entry of a communication distribution D: `bytes` travelling east on
+/// CMP row `row`, destined to stage `dst` in a later column block.
+struct DEntry {
+  int row;
+  double bytes;
+  spg::StageId dst;
+};
+
+using Distribution = std::vector<DEntry>;
+
+/// Result of solving one column block.
+struct ColumnSolution {
+  double energy = kInf;
+  std::vector<int> core_of_row;  ///< SPG row -> core row within the column
+};
+
+/// The full DP context for one (graph, virtual platform, T) problem.
+struct Dpa2dSolver {
+  const spg::Spg& g;
+  const cmp::Grid& grid;        // virtual grid: P rows x Q cols
+  const cmp::SpeedModel& speeds;
+  const cmp::CommModel& comm;
+  double T;
+
+  int X, Y;  // SPG label extents (xmax, ymax)
+  int P, Q;  // platform extents
+  double cut_cap;
+
+  std::vector<int> col_of, row_of;           // per stage, 0-based labels
+  std::vector<std::vector<spg::StageId>> stages_in_col;
+  std::vector<double> work_prefix;           // 2D prefix sums, (X+1)*(Y+1)
+
+  /// Escaping reachable pairs: a path from `i` to `j` can use an
+  /// intermediate row below min(row_i, row_j) (min_int) or above
+  /// max(row_i, row_j) (max_int).
+  struct EscapePair {
+    spg::StageId i, j;
+    int min_int, max_int;  // extreme intermediate rows over all paths
+  };
+  std::vector<EscapePair> escapes;
+
+  /// Lazily built per (m1, m2): bad[y1 * Y + y2] == true when the box
+  /// cols [m1, m2] x rows [y1, y2] is not convex.
+  std::map<std::pair<int, int>, std::vector<char>> bad_boxes;
+
+  Dpa2dSolver(const spg::Spg& graph, const cmp::Grid& virt,
+              const cmp::SpeedModel& sm, const cmp::CommModel& cm, double period)
+      : g(graph), grid(virt), speeds(sm), comm(cm), T(period) {
+    X = g.xmax();
+    Y = g.ymax();
+    P = grid.rows();
+    Q = grid.cols();
+    cut_cap = T * grid.bandwidth();
+
+    const std::size_t n = g.size();
+    col_of.resize(n);
+    row_of.resize(n);
+    stages_in_col.assign(static_cast<std::size_t>(X), {});
+    for (spg::StageId i = 0; i < n; ++i) {
+      col_of[i] = g.stage(i).x - 1;
+      row_of[i] = g.stage(i).y - 1;
+      stages_in_col[static_cast<std::size_t>(col_of[i])].push_back(i);
+    }
+
+    work_prefix.assign(static_cast<std::size_t>((X + 1) * (Y + 1)), 0.0);
+    const auto wp = [&](int x, int y) -> double& {
+      return work_prefix[static_cast<std::size_t>(x * (Y + 1) + y)];
+    };
+    for (spg::StageId i = 0; i < n; ++i) {
+      wp(col_of[i] + 1, row_of[i] + 1) += g.stage(i).work;
+    }
+    for (int x = 0; x <= X; ++x) {
+      for (int y = 1; y <= Y; ++y) wp(x, y) += wp(x, y - 1);
+    }
+    for (int x = 1; x <= X; ++x) {
+      for (int y = 0; y <= Y; ++y) wp(x, y) += wp(x - 1, y);
+    }
+
+    compute_escape_pairs();
+  }
+
+  [[nodiscard]] double box_work(int m1, int m2, int y1, int y2) const {
+    const auto wp = [&](int x, int y) {
+      return work_prefix[static_cast<std::size_t>(x * (Y + 1) + y)];
+    };
+    return wp(m2 + 1, y2 + 1) - wp(m1, y2 + 1) - wp(m2 + 1, y1) + wp(m1, y1);
+  }
+
+  /// For every ordered reachable pair (i, j), the min/max intermediate row
+  /// over all i -> j paths; pairs whose paths can escape the [row_i, row_j]
+  /// band are recorded in `escapes`.
+  void compute_escape_pairs() {
+    const std::size_t n = g.size();
+    const auto topo = g.topological_order();
+    std::vector<int> min_int(n), max_int(n);
+    std::vector<char> reach(n);
+    for (spg::StageId j = 0; j < n; ++j) {
+      std::fill(min_int.begin(), min_int.end(), std::numeric_limits<int>::max());
+      std::fill(max_int.begin(), max_int.end(), std::numeric_limits<int>::min());
+      std::fill(reach.begin(), reach.end(), 0);
+      for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+        const spg::StageId i = *it;
+        if (i == j) continue;
+        for (spg::EdgeId e : g.out_edges(i)) {
+          const spg::StageId u = g.edge(e).dst;
+          if (u == j) {
+            reach[i] = 1;  // direct edge: no intermediate on this path
+          } else if (reach[u]) {
+            reach[i] = 1;
+            min_int[i] = std::min({min_int[i], row_of[u], min_int[u]});
+            max_int[i] = std::max({max_int[i], row_of[u], max_int[u]});
+          }
+        }
+      }
+      for (spg::StageId i = 0; i < n; ++i) {
+        if (!reach[i] || min_int[i] == std::numeric_limits<int>::max()) continue;
+        const int lo = std::min(row_of[i], row_of[j]);
+        const int hi = std::max(row_of[i], row_of[j]);
+        if (min_int[i] < lo || max_int[i] > hi) {
+          escapes.push_back(EscapePair{i, j, min_int[i], max_int[i]});
+        }
+      }
+    }
+  }
+
+  /// Bad-box table for a column range, built from escaping pairs via 2D
+  /// difference rectangles.
+  const std::vector<char>& bad_table(int m1, int m2) {
+    const auto key = std::make_pair(m1, m2);
+    auto it = bad_boxes.find(key);
+    if (it != bad_boxes.end()) return it->second;
+
+    std::vector<int> diff(static_cast<std::size_t>((Y + 1) * (Y + 1)), 0);
+    const auto mark = [&](int y1_lo, int y1_hi, int y2_lo, int y2_hi) {
+      if (y1_lo > y1_hi || y2_lo > y2_hi) return;
+      diff[static_cast<std::size_t>(y1_lo * (Y + 1) + y2_lo)] += 1;
+      diff[static_cast<std::size_t>(y1_lo * (Y + 1) + y2_hi + 1)] -= 1;
+      diff[static_cast<std::size_t>((y1_hi + 1) * (Y + 1) + y2_lo)] -= 1;
+      diff[static_cast<std::size_t>((y1_hi + 1) * (Y + 1) + y2_hi + 1)] += 1;
+    };
+    for (const auto& ep : escapes) {
+      if (col_of[ep.i] < m1 || col_of[ep.i] > m2) continue;
+      if (col_of[ep.j] < m1 || col_of[ep.j] > m2) continue;
+      const int lo = std::min(row_of[ep.i], row_of[ep.j]);
+      const int hi = std::max(row_of[ep.i], row_of[ep.j]);
+      // Escape below: intermediate row min_int < y1 <= lo.
+      if (ep.min_int < lo) mark(ep.min_int + 1, lo, hi, Y - 1);
+      // Escape above: intermediate row max_int > y2 >= hi.
+      if (ep.max_int > hi) mark(0, lo, hi, ep.max_int - 1);
+    }
+    std::vector<char> bad(static_cast<std::size_t>(Y * Y), 0);
+    // Prefix-sum the difference rectangles.
+    std::vector<int> acc(static_cast<std::size_t>((Y + 1) * (Y + 1)), 0);
+    for (int a = 0; a < Y; ++a) {
+      for (int b = 0; b < Y; ++b) {
+        int v = diff[static_cast<std::size_t>(a * (Y + 1) + b)];
+        v += (a > 0 ? acc[static_cast<std::size_t>((a - 1) * (Y + 1) + b)] : 0);
+        v += (b > 0 ? acc[static_cast<std::size_t>(a * (Y + 1) + b - 1)] : 0);
+        v -= (a > 0 && b > 0
+                  ? acc[static_cast<std::size_t>((a - 1) * (Y + 1) + b - 1)]
+                  : 0);
+        acc[static_cast<std::size_t>(a * (Y + 1) + b)] = v;
+        bad[static_cast<std::size_t>(a * Y + b)] = v > 0;
+      }
+    }
+    return bad_boxes.emplace(key, std::move(bad)).first->second;
+  }
+
+  /// Solve one column block [m1, m2] given incoming distribution `din`.
+  /// Returns energy = computation energy of the column's clusters plus the
+  /// vertical link energy inside the column, or infinity when infeasible.
+  ColumnSolution solve_column(int m1, int m2, const Distribution& din) {
+    ColumnSolution sol;
+    const auto& bad = bad_table(m1, m2);
+
+    // cross_down[t] / cross_up[t]: bytes of in-block edges crossing the
+    // horizontal split "rows < t vs rows >= t", downward resp. upward.
+    std::vector<double> cross_down(static_cast<std::size_t>(Y + 1), 0.0);
+    std::vector<double> cross_up(static_cast<std::size_t>(Y + 1), 0.0);
+    {
+      // Difference arrays: an edge crossing rows [a+1, b] contributes to all
+      // split thresholds t in that range.
+      std::vector<double> dd(static_cast<std::size_t>(Y + 2), 0.0);
+      std::vector<double> du(static_cast<std::size_t>(Y + 2), 0.0);
+      for (const auto& e : g.edges()) {
+        if (col_of[e.src] < m1 || col_of[e.src] > m2) continue;
+        if (col_of[e.dst] < m1 || col_of[e.dst] > m2) continue;
+        const int rs = row_of[e.src], rd = row_of[e.dst];
+        if (rs < rd) {
+          dd[static_cast<std::size_t>(rs + 1)] += e.bytes;
+          dd[static_cast<std::size_t>(rd + 1)] -= e.bytes;
+        } else if (rd < rs) {
+          du[static_cast<std::size_t>(rd + 1)] += e.bytes;
+          du[static_cast<std::size_t>(rs + 1)] -= e.bytes;
+        }
+      }
+      double run_d = 0.0, run_u = 0.0;
+      for (int t = 0; t <= Y; ++t) {
+        run_d += dd[static_cast<std::size_t>(t)];
+        run_u += du[static_cast<std::size_t>(t)];
+        cross_down[static_cast<std::size_t>(t)] = run_d;
+        cross_up[static_cast<std::size_t>(t)] = run_u;
+      }
+    }
+
+    // bd[t][u]: incoming bytes with entry row <= u-1 and dest row >= t;
+    // bu[t][u]: incoming bytes with entry row >= u and dest row < t.
+    // (entry rows index cores of the previous column, 0..P-1).
+    std::vector<double> bd(static_cast<std::size_t>((Y + 1) * (P + 1)), 0.0);
+    std::vector<double> bu(static_cast<std::size_t>((Y + 1) * (P + 1)), 0.0);
+    {
+      // bucket[dest_row][entry_row]
+      std::vector<double> bucket(static_cast<std::size_t>(Y * P), 0.0);
+      for (const auto& d : din) {
+        if (col_of[d.dst] < m1 || col_of[d.dst] > m2) continue;
+        bucket[static_cast<std::size_t>(row_of[d.dst] * P + d.row)] += d.bytes;
+      }
+      // pre[yd][u] = sum of bucket[yd][re] over re < u.
+      std::vector<double> pre(static_cast<std::size_t>(Y * (P + 1)), 0.0);
+      for (int yd = 0; yd < Y; ++yd) {
+        double run = 0.0;
+        pre[static_cast<std::size_t>(yd * (P + 1))] = 0.0;
+        for (int re = 0; re < P; ++re) {
+          run += bucket[static_cast<std::size_t>(yd * P + re)];
+          pre[static_cast<std::size_t>(yd * (P + 1) + re + 1)] = run;
+        }
+      }
+      // bd[t][u] = sum over yd >= t of pre[yd][u]  (entry rows <= u-1);
+      // bu[t][u] = sum over yd < t of (row_total[yd] - pre[yd][u]).
+      for (int u = 0; u <= P; ++u) {
+        double suffix = 0.0;
+        for (int t = Y; t >= 0; --t) {
+          if (t < Y) suffix += pre[static_cast<std::size_t>(t * (P + 1) + u)];
+          bd[static_cast<std::size_t>(t * (P + 1) + u)] = suffix;
+        }
+        double prefix = 0.0;
+        for (int t = 0; t <= Y; ++t) {
+          bu[static_cast<std::size_t>(t * (P + 1) + u)] = prefix;
+          if (t < Y) {
+            const double row_total = pre[static_cast<std::size_t>(t * (P + 1) + P)];
+            prefix += row_total - pre[static_cast<std::size_t>(t * (P + 1) + u)];
+          }
+        }
+      }
+    }
+
+    // dp[g][u]: rows < g assigned to cores < u; vertical links between
+    // cores < u fully charged.  parent[g][u] = g' of the best transition.
+    const auto idx = [&](int gg, int uu) {
+      return static_cast<std::size_t>(gg * (P + 1) + uu);
+    };
+    std::vector<double> dp(static_cast<std::size_t>((Y + 1) * (P + 1)), kInf);
+    std::vector<int> parent(static_cast<std::size_t>((Y + 1) * (P + 1)), -1);
+    dp[idx(0, 0)] = 0.0;
+
+    for (int u = 0; u < P; ++u) {
+      for (int g1 = 0; g1 <= Y; ++g1) {
+        const double base = dp[idx(g1, u)];
+        if (!std::isfinite(base)) continue;
+        // Link (u-1, u) cost/feasibility, independent of g2.
+        double link_energy = 0.0;
+        if (u >= 1) {
+          const double down =
+              cross_down[static_cast<std::size_t>(g1)] + bd[idx(g1, u)];
+          const double up = cross_up[static_cast<std::size_t>(g1)] + bu[idx(g1, u)];
+          if (down > cut_cap * (1 + 1e-12) || up > cut_cap * (1 + 1e-12)) continue;
+          link_energy = (down + up) * comm.energy_per_byte;
+        }
+        for (int g2 = g1; g2 <= Y; ++g2) {
+          double cal = 0.0;
+          if (g2 > g1) {
+            const double w = box_work(m1, m2, g1, g2 - 1);
+            if (w > 0.0) {
+              if (bad[static_cast<std::size_t>(g1 * Y + (g2 - 1))]) continue;
+              const std::size_t k = speeds.slowest_feasible(w, T);
+              if (k == speeds.mode_count()) continue;
+              cal = speeds.core_energy(w, k, T);
+            }
+          }
+          const double cand = base + link_energy + cal;
+          if (cand < dp[idx(g2, u + 1)]) {
+            dp[idx(g2, u + 1)] = cand;
+            parent[idx(g2, u + 1)] = g1;
+          }
+        }
+      }
+    }
+
+    if (!std::isfinite(dp[idx(Y, P)])) return sol;
+    sol.energy = dp[idx(Y, P)];
+    sol.core_of_row.assign(static_cast<std::size_t>(Y), -1);
+    int gg = Y;
+    for (int u = P; u >= 1; --u) {
+      const int g1 = parent[idx(gg, u)];
+      for (int rr = g1; rr < gg; ++rr) {
+        sol.core_of_row[static_cast<std::size_t>(rr)] = u - 1;
+      }
+      gg = g1;
+    }
+    return sol;
+  }
+
+  /// Outgoing distribution of block [m1, m2] given its row assignment and
+  /// the pass-through part of the incoming distribution.
+  Distribution block_output(int m1, int m2, const std::vector<int>& core_of_row,
+                            const Distribution& din) const {
+    std::map<std::pair<int, spg::StageId>, double> agg;
+    for (const auto& d : din) {
+      if (col_of[d.dst] > m2) agg[{d.row, d.dst}] += d.bytes;  // pass-through
+    }
+    for (const auto& e : g.edges()) {
+      if (col_of[e.src] < m1 || col_of[e.src] > m2) continue;
+      if (col_of[e.dst] <= m2) continue;
+      const int row = core_of_row[static_cast<std::size_t>(row_of[e.src])];
+      agg[{row, e.dst}] += e.bytes;
+    }
+    Distribution out;
+    out.reserve(agg.size());
+    for (const auto& [key, bytes] : agg) {
+      out.push_back(DEntry{key.first, bytes, key.second});
+    }
+    return out;
+  }
+
+  /// Horizontal-crossing cost of distribution `d` over one column boundary;
+  /// infinity when some row's link saturates.
+  [[nodiscard]] double crossing_energy(const Distribution& d) const {
+    std::vector<double> per_row(static_cast<std::size_t>(P), 0.0);
+    double total = 0.0;
+    for (const auto& e : d) {
+      per_row[static_cast<std::size_t>(e.row)] += e.bytes;
+      total += e.bytes;
+    }
+    for (double b : per_row) {
+      if (b > cut_cap * (1 + 1e-12)) return kInf;
+    }
+    return total * comm.energy_per_byte;
+  }
+
+  /// Full outer DP.  On success, fills stage -> (virtual core row, col).
+  std::optional<std::vector<cmp::CoreId>> solve() {
+    struct OuterState {
+      double energy = kInf;
+      Distribution dist;
+      int parent_m = -1;
+    };
+    // state(m, v): first m SPG columns on the first v CMP columns.
+    std::vector<std::vector<OuterState>> dp(
+        static_cast<std::size_t>(X + 1),
+        std::vector<OuterState>(static_cast<std::size_t>(Q + 1)));
+    dp[0][0].energy = 0.0;
+
+    for (int v = 1; v <= Q; ++v) {
+      for (int m = v; m <= X; ++m) {
+        // Block = SPG columns [m', m-1]; requires m' >= v-1 blocks before.
+        for (int mp = v - 1; mp < m; ++mp) {
+          const auto& prev = dp[static_cast<std::size_t>(mp)][static_cast<std::size_t>(v - 1)];
+          if (!std::isfinite(prev.energy)) continue;
+          const double cross = (v == 1) ? 0.0 : crossing_energy(prev.dist);
+          if (!std::isfinite(cross)) continue;
+          ColumnSolution col = solve_column(mp, m - 1, prev.dist);
+          if (!std::isfinite(col.energy)) continue;
+          const double cand = prev.energy + cross + col.energy;
+          auto& cur = dp[static_cast<std::size_t>(m)][static_cast<std::size_t>(v)];
+          if (cand < cur.energy) {
+            cur.energy = cand;
+            cur.parent_m = mp;
+            cur.dist = block_output(mp, m - 1, col.core_of_row, prev.dist);
+          }
+        }
+      }
+    }
+
+    int best_v = -1;
+    double best_e = kInf;
+    for (int v = 1; v <= Q; ++v) {
+      const auto& st = dp[static_cast<std::size_t>(X)][static_cast<std::size_t>(v)];
+      if (st.energy < best_e) {
+        best_e = st.energy;
+        best_v = v;
+      }
+    }
+    if (best_v < 0) return std::nullopt;
+
+    // Reconstruct block boundaries, then re-solve each block for rows.
+    std::vector<int> bounds;  // m values, from X down to 0
+    int m = X;
+    for (int v = best_v; v >= 1; --v) {
+      bounds.push_back(m);
+      m = dp[static_cast<std::size_t>(m)][static_cast<std::size_t>(v)].parent_m;
+    }
+    bounds.push_back(0);
+    std::reverse(bounds.begin(), bounds.end());  // 0 = b0 < b1 < ... < bV = X
+
+    std::vector<cmp::CoreId> core_of_stage(g.size());
+    Distribution din;  // empty before the first block
+    for (int v = 0; v + 1 < static_cast<int>(bounds.size()); ++v) {
+      const int m1 = bounds[static_cast<std::size_t>(v)];
+      const int m2 = bounds[static_cast<std::size_t>(v + 1)] - 1;
+      ColumnSolution col = solve_column(m1, m2, din);
+      if (!std::isfinite(col.energy)) return std::nullopt;  // defensive
+      for (int c = m1; c <= m2; ++c) {
+        for (spg::StageId i : stages_in_col[static_cast<std::size_t>(c)]) {
+          const int row = col.core_of_row[static_cast<std::size_t>(row_of[i])];
+          core_of_stage[i] = cmp::CoreId{row, v};
+        }
+      }
+      din = block_output(m1, m2, col.core_of_row, din);
+    }
+    return core_of_stage;
+  }
+};
+
+}  // namespace
+
+Result Dpa2dHeuristic::run(const spg::Spg& g, const cmp::Platform& p, double T) const {
+  if (mode_ == Mode::Grid2D) {
+    Dpa2dSolver solver(g, p.grid, p.speeds, p.comm, T);
+    auto cores = solver.solve();
+    if (!cores) return Result::fail("DPA2D: no feasible column partition");
+    mapping::Mapping m;
+    m.core_of.resize(g.size());
+    for (spg::StageId i = 0; i < g.size(); ++i) {
+      m.core_of[i] = p.grid.core_index((*cores)[i]);
+    }
+    return finalize_with_xy(g, p, T, std::move(m));
+  }
+
+  // DPA2D1D: virtual 1 x (p*q) line, then embed along the snake.
+  const int r = p.grid.core_count();
+  const cmp::Grid line(1, r, p.grid.bandwidth());
+  Dpa2dSolver solver(g, line, p.speeds, p.comm, T);
+  auto cores = solver.solve();
+  if (!cores) return Result::fail("DPA2D1D: no feasible line partition");
+
+  mapping::Mapping m;
+  m.core_of.resize(g.size());
+  for (spg::StageId i = 0; i < g.size(); ++i) {
+    m.core_of[i] = p.grid.core_index(p.grid.snake_core((*cores)[i].col));
+  }
+  m.edge_paths.assign(g.edge_count(), {});
+  for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    const int a = (*cores)[edge.src].col;
+    const int b = (*cores)[edge.dst].col;
+    if (a != b) {
+      m.edge_paths[e] =
+          p.grid.snake_route(p.grid.snake_core(a), p.grid.snake_core(b));
+    }
+  }
+  return finalize_with_paths(g, p, T, std::move(m), /*downgrade=*/true);
+}
+
+}  // namespace spgcmp::heuristics

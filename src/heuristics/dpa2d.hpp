@@ -1,0 +1,47 @@
+#pragma once
+
+// DPA2D and DPA2D1D — Sections 5.3 and 5.4.
+//
+// DPA2D first lays the SPG on its virtual xmax x ymax label grid, then runs
+// a double nested dynamic program: the outer DP cuts the x-range into
+// vertical blocks mapped onto CMP columns; the inner DP cuts the y-range of
+// one block into groups mapped onto the cores of that column.  Every state
+// carries the distribution D of outgoing communications (source row, bytes,
+// destination stage); horizontal legs stay on the source core's row until
+// the destination column and vertical legs are charged link-by-link as the
+// inner DP sweeps rows — i.e. the cost model is exactly XY routing, which
+// is also how the final mapping is routed and re-validated.
+//
+// DPA2D1D runs the same machinery on a virtual 1 x (p*q) platform and then
+// embeds the resulting line of clusters along the snake walk of the real
+// grid (Section 5.4).
+//
+// Cluster validity inside the DP uses the convexity filter (no path between
+// two box stages may leave the box); with x-monotone edges a path can only
+// escape a box *vertically*, so per-block "bad (y1,y2)" tables are built
+// from precomputed escaping pairs in O(1) per DP transition.
+
+#include "heuristics/heuristic.hpp"
+
+namespace spgcmp::heuristics {
+
+class Dpa2dHeuristic final : public Heuristic {
+ public:
+  enum class Mode {
+    Grid2D,  ///< paper's DPA2D: blocks onto grid columns, rows within
+    Line1D,  ///< paper's DPA2D1D: 1 x (p*q) virtual line, snake embedding
+  };
+
+  explicit Dpa2dHeuristic(Mode mode = Mode::Grid2D) : mode_(mode) {}
+
+  [[nodiscard]] std::string name() const override {
+    return mode_ == Mode::Grid2D ? "DPA2D" : "DPA2D1D";
+  }
+  [[nodiscard]] Result run(const spg::Spg& g, const cmp::Platform& p,
+                           double T) const override;
+
+ private:
+  Mode mode_;
+};
+
+}  // namespace spgcmp::heuristics

@@ -1,0 +1,207 @@
+#include "heuristics/exact.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace spgcmp::heuristics {
+
+namespace {
+
+/// Enumerate all ordered DAG-partitions (cluster sequences in quotient
+/// topological order) via prefix-ideal peeling, invoking visit(cluster_of)
+/// with cluster ids 0..K-1.
+struct PartitionEnumerator {
+  const spg::Spg& g;
+  int max_clusters;
+  std::size_t* budget;
+
+  std::vector<int> cluster_of;
+  std::vector<std::size_t> preds_left;
+  std::vector<spg::StageId> order;  // fixed topological order
+  std::vector<int> topo_pos;
+
+  PartitionEnumerator(const spg::Spg& graph, int k, std::size_t* fuel)
+      : g(graph), max_clusters(k), budget(fuel) {
+    cluster_of.assign(g.size(), -1);
+    preds_left.resize(g.size());
+    for (spg::StageId i = 0; i < g.size(); ++i) preds_left[i] = g.in_edges(i).size();
+    order = g.topological_order();
+    topo_pos.assign(g.size(), 0);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      topo_pos[order[pos]] = static_cast<int>(pos);
+    }
+  }
+
+  template <typename Visit>
+  void enumerate(Visit&& visit) {
+    grow_cluster(0, -1, 0, std::forward<Visit>(visit));
+  }
+
+ private:
+  // Build cluster `c`.  `last_pos` is the topo position of the last stage
+  // added to cluster c (stages within a cluster are added in increasing
+  // topo order to avoid duplicates); `placed` counts assigned stages.
+  template <typename Visit>
+  void grow_cluster(int c, int last_pos, std::size_t placed, Visit&& visit) {
+    if (*budget == 0) return;
+    if (placed == g.size()) {
+      --*budget;
+      visit(cluster_of);
+      return;
+    }
+    for (std::size_t pos = static_cast<std::size_t>(last_pos + 1); pos < g.size();
+         ++pos) {
+      const spg::StageId s = order[pos];
+      if (cluster_of[s] != -1 || preds_left[s] != 0) continue;
+      cluster_of[s] = c;
+      for (spg::EdgeId e : g.out_edges(s)) --preds_left[g.edge(e).dst];
+      grow_cluster(c, static_cast<int>(pos), placed + 1, visit);
+      // Also: close cluster c here and start cluster c+1 (only when c is
+      // non-empty, which it is since s was just added).
+      if (c + 1 < max_clusters) {
+        grow_cluster(c + 1, -1, placed + 1, visit);
+      }
+      for (spg::EdgeId e : g.out_edges(s)) ++preds_left[g.edge(e).dst];
+      cluster_of[s] = -1;
+      if (*budget == 0) return;
+    }
+  }
+};
+
+/// Enumerate every set partition of {0..n-1} into at most `max_blocks`
+/// blocks via restricted growth strings; used for general mappings.
+template <typename Visit>
+void enumerate_set_partitions(std::size_t n, int max_blocks, std::size_t* budget,
+                              Visit&& visit) {
+  std::vector<int> block(n, 0);
+  auto rec = [&](auto&& self, std::size_t i, int used) -> void {
+    if (*budget == 0) return;
+    if (i == n) {
+      --*budget;
+      visit(block);
+      return;
+    }
+    const int limit = std::min(used + 1, max_blocks);
+    for (int b = 0; b < limit; ++b) {
+      block[i] = b;
+      self(self, i + 1, std::max(used, b + 1));
+      if (*budget == 0) return;
+    }
+  };
+  rec(rec, 0, 0);
+}
+
+}  // namespace
+
+Result ExactSolver::run(const spg::Spg& g, const cmp::Platform& p, double T) const {
+  if (g.size() > options_.max_stages) {
+    return Result::fail("Exact: graph too large");
+  }
+  if (p.grid.core_count() > options_.max_cores) {
+    return Result::fail("Exact: platform too large");
+  }
+  const int cores = p.grid.core_count();
+  std::size_t fuel = options_.max_candidates;
+
+  Result best = Result::fail(options_.require_dag_partition
+                                 ? "Exact: no feasible DAG-partition mapping"
+                                 : "Exact: no feasible general mapping");
+  bool budget_hit = false;
+
+  const auto try_partition = [&](const std::vector<int>& cluster_of) {
+    const int k = 1 + *std::max_element(cluster_of.begin(), cluster_of.end());
+    // Injective placement: permutations of `k` cores out of `cores`.
+    std::vector<int> perm(static_cast<std::size_t>(cores));
+    for (int c = 0; c < cores; ++c) perm[static_cast<std::size_t>(c)] = c;
+    std::sort(perm.begin(), perm.end());
+    // Enumerate ordered k-subsets via next_permutation over all cores and
+    // deduplicate by taking only the first k entries; to avoid repeats we
+    // iterate combinations x permutations explicitly.
+    std::vector<int> choice(static_cast<std::size_t>(k));
+    std::vector<char> used(static_cast<std::size_t>(cores), 0);
+    auto place = [&](auto&& self, int depth) -> void {
+      if (fuel == 0) {
+        budget_hit = true;
+        return;
+      }
+      if (depth == k) {
+        --fuel;
+        mapping::Mapping m;
+        m.core_of.resize(g.size());
+        for (spg::StageId i = 0; i < g.size(); ++i) {
+          m.core_of[i] = choice[static_cast<std::size_t>(cluster_of[i])];
+        }
+        // XY routes (and YX variant when enabled, which can relieve a
+        // saturated link on square grids).
+        for (int variant = 0; variant < (options_.try_yx_routes ? 2 : 1); ++variant) {
+          mapping::Mapping cand = m;
+          if (variant == 0) {
+            mapping::attach_xy_paths(g, p.grid, cand);
+          } else {
+            // YX: route vertically first — equivalent to XY on the
+            // transposed pair; build manually.
+            cand.edge_paths.assign(g.edge_count(), {});
+            for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
+              const auto& edge = g.edge(e);
+              cmp::CoreId a = p.grid.core_at(cand.core_of[edge.src]);
+              const cmp::CoreId b = p.grid.core_at(cand.core_of[edge.dst]);
+              if (a == b) continue;
+              auto& path = cand.edge_paths[e];
+              while (a.row != b.row) {
+                const cmp::Dir d = a.row < b.row ? cmp::Dir::South : cmp::Dir::North;
+                path.push_back(cmp::LinkId{a, d});
+                a = p.grid.neighbor(a, d);
+              }
+              while (a.col != b.col) {
+                const cmp::Dir d = a.col < b.col ? cmp::Dir::East : cmp::Dir::West;
+                path.push_back(cmp::LinkId{a, d});
+                a = p.grid.neighbor(a, d);
+              }
+            }
+          }
+          Result r;
+          if (options_.require_dag_partition) {
+            r = finalize_with_paths(g, p, T, std::move(cand), /*downgrade=*/true);
+          } else {
+            // General mappings: accept structurally sound, period-feasible
+            // mappings even when the cluster quotient is cyclic.
+            if (!mapping::assign_slowest_modes(g, p, T, cand)) continue;
+            auto ev = mapping::evaluate(g, p, cand, T);
+            if (ev.error.empty() && ev.meets_period) {
+              r.success = true;
+              r.mapping = std::move(cand);
+              r.eval = std::move(ev);
+            }
+          }
+          if (r.success && (!best.success || r.eval.energy < best.eval.energy)) {
+            best = std::move(r);
+          }
+        }
+        return;
+      }
+      for (int c = 0; c < cores; ++c) {
+        if (used[static_cast<std::size_t>(c)]) continue;
+        used[static_cast<std::size_t>(c)] = 1;
+        choice[static_cast<std::size_t>(depth)] = c;
+        self(self, depth + 1);
+        used[static_cast<std::size_t>(c)] = 0;
+        if (budget_hit) return;
+      }
+    };
+    place(place, 0);
+  };
+
+  if (options_.require_dag_partition) {
+    PartitionEnumerator en(g, cores, &fuel);
+    en.enumerate(try_partition);
+  } else {
+    enumerate_set_partitions(g.size(), cores, &fuel, try_partition);
+  }
+
+  if (!best.success && budget_hit) {
+    return Result::fail("Exact: enumeration budget exceeded");
+  }
+  return best;
+}
+
+}  // namespace spgcmp::heuristics

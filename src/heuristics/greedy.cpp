@@ -1,0 +1,262 @@
+#include "heuristics/greedy.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace spgcmp::heuristics {
+
+namespace {
+
+using cmp::CoreId;
+using cmp::Dir;
+using cmp::LinkId;
+
+/// Acyclicity of the quotient graph restricted to *placed* stages
+/// (core_of[i] == -1 means not yet placed; such stages and their incident
+/// edges are ignored).  The final mapping is re-checked in full by the
+/// evaluator; this partial test steers absorption decisions.
+bool placed_quotient_acyclic(const spg::Spg& g, const std::vector<int>& core_of) {
+  std::map<int, int> id;
+  for (int c : core_of) {
+    if (c != -1) id.emplace(c, static_cast<int>(id.size()));
+  }
+  const int k = static_cast<int>(id.size());
+  std::vector<std::set<int>> out(static_cast<std::size_t>(k));
+  std::vector<int> indeg(static_cast<std::size_t>(k), 0);
+  for (const auto& e : g.edges()) {
+    if (core_of[e.src] == -1 || core_of[e.dst] == -1) continue;
+    const int a = id.at(core_of[e.src]);
+    const int b = id.at(core_of[e.dst]);
+    if (a != b && out[static_cast<std::size_t>(a)].insert(b).second) {
+      ++indeg[static_cast<std::size_t>(b)];
+    }
+  }
+  std::vector<int> ready;
+  for (int i = 0; i < k; ++i) {
+    if (indeg[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  }
+  int seen = 0;
+  while (!ready.empty()) {
+    const int i = ready.back();
+    ready.pop_back();
+    ++seen;
+    for (int j : out[static_cast<std::size_t>(i)]) {
+      if (--indeg[static_cast<std::size_t>(j)] == 0) ready.push_back(j);
+    }
+  }
+  return seen == k;
+}
+
+/// A communication in flight: edge `e` has been emitted by its (placed)
+/// source and is parked at some core until the destination stage is
+/// absorbed there or the flow is forwarded onward.  `path` records every
+/// link traversed so far and becomes the edge's routing path.
+struct Flow {
+  spg::EdgeId e;
+  std::vector<LinkId> path;
+};
+
+/// One full greedy placement attempt at uniform construction speed `s`.
+/// Returns the allocation + explicit paths, or nullopt.
+std::optional<mapping::Mapping> greedy_at_speed(const spg::Spg& g,
+                                                const cmp::Platform& p, double T,
+                                                double speed_hz) {
+  const cmp::Grid& grid = p.grid;
+  const std::size_t n = g.size();
+  const double budget = T * speed_hz;
+
+  std::vector<int> core_of(n, -1);
+  std::vector<double> core_work(static_cast<std::size_t>(grid.core_count()), 0.0);
+  std::vector<double> incoming(static_cast<std::size_t>(grid.core_count()), 0.0);
+  std::vector<char> closed(static_cast<std::size_t>(grid.core_count()), 0);
+  std::vector<std::vector<Flow>> parked(static_cast<std::size_t>(grid.core_count()));
+  std::vector<std::vector<LinkId>> edge_paths(g.edge_count());
+  std::vector<std::size_t> preds_left(n);
+  for (spg::StageId i = 0; i < n; ++i) preds_left[i] = g.in_edges(i).size();
+
+  std::size_t placed_count = 0;
+  // Place a stage and emit flows for its outgoing edges at its core.
+  const auto place = [&](spg::StageId s, int core) {
+    core_of[s] = core;
+    core_work[static_cast<std::size_t>(core)] += g.stage(s).work;
+    ++placed_count;
+    for (spg::EdgeId e : g.out_edges(s)) preds_left[g.edge(e).dst]--;
+    for (spg::EdgeId e : g.out_edges(s)) {
+      parked[static_cast<std::size_t>(core)].push_back(Flow{e, {}});
+    }
+  };
+
+  const spg::StageId src = g.source();
+  if (g.stage(src).work > budget) return std::nullopt;
+  const int first_core = grid.core_index(CoreId{0, 0});
+  place(src, first_core);
+
+  std::deque<int> queue{first_core};
+  // Generous progress bound: every pop either absorbs, forwards, or no-ops
+  // on an empty parked list; forwarded flows move monotonically south-east.
+  std::size_t fuel = 16 * static_cast<std::size_t>(grid.core_count()) * (n + 2) *
+                     (g.edge_count() + 2);
+
+  while (!queue.empty()) {
+    if (fuel-- == 0) return std::nullopt;
+    const int ci = queue.front();
+    queue.pop_front();
+    const CoreId c = grid.core_at(ci);
+    auto flows = std::move(parked[static_cast<std::size_t>(ci)]);
+    parked[static_cast<std::size_t>(ci)].clear();
+    if (flows.empty()) continue;
+
+    if (!closed[static_cast<std::size_t>(ci)]) {
+      closed[static_cast<std::size_t>(ci)] = 1;
+      // Absorption loop: add the offered stage with the largest parked
+      // volume that fits and keeps the quotient acyclic.
+      for (;;) {
+        std::map<spg::StageId, double> offered;  // stage -> bytes parked here
+        for (const auto& f : flows) {
+          const spg::StageId d = g.edge(f.e).dst;
+          if (core_of[d] == -1 && preds_left[d] == 0) offered[d] += g.edge(f.e).bytes;
+        }
+        std::vector<std::pair<double, spg::StageId>> order;
+        order.reserve(offered.size());
+        for (const auto& [stage, bytes] : offered) order.emplace_back(bytes, stage);
+        std::sort(order.rbegin(), order.rend());
+
+        bool absorbed = false;
+        for (const auto& [bytes, stage] : order) {
+          if (core_work[static_cast<std::size_t>(ci)] + g.stage(stage).work > budget) {
+            continue;
+          }
+          core_of[stage] = ci;  // tentative, for the acyclicity check
+          if (!placed_quotient_acyclic(g, core_of)) {
+            core_of[stage] = -1;
+            continue;
+          }
+          core_of[stage] = -1;
+          place(stage, ci);
+          // Consume flows for edges into this stage that are parked here.
+          for (auto it = flows.begin(); it != flows.end();) {
+            if (g.edge(it->e).dst == stage) {
+              edge_paths[it->e] = std::move(it->path);
+              it = flows.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          // Newly emitted flows (out-edges of `stage`) were parked at this
+          // core by place(); pull them into the working set.
+          for (auto& f : parked[static_cast<std::size_t>(ci)]) {
+            flows.push_back(std::move(f));
+          }
+          parked[static_cast<std::size_t>(ci)].clear();
+          absorbed = true;
+          break;
+        }
+        if (!absorbed) break;
+      }
+    }
+
+    // Forward everything still parked here.
+    // First: flows whose destination is already placed follow an XY route.
+    std::map<spg::StageId, double> pending;  // unplaced dst -> bytes
+    for (auto it = flows.begin(); it != flows.end();) {
+      const spg::StageId d = g.edge(it->e).dst;
+      if (core_of[d] != -1) {
+        auto tail = grid.xy_route(c, grid.core_at(core_of[d]));
+        it->path.insert(it->path.end(), tail.begin(), tail.end());
+        edge_paths[it->e] = std::move(it->path);
+        it = flows.erase(it);
+      } else {
+        pending[d] += g.edge(it->e).bytes;
+        ++it;
+      }
+    }
+    if (flows.empty()) continue;
+
+    // Remaining flows head to unplaced stages: split dst-by-dst between the
+    // east and south neighbours, heaviest first, least-loaded neighbour.
+    const bool has_e = grid.has_neighbor(c, Dir::East);
+    const bool has_s = grid.has_neighbor(c, Dir::South);
+    if (!has_e && !has_s) {
+      // South-east corner with work left over.  The paper's wavefront stops
+      // here; we extend it (documented in DESIGN.md): jump the flows to the
+      // nearest still-open core so long workflows can use the whole grid.
+      int jump = -1, best_dist = 0;
+      for (int cand = 0; cand < grid.core_count(); ++cand) {
+        if (closed[static_cast<std::size_t>(cand)]) continue;
+        const int d = grid.manhattan(c, grid.core_at(cand));
+        if (jump == -1 || d < best_dist) {
+          jump = cand;
+          best_dist = d;
+        }
+      }
+      if (jump == -1) return std::nullopt;  // every core already closed
+      const auto detour = grid.xy_route(c, grid.core_at(jump));
+      for (auto& f : flows) {
+        f.path.insert(f.path.end(), detour.begin(), detour.end());
+        parked[static_cast<std::size_t>(jump)].push_back(std::move(f));
+      }
+      queue.push_back(jump);
+      continue;
+    }
+
+    std::vector<std::pair<double, spg::StageId>> order;
+    order.reserve(pending.size());
+    for (const auto& [stage, bytes] : pending) order.emplace_back(bytes, stage);
+    std::sort(order.rbegin(), order.rend());
+
+    std::map<spg::StageId, Dir> direction;
+    for (const auto& [bytes, stage] : order) {
+      Dir d = Dir::East;
+      if (has_e && has_s) {
+        const int ei = grid.core_index(grid.neighbor(c, Dir::East));
+        const int si = grid.core_index(grid.neighbor(c, Dir::South));
+        d = incoming[static_cast<std::size_t>(ei)] <=
+                    incoming[static_cast<std::size_t>(si)]
+                ? Dir::East
+                : Dir::South;
+      } else if (has_s) {
+        d = Dir::South;
+      }
+      direction[stage] = d;
+      const int ni = grid.core_index(grid.neighbor(c, d));
+      incoming[static_cast<std::size_t>(ni)] += bytes;
+    }
+    for (auto& f : flows) {
+      const Dir d = direction.at(g.edge(f.e).dst);
+      const CoreId nb = grid.neighbor(c, d);
+      f.path.push_back(LinkId{c, d});
+      parked[static_cast<std::size_t>(grid.core_index(nb))].push_back(std::move(f));
+      queue.push_back(grid.core_index(nb));
+    }
+  }
+
+  if (placed_count != n) return std::nullopt;
+  mapping::Mapping m;
+  m.core_of = std::move(core_of);
+  m.edge_paths = std::move(edge_paths);
+  return m;
+}
+
+}  // namespace
+
+Result GreedyHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
+                            double T) const {
+  Result best = Result::fail("greedy found no valid mapping at any speed");
+  for (std::size_t k = 0; k < p.speeds.mode_count(); ++k) {
+    auto m = greedy_at_speed(g, p, T, p.speeds.speed(k));
+    if (!m) continue;
+    if (!downgrade_) {
+      // Ablation mode: all active cores stay at the construction speed.
+      m->mode_of_core.assign(static_cast<std::size_t>(p.grid.core_count()), k);
+    }
+    Result r = finalize_with_paths(g, p, T, std::move(*m), downgrade_);
+    if (!r.success) continue;
+    if (!best.success || r.eval.energy < best.eval.energy) best = std::move(r);
+  }
+  return best;
+}
+
+}  // namespace spgcmp::heuristics

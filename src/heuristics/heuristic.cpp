@@ -1,0 +1,47 @@
+#include "heuristics/heuristic.hpp"
+
+#include "heuristics/dpa1d.hpp"
+#include "heuristics/dpa2d.hpp"
+#include "heuristics/greedy.hpp"
+#include "heuristics/random_heuristic.hpp"
+
+namespace spgcmp::heuristics {
+
+Result finalize_with_paths(const spg::Spg& g, const cmp::Platform& p, double T,
+                           mapping::Mapping m, bool downgrade) {
+  if (downgrade) {
+    if (!mapping::assign_slowest_modes(g, p, T, m)) {
+      return Result::fail("some core cannot meet the period at maximum speed");
+    }
+  }
+  auto ev = mapping::evaluate(g, p, m, T);
+  if (!ev.valid()) {
+    return Result::fail(ev.error.empty()
+                            ? (ev.dag_partition_ok ? "period bound violated"
+                                                   : "quotient graph has a cycle")
+                            : ev.error);
+  }
+  Result r;
+  r.success = true;
+  r.mapping = std::move(m);
+  r.eval = std::move(ev);
+  return r;
+}
+
+Result finalize_with_xy(const spg::Spg& g, const cmp::Platform& p, double T,
+                        mapping::Mapping m) {
+  mapping::attach_xy_paths(g, p.grid, m);
+  return finalize_with_paths(g, p, T, std::move(m), /*downgrade=*/true);
+}
+
+std::vector<std::unique_ptr<Heuristic>> make_paper_heuristics(std::uint64_t seed) {
+  std::vector<std::unique_ptr<Heuristic>> hs;
+  hs.push_back(std::make_unique<RandomHeuristic>(seed));
+  hs.push_back(std::make_unique<GreedyHeuristic>());
+  hs.push_back(std::make_unique<Dpa2dHeuristic>(Dpa2dHeuristic::Mode::Grid2D));
+  hs.push_back(std::make_unique<Dpa1dHeuristic>());
+  hs.push_back(std::make_unique<Dpa2dHeuristic>(Dpa2dHeuristic::Mode::Line1D));
+  return hs;
+}
+
+}  // namespace spgcmp::heuristics

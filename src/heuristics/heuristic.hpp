@@ -1,0 +1,62 @@
+#pragma once
+
+// Common interface for the five mapping heuristics of Section 5 plus the
+// exact solver of Section 4.4.
+//
+// A heuristic receives the application SPG, the platform and the period
+// bound T, and either fails (with a reason) or returns a complete Mapping
+// together with its Evaluation.  Implementations must return only mappings
+// that pass `mapping::evaluate` — the evaluator is the arbiter, heuristics
+// never report their internal cost estimates as results.
+//
+// Heuristics are stateless and thread-safe: `run` is const and any
+// randomness is derived deterministically from the instance seed and the
+// problem signature, so concurrent sweeps are reproducible.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cmp/cmp.hpp"
+#include "mapping/mapping.hpp"
+#include "spg/spg.hpp"
+
+namespace spgcmp::heuristics {
+
+struct Result {
+  bool success = false;
+  std::string failure;        ///< reason when !success
+  mapping::Mapping mapping;   ///< valid mapping when success
+  mapping::Evaluation eval;   ///< evaluation of `mapping` at the given T
+
+  [[nodiscard]] static Result fail(std::string why) {
+    Result r;
+    r.failure = std::move(why);
+    return r;
+  }
+};
+
+class Heuristic {
+ public:
+  virtual ~Heuristic() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual Result run(const spg::Spg& g, const cmp::Platform& p,
+                                   double T) const = 0;
+};
+
+/// Finalize a candidate allocation: attach XY paths, downgrade speeds and
+/// evaluate; returns success only if the evaluation is fully valid.
+[[nodiscard]] Result finalize_with_xy(const spg::Spg& g, const cmp::Platform& p,
+                                      double T, mapping::Mapping m);
+
+/// Finalize a mapping that already carries explicit paths.
+[[nodiscard]] Result finalize_with_paths(const spg::Spg& g, const cmp::Platform& p,
+                                         double T, mapping::Mapping m,
+                                         bool downgrade = true);
+
+/// The five heuristics evaluated in Section 6, in paper order:
+/// Random, Greedy, DPA2D, DPA1D, DPA2D1D.
+[[nodiscard]] std::vector<std::unique_ptr<Heuristic>> make_paper_heuristics(
+    std::uint64_t seed = 42);
+
+}  // namespace spgcmp::heuristics

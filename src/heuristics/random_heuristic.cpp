@@ -1,0 +1,124 @@
+#include "heuristics/random_heuristic.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "util/rng.hpp"
+
+namespace spgcmp::heuristics {
+
+namespace {
+
+/// One random DAG-partition attempt.  Returns cluster assignment per stage
+/// (cluster ids 0..k-1 in quotient-topological order) and per-cluster speed
+/// mode, or an empty vector on failure.
+struct Trial {
+  std::vector<int> cluster_of;       // stage -> cluster
+  std::vector<std::size_t> mode_of;  // cluster -> speed mode
+};
+
+std::optional<Trial> random_partition(const spg::Spg& g, const cmp::Platform& p,
+                                      double T, util::Rng& rng) {
+  const std::size_t n = g.size();
+  Trial trial;
+  trial.cluster_of.assign(n, -1);
+
+  // Ready list: stages with all predecessors already assigned.
+  std::vector<std::size_t> missing_preds(n);
+  std::vector<spg::StageId> ready;
+  for (spg::StageId i = 0; i < n; ++i) {
+    missing_preds[i] = g.in_edges(i).size();
+    if (missing_preds[i] == 0) ready.push_back(i);
+  }
+
+  std::size_t assigned = 0;
+  const int max_clusters = p.grid.core_count();
+  while (assigned < n) {
+    if (static_cast<int>(trial.mode_of.size()) >= max_clusters) {
+      return std::nullopt;  // more clusters than cores
+    }
+    const int cluster = static_cast<int>(trial.mode_of.size());
+    const std::size_t mode = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(p.speeds.mode_count()) - 1));
+    trial.mode_of.push_back(mode);
+    const double budget = T * p.speeds.speed(mode);
+    double used = 0.0;
+
+    bool first = true;
+    while (!ready.empty()) {
+      // First stage of a cluster is the head of the list (paper rule);
+      // subsequent stages are drawn at random.
+      const std::size_t pick =
+          first ? 0
+                : static_cast<std::size_t>(
+                      rng.uniform_int(0, static_cast<std::int64_t>(ready.size()) - 1));
+      const spg::StageId s = ready[pick];
+      if (used + g.stage(s).work > budget) {
+        if (first) return std::nullopt;  // stage does not fit even alone
+        break;                           // close this cluster
+      }
+      first = false;
+      used += g.stage(s).work;
+      trial.cluster_of[s] = cluster;
+      ++assigned;
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+      for (spg::EdgeId e : g.out_edges(s)) {
+        const spg::StageId d = g.edge(e).dst;
+        if (--missing_preds[d] == 0) ready.push_back(d);
+      }
+    }
+  }
+  return trial;
+}
+
+}  // namespace
+
+Result RandomHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
+                            double T) const {
+  // Deterministic per-problem stream: same instance + same problem => same
+  // mapping, regardless of call order.
+  std::uint64_t sig = seed_;
+  sig ^= util::splitmix64(sig) + g.size() * 0x9e37ULL + g.edge_count();
+  std::uint64_t tbits;
+  static_assert(sizeof tbits == sizeof T);
+  __builtin_memcpy(&tbits, &T, sizeof tbits);
+  sig ^= tbits;
+  util::Rng rng(sig);
+
+  Result best = Result::fail("no valid random trial");
+  for (int t = 0; t < trials_; ++t) {
+    auto trial = random_partition(g, p, T, rng);
+    if (!trial) continue;
+    const int k = static_cast<int>(trial->mode_of.size());
+
+    // Random one-to-one placement of clusters onto cores.
+    std::vector<int> cores(static_cast<std::size_t>(p.grid.core_count()));
+    for (std::size_t c = 0; c < cores.size(); ++c) cores[c] = static_cast<int>(c);
+    std::shuffle(cores.begin(), cores.end(), rng);
+
+    mapping::Mapping m;
+    m.core_of.resize(g.size());
+    for (spg::StageId i = 0; i < g.size(); ++i) {
+      m.core_of[i] = cores[static_cast<std::size_t>(trial->cluster_of[i])];
+    }
+    m.mode_of_core.assign(static_cast<std::size_t>(p.grid.core_count()), 0);
+    for (int c = 0; c < k; ++c) {
+      m.mode_of_core[static_cast<std::size_t>(cores[static_cast<std::size_t>(c)])] =
+          trial->mode_of[static_cast<std::size_t>(c)];
+    }
+    mapping::attach_xy_paths(g, p.grid, m);
+
+    const auto ev = mapping::evaluate(g, p, m, T);
+    if (!ev.valid()) continue;
+    if (!best.success || ev.energy < best.eval.energy) {
+      best.success = true;
+      best.failure.clear();
+      best.mapping = std::move(m);
+      best.eval = ev;
+    }
+  }
+  return best;
+}
+
+}  // namespace spgcmp::heuristics

@@ -1,0 +1,34 @@
+#pragma once
+
+// Random heuristic — Section 5.1.
+//
+// Ten independent trials; each trial builds a DAG-partition by accreting
+// clusters in topological (prefix-ideal) order: pick a random speed for the
+// current core, then repeatedly pick a random stage among those whose
+// predecessors are all already assigned, stopping the cluster when the
+// picked stage no longer fits within T at the chosen speed.  Clusters are
+// then placed on random distinct cores and communications follow XY routes.
+// The best valid trial (minimum energy) wins.  Speeds stay as drawn — the
+// paper only downgrades speeds in Greedy.
+
+#include <cstdint>
+
+#include "heuristics/heuristic.hpp"
+
+namespace spgcmp::heuristics {
+
+class RandomHeuristic final : public Heuristic {
+ public:
+  explicit RandomHeuristic(std::uint64_t seed = 42, int trials = 10)
+      : seed_(seed), trials_(trials) {}
+
+  [[nodiscard]] std::string name() const override { return "Random"; }
+  [[nodiscard]] Result run(const spg::Spg& g, const cmp::Platform& p,
+                           double T) const override;
+
+ private:
+  std::uint64_t seed_;
+  int trials_;
+};
+
+}  // namespace spgcmp::heuristics

@@ -1,0 +1,52 @@
+#include "heuristics/refine.hpp"
+
+#include <stdexcept>
+
+namespace spgcmp::heuristics {
+
+Result refine_mapping(const spg::Spg& g, const cmp::Platform& p, double T,
+                      const mapping::Mapping& seed, const RefineOptions& options) {
+  // Re-evaluate the seed placement under XY routing; this is the state the
+  // local moves operate on.
+  mapping::Mapping cur = seed;
+  mapping::attach_xy_paths(g, p.grid, cur);
+  if (!mapping::assign_slowest_modes(g, p, T, cur)) {
+    return Result::fail("refine: seed infeasible under XY routing");
+  }
+  auto cur_ev = mapping::evaluate(g, p, cur, T);
+  if (!cur_ev.valid()) {
+    return Result::fail("refine: seed invalid under XY routing: " + cur_ev.error);
+  }
+
+  const int cores = p.grid.core_count();
+  for (std::size_t round = 0; round < options.max_rounds; ++round) {
+    bool improved = false;
+    for (spg::StageId i = 0; i < g.size(); ++i) {
+      const int home = cur.core_of[i];
+      for (int c = 0; c < cores; ++c) {
+        if (c == home) continue;
+        mapping::Mapping cand = cur;
+        cand.core_of[i] = c;
+        mapping::attach_xy_paths(g, p.grid, cand);
+        if (!mapping::assign_slowest_modes(g, p, T, cand)) continue;
+        const auto ev = mapping::evaluate(g, p, cand, T);
+        if (!ev.valid()) continue;
+        if (ev.energy < cur_ev.energy * (1.0 - options.min_gain)) {
+          cur = std::move(cand);
+          cur_ev = ev;
+          improved = true;
+          break;  // first improvement; rescan the stage's new neighbourhood
+        }
+      }
+    }
+    if (!improved) break;
+  }
+
+  Result r;
+  r.success = true;
+  r.mapping = std::move(cur);
+  r.eval = std::move(cur_ev);
+  return r;
+}
+
+}  // namespace spgcmp::heuristics

@@ -1,0 +1,33 @@
+#pragma once
+
+// Local-search refinement post-pass.
+//
+// Takes any valid mapping and greedily relocates single stages to other
+// cores (first-improvement, XY rerouting, speed re-downgrading) while the
+// DAG-partition and period constraints hold, until a local optimum or the
+// round cap.  This is not part of the paper's heuristic set — it is the
+// natural baseline improvement step the paper's conclusion gestures at,
+// and the ablation bench quantifies how much headroom each heuristic
+// leaves on the table.
+//
+// Note: refinement re-routes all communications with XY paths, so for
+// snake-routed mappings (DPA1D/DPA2D1D) the starting point is the XY
+// re-evaluation of the same placement; the result is only returned when it
+// improves on the *original* evaluation.
+
+#include "heuristics/heuristic.hpp"
+
+namespace spgcmp::heuristics {
+
+struct RefineOptions {
+  std::size_t max_rounds = 8;    ///< full stage sweeps
+  double min_gain = 1e-12;       ///< relative improvement to accept a move
+};
+
+/// Refine `seed`; returns the improved result, or the re-evaluated seed
+/// when no improving move exists.  The seed must be valid at T.
+[[nodiscard]] Result refine_mapping(const spg::Spg& g, const cmp::Platform& p,
+                                    double T, const mapping::Mapping& seed,
+                                    const RefineOptions& options = {});
+
+}  // namespace spgcmp::heuristics

@@ -1,0 +1,68 @@
+#include "mapping/link_dvfs.hpp"
+
+#include <stdexcept>
+
+namespace spgcmp::mapping {
+
+LinkDvfsModel LinkDvfsModel::quadratic(std::vector<double> fractions) {
+  LinkDvfsModel model;
+  model.bandwidth_fraction = std::move(fractions);
+  model.energy_fraction.clear();
+  for (double f : model.bandwidth_fraction) {
+    model.energy_fraction.push_back(f * f);
+  }
+  return model;
+}
+
+LinkDvfsResult downscale_links(const spg::Spg& g, const cmp::Platform& p,
+                               const Mapping& m, double T,
+                               const LinkDvfsModel& model) {
+  if (model.bandwidth_fraction.empty() ||
+      model.bandwidth_fraction.size() != model.energy_fraction.size()) {
+    throw std::invalid_argument("LinkDvfsModel: arity mismatch");
+  }
+  for (std::size_t k = 1; k < model.bandwidth_fraction.size(); ++k) {
+    if (model.bandwidth_fraction[k] <= model.bandwidth_fraction[k - 1]) {
+      throw std::invalid_argument("LinkDvfsModel: fractions must increase");
+    }
+  }
+  if (model.bandwidth_fraction.back() != 1.0) {
+    throw std::invalid_argument("LinkDvfsModel: top mode must be full speed");
+  }
+
+  // Link loads from the explicit paths (structural errors -> throw).
+  const auto ev = evaluate(g, p, m, 1e30);
+  if (!ev.error.empty()) {
+    throw std::invalid_argument("downscale_links: invalid mapping: " + ev.error);
+  }
+
+  LinkDvfsResult res;
+  res.feasible = true;
+  res.link_mode.assign(ev.link_load.size(), model.bandwidth_fraction.size() - 1);
+  const double full_bw = p.grid.bandwidth();
+  for (std::size_t l = 0; l < ev.link_load.size(); ++l) {
+    const double bytes = ev.link_load[l];
+    if (bytes <= 0.0) continue;
+    res.comm_energy_full += bytes * p.comm.energy_per_byte;
+    // Slowest fraction that still ships `bytes` within T.
+    std::size_t chosen = model.bandwidth_fraction.size();
+    for (std::size_t k = 0; k < model.bandwidth_fraction.size(); ++k) {
+      if (bytes <= T * full_bw * model.bandwidth_fraction[k] * (1 + 1e-12)) {
+        chosen = k;
+        break;
+      }
+    }
+    if (chosen == model.bandwidth_fraction.size()) {
+      // Even full speed misses the period: the mapping itself is infeasible
+      // at T; report and charge full energy.
+      res.feasible = false;
+      chosen = model.bandwidth_fraction.size() - 1;
+    }
+    res.link_mode[l] = chosen;
+    res.comm_energy_scaled +=
+        bytes * p.comm.energy_per_byte * model.energy_fraction[chosen];
+  }
+  return res;
+}
+
+}  // namespace spgcmp::mapping

@@ -1,0 +1,51 @@
+#pragma once
+
+// Communication power management — the paper's future-work extension
+// ("we will consider systems in which the communication power can also be
+// managed in future work", Section 7).
+//
+// Links get discrete frequency modes, mirroring the cores' DVFS: mode k
+// runs at a fraction of the full bandwidth and costs a (quadratically)
+// reduced energy per bit, reflecting voltage/frequency scaling of the
+// link drivers.  Analogous to core-speed downgrading, each link is relaxed
+// to the slowest mode whose cycle-time still meets the period for the
+// bytes it carries.  This is a post-pass: it never changes the mapping,
+// only the communication energy, so it composes with every heuristic.
+
+#include <cstddef>
+#include <vector>
+
+#include "cmp/cmp.hpp"
+#include "mapping/mapping.hpp"
+#include "spg/spg.hpp"
+
+namespace spgcmp::mapping {
+
+/// Discrete link scaling model.  `bandwidth_fraction` must be increasing
+/// and end at 1.0; `energy_fraction[k]` scales the per-byte link energy.
+struct LinkDvfsModel {
+  std::vector<double> bandwidth_fraction = {0.25, 0.5, 0.75, 1.0};
+  std::vector<double> energy_fraction = {0.0625, 0.25, 0.5625, 1.0};
+
+  /// Quadratic (voltage-squared) energy law at the given fractions.
+  [[nodiscard]] static LinkDvfsModel quadratic(std::vector<double> fractions);
+};
+
+struct LinkDvfsResult {
+  bool feasible = false;            ///< false if some link misses T at full speed
+  std::vector<std::size_t> link_mode;  ///< per Grid::link_index (loaded links)
+  double comm_energy_full = 0.0;    ///< dynamic link energy at full speed (J)
+  double comm_energy_scaled = 0.0;  ///< after per-link downgrading (J)
+
+  [[nodiscard]] double saving() const noexcept {
+    return comm_energy_full - comm_energy_scaled;
+  }
+};
+
+/// Choose the slowest feasible mode per link for mapping `m` at period `T`.
+[[nodiscard]] LinkDvfsResult downscale_links(const spg::Spg& g,
+                                             const cmp::Platform& p,
+                                             const Mapping& m, double T,
+                                             const LinkDvfsModel& model = {});
+
+}  // namespace spgcmp::mapping

@@ -1,0 +1,81 @@
+#pragma once
+
+// DAG-partition mappings and their evaluation — Sections 3.3-3.5.
+//
+// A mapping assigns every stage to a core (`core_of`, flat index), chooses
+// one speed mode per active core, and fixes an explicit link path for every
+// edge whose endpoints land on distinct cores.  The evaluator is the single
+// source of truth for validity and cost: heuristics may reason with
+// internal estimates, but every returned mapping is re-checked here.
+//
+// Validity =
+//   (1) structural: paths connect the right cores along existing links;
+//   (2) DAG-partition: the quotient graph over clusters is acyclic;
+//   (3) period: every core and every *directed* link cycle-time <= T.
+// Energy = |A| * P_leak * T + sum (w_c/s_c) * P(s_c)
+//        + P_leak^comm * T + sum_links bytes * E_byte   (per link hop).
+
+#include <string>
+#include <vector>
+
+#include "cmp/cmp.hpp"
+#include "spg/spg.hpp"
+#include "util/bitset.hpp"
+
+namespace spgcmp::mapping {
+
+/// A complete mapping decision.
+struct Mapping {
+  /// stage -> flat core index (Grid::core_index).
+  std::vector<int> core_of;
+  /// flat core index -> speed mode; ignored for inactive cores.
+  std::vector<std::size_t> mode_of_core;
+  /// edge id -> ordered list of directed links (empty if co-located).
+  std::vector<std::vector<cmp::LinkId>> edge_paths;
+};
+
+/// Result of evaluating a mapping against a period bound.
+struct Evaluation {
+  std::string error;          ///< non-empty on structural violation
+  bool dag_partition_ok = false;
+  bool meets_period = false;
+  double period = 0.0;        ///< achieved max cycle-time (s)
+  double max_core_time = 0.0;
+  double max_link_time = 0.0;
+  double comp_energy = 0.0;   ///< J per period
+  double comm_energy = 0.0;
+  double energy = 0.0;
+  int active_cores = 0;
+  std::vector<double> core_work;  ///< cycles per flat core index
+  std::vector<double> link_load;  ///< bytes per Grid::link_index
+
+  [[nodiscard]] bool valid() const noexcept {
+    return error.empty() && dag_partition_ok && meets_period;
+  }
+};
+
+/// Evaluate `m` on graph `g` over platform `p` against period bound `T`.
+[[nodiscard]] Evaluation evaluate(const spg::Spg& g, const cmp::Platform& p,
+                                  const Mapping& m, double T);
+
+/// Default routing: XY paths for every cross-core edge.
+void attach_xy_paths(const spg::Spg& g, const cmp::Grid& grid, Mapping& m);
+
+/// Set each active core to the slowest mode meeting the period for its
+/// assigned work ("downgrading", Section 5.2).  Returns false when some
+/// active core cannot meet T even at maximum speed.
+[[nodiscard]] bool assign_slowest_modes(const spg::Spg& g, const cmp::Platform& p,
+                                        double T, Mapping& m);
+
+/// True iff the cluster quotient graph induced by `core_of` is acyclic.
+[[nodiscard]] bool quotient_acyclic(const spg::Spg& g, const std::vector<int>& core_of);
+
+/// Convexity test for one candidate cluster: false when some path between
+/// two cluster members leaves the cluster (necessary condition for any
+/// DAG-partition containing this cluster; cheap pre-filter for DP
+/// heuristics).  `closure` must come from g.transitive_closure().
+[[nodiscard]] bool cluster_convex(const spg::Spg& g,
+                                  const std::vector<util::DynBitset>& closure,
+                                  const util::DynBitset& cluster);
+
+}  // namespace spgcmp::mapping

@@ -1,0 +1,285 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace spgcmp::sim {
+
+namespace {
+
+/// Job kinds: one compute job per active core, one transfer job per
+/// (edge, hop).  Jobs are topologically ordered per data set.
+struct Job {
+  enum class Kind { Compute, Transfer } kind;
+  double duration = 0.0;
+  int resource = 0;                 ///< dense resource index
+  std::vector<std::size_t> deps;    ///< indices of prerequisite jobs
+  bool needs_arrival = false;       ///< compute job of the source cluster
+};
+
+/// The per-data-set job DAG plus resource bookkeeping.
+struct JobGraph {
+  std::vector<Job> jobs;
+  std::vector<std::size_t> topo;     ///< job indices in topological order
+  std::size_t sink_job = 0;
+  std::size_t resource_count = 0;
+  std::vector<double> resource_busy; ///< sum of durations per resource
+};
+
+JobGraph build_jobs(const spg::Spg& g, const cmp::Platform& p,
+                    const mapping::Mapping& m) {
+  const cmp::Grid& grid = p.grid;
+  JobGraph jg;
+
+  // Dense resource ids: cores first, then links.
+  const auto core_resource = [&](int core) { return core; };
+  const auto link_resource = [&](int link) { return grid.core_count() + link; };
+  jg.resource_count =
+      static_cast<std::size_t>(grid.core_count() + grid.link_count());
+
+  std::map<int, std::size_t> compute_job_of_core;
+  std::vector<double> core_work(static_cast<std::size_t>(grid.core_count()), 0.0);
+  std::vector<char> core_used(static_cast<std::size_t>(grid.core_count()), 0);
+  for (spg::StageId i = 0; i < g.size(); ++i) {
+    core_work[static_cast<std::size_t>(m.core_of[i])] += g.stage(i).work;
+    core_used[static_cast<std::size_t>(m.core_of[i])] = 1;
+  }
+  for (int c = 0; c < grid.core_count(); ++c) {
+    if (!core_used[static_cast<std::size_t>(c)]) continue;
+    Job j;
+    j.kind = Job::Kind::Compute;
+    const std::size_t mode = m.mode_of_core[static_cast<std::size_t>(c)];
+    j.duration = core_work[static_cast<std::size_t>(c)] / p.speeds.speed(mode);
+    j.resource = core_resource(c);
+    compute_job_of_core.emplace(c, jg.jobs.size());
+    jg.jobs.push_back(std::move(j));
+  }
+  jg.jobs[compute_job_of_core.at(m.core_of[g.source()])].needs_arrival = true;
+  jg.sink_job = compute_job_of_core.at(m.core_of[g.sink()]);
+
+  for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    const auto& path = m.edge_paths[e];
+    if (path.empty()) continue;
+    std::size_t prev = compute_job_of_core.at(m.core_of[edge.src]);
+    for (const auto& link : path) {
+      Job j;
+      j.kind = Job::Kind::Transfer;
+      j.duration = edge.bytes / grid.bandwidth();
+      j.resource = link_resource(grid.link_index(link));
+      j.deps.push_back(prev);
+      prev = jg.jobs.size();
+      jg.jobs.push_back(std::move(j));
+    }
+    jg.jobs[compute_job_of_core.at(m.core_of[edge.dst])].deps.push_back(prev);
+  }
+
+  // Topological order (throws on quotient cycles).
+  const std::size_t J = jg.jobs.size();
+  std::vector<std::size_t> indeg(J, 0);
+  std::vector<std::vector<std::size_t>> out(J);
+  for (std::size_t j = 0; j < J; ++j) {
+    for (std::size_t d : jg.jobs[j].deps) {
+      out[d].push_back(j);
+      ++indeg[j];
+    }
+  }
+  std::vector<std::size_t> ready;
+  for (std::size_t j = 0; j < J; ++j) {
+    if (indeg[j] == 0) ready.push_back(j);
+  }
+  while (!ready.empty()) {
+    const std::size_t j = ready.back();
+    ready.pop_back();
+    jg.topo.push_back(j);
+    for (std::size_t k : out[j]) {
+      if (--indeg[k] == 0) ready.push_back(k);
+    }
+  }
+  if (jg.topo.size() != J) {
+    throw std::invalid_argument("simulate: job graph has a cycle");
+  }
+
+  jg.resource_busy.assign(jg.resource_count, 0.0);
+  for (const auto& j : jg.jobs) {
+    jg.resource_busy[static_cast<std::size_t>(j.resource)] += j.duration;
+  }
+  return jg;
+}
+
+/// Shared steady-state statistics over the completion series.
+SimResult stats_from_completions(const std::vector<double>& completions,
+                                 const SimConfig& cfg) {
+  SimResult res;
+  res.datasets = completions.size();
+  if (!completions.empty()) res.first_completion = completions.front();
+  const std::size_t w =
+      std::min(cfg.warmup, completions.size() > 1 ? completions.size() - 1 : 0);
+  double sum_gap = 0.0, max_gap = 0.0, sum_lat = 0.0;
+  std::size_t gaps = 0;
+  for (std::size_t t = w + 1; t < completions.size(); ++t) {
+    const double gap = completions[t] - completions[t - 1];
+    sum_gap += gap;
+    max_gap = std::max(max_gap, gap);
+    ++gaps;
+  }
+  for (std::size_t t = w; t < completions.size(); ++t) {
+    sum_lat += completions[t] - cfg.arrival_period * static_cast<double>(t);
+  }
+  res.steady_period = gaps > 0 ? sum_gap / static_cast<double>(gaps) : 0.0;
+  res.max_period = max_gap;
+  res.mean_latency = completions.size() > w
+                         ? sum_lat / static_cast<double>(completions.size() - w)
+                         : 0.0;
+  return res;
+}
+
+SimResult run_fifo(const JobGraph& jg, const SimConfig& cfg) {
+  const std::size_t J = jg.jobs.size();
+  std::vector<double> resource_free(jg.resource_count, 0.0);
+  std::vector<double> end(J, 0.0);
+  std::vector<double> completions;
+  completions.reserve(cfg.datasets);
+
+  for (std::size_t t = 0; t < cfg.datasets; ++t) {
+    const double arrival = cfg.arrival_period * static_cast<double>(t);
+    for (const std::size_t j : jg.topo) {
+      const Job& job = jg.jobs[j];
+      double start = job.needs_arrival ? arrival : 0.0;
+      for (std::size_t d : job.deps) start = std::max(start, end[d]);
+      double& free = resource_free[static_cast<std::size_t>(job.resource)];
+      start = std::max(start, free);
+      end[j] = start + job.duration;
+      free = end[j];
+    }
+    completions.push_back(end[jg.sink_job]);
+  }
+  return stats_from_completions(completions, cfg);
+}
+
+/// Circular reservation table for one resource under period P.
+/// Intervals are stored as non-wrapping [s, e) segments within [0, P).
+class ReservationTable {
+ public:
+  explicit ReservationTable(double period) : period_(period) {}
+
+  /// Earliest start >= ready whose [start, start+dur) is free modulo P.
+  double place(double ready, double dur) {
+    if (dur <= 0.0) return ready;
+    double t = ready;
+    // Each failed probe jumps past a reserved segment; with total busy
+    // <= P the search terminates within two wraps.
+    for (int guard = 0; guard < 4 * static_cast<int>(segments_.size()) + 8;
+         ++guard) {
+      const double advance = collision_advance(t, dur);
+      if (advance <= 0.0) {
+        reserve(t, dur);
+        return t;
+      }
+      t += advance;
+    }
+    throw std::logic_error("ReservationTable: no slot found (overloaded?)");
+  }
+
+  /// Total reserved time (for overlap auditing).
+  [[nodiscard]] double reserved() const {
+    double s = 0;
+    for (const auto& [a, b] : segments_) s += b - a;
+    return s;
+  }
+
+ private:
+  // Returns 0 when [t, t+dur) mod P is free; otherwise a positive advance
+  // past the first colliding segment.
+  double collision_advance(double t, double dur) const {
+    const double eps = period_ * 1e-12;
+    const double a0 = std::fmod(t, period_);
+    // Query pieces in [0, P).
+    const bool wraps = a0 + dur > period_ + eps;
+    const double q1s = a0, q1e = wraps ? period_ : a0 + dur;
+    const double q2s = 0.0, q2e = wraps ? a0 + dur - period_ : 0.0;
+    for (const auto& [s, e] : segments_) {
+      if (q1s < e - eps && s < q1e - eps) {
+        return (e - a0) > eps ? (e - a0) : eps;  // push past this segment
+      }
+      if (wraps && q2s < e - eps && s < q2e - eps) {
+        // Colliding in the wrapped head: push so a0 reaches e (next wrap).
+        return e + (period_ - a0) > eps ? e + (period_ - a0) : eps;
+      }
+    }
+    return 0.0;
+  }
+
+  void reserve(double t, double dur) {
+    const double a0 = std::fmod(t, period_);
+    if (a0 + dur <= period_ * (1 + 1e-12)) {
+      segments_.emplace_back(a0, std::min(a0 + dur, period_));
+    } else {
+      segments_.emplace_back(a0, period_);
+      segments_.emplace_back(0.0, a0 + dur - period_);
+    }
+  }
+
+  double period_;
+  std::vector<std::pair<double, double>> segments_;
+};
+
+SimResult run_periodic(const JobGraph& jg, const SimConfig& cfg) {
+  // P = max(arrival period, bottleneck busy time).
+  double busy_max = 0.0;
+  for (double b : jg.resource_busy) busy_max = std::max(busy_max, b);
+  const double P = std::max(cfg.arrival_period, busy_max);
+
+  const std::size_t J = jg.jobs.size();
+  std::vector<double> offset_end(J, 0.0);
+  if (P <= 0.0) {
+    // Degenerate: no resource time at all; pure dependency chain.
+    for (const std::size_t j : jg.topo) {
+      double start = 0.0;
+      for (std::size_t d : jg.jobs[j].deps) {
+        start = std::max(start, offset_end[d]);
+      }
+      offset_end[j] = start + jg.jobs[j].duration;
+    }
+  } else {
+    std::vector<ReservationTable> tables(jg.resource_count, ReservationTable(P));
+    for (const std::size_t j : jg.topo) {
+      const Job& job = jg.jobs[j];
+      double ready = 0.0;
+      for (std::size_t d : job.deps) ready = std::max(ready, offset_end[d]);
+      const double start =
+          tables[static_cast<std::size_t>(job.resource)].place(ready, job.duration);
+      offset_end[j] = start + job.duration;
+    }
+  }
+
+  // Data set t completes at offset_end[sink] + t * P exactly.
+  std::vector<double> completions;
+  completions.reserve(cfg.datasets);
+  for (std::size_t t = 0; t < cfg.datasets; ++t) {
+    completions.push_back(offset_end[jg.sink_job] + P * static_cast<double>(t));
+  }
+  return stats_from_completions(completions, cfg);
+}
+
+}  // namespace
+
+SimResult simulate(const spg::Spg& g, const cmp::Platform& p,
+                   const mapping::Mapping& m, const SimConfig& cfg) {
+  // Validate structure first; reuse the evaluator with an infinite period so
+  // only structural errors can reject.
+  {
+    const auto ev = mapping::evaluate(g, p, m, 1e30);
+    if (!ev.error.empty()) {
+      throw std::invalid_argument("simulate: invalid mapping: " + ev.error);
+    }
+  }
+  const JobGraph jg = build_jobs(g, p, m);
+  return cfg.policy == Policy::FifoPerDataset ? run_fifo(jg, cfg)
+                                              : run_periodic(jg, cfg);
+}
+
+}  // namespace spgcmp::sim

@@ -1,0 +1,101 @@
+#include "spg/compose.hpp"
+
+#include <stdexcept>
+
+namespace spgcmp::spg {
+
+Spg two_node(double w_src, double w_dst, double bytes) {
+  std::vector<Stage> stages(2);
+  stages[0] = Stage{w_src, 1, 1, ""};
+  stages[1] = Stage{w_dst, 2, 1, ""};
+  return Spg(std::move(stages), {Edge{0, 1, bytes}});
+}
+
+Spg chain(std::size_t n, double work, double bytes) {
+  if (n < 2) throw std::invalid_argument("chain: need at least 2 stages");
+  std::vector<Stage> stages(n);
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    stages[i] = Stage{work, static_cast<int>(i) + 1, 1, ""};
+    if (i + 1 < n) edges.push_back(Edge{i, i + 1, bytes});
+  }
+  return Spg(std::move(stages), std::move(edges));
+}
+
+Spg series(const Spg& a, const Spg& b) {
+  const StageId a_sink = a.sink();
+  const StageId b_src = b.source();
+  const int shift = a.stage(a_sink).x - 1;
+
+  std::vector<Stage> stages = a.stages();
+  // Merge: b's source folds into a's sink (works add).
+  stages[a_sink].work += b.stage(b_src).work;
+
+  // Map b's stage ids into the new graph.
+  std::vector<StageId> remap(b.size());
+  for (StageId j = 0; j < b.size(); ++j) {
+    if (j == b_src) {
+      remap[j] = a_sink;
+      continue;
+    }
+    Stage s = b.stage(j);
+    s.x += shift;
+    remap[j] = stages.size();
+    stages.push_back(s);
+  }
+
+  std::vector<Edge> edges = a.edges();
+  for (const auto& e : b.edges()) {
+    edges.push_back(Edge{remap[e.src], remap[e.dst], e.bytes});
+  }
+  return Spg(std::move(stages), std::move(edges));
+}
+
+Spg parallel(const Spg& a, const Spg& b) {
+  // The operand with the longest path keeps its labels (paper rule:
+  // x_sink(first) >= x_sink(second)).
+  const Spg& first = (a.stage(a.sink()).x >= b.stage(b.sink()).x) ? a : b;
+  const Spg& second = (&first == &a) ? b : a;
+
+  const StageId f_src = first.source(), f_sink = first.sink();
+  const StageId s_src = second.source(), s_sink = second.sink();
+  const int y_shift = first.ymax();
+
+  std::vector<Stage> stages = first.stages();
+  stages[f_src].work += second.stage(s_src).work;
+  stages[f_sink].work += second.stage(s_sink).work;
+
+  std::vector<StageId> remap(second.size());
+  for (StageId j = 0; j < second.size(); ++j) {
+    if (j == s_src) {
+      remap[j] = f_src;
+      continue;
+    }
+    if (j == s_sink) {
+      remap[j] = f_sink;
+      continue;
+    }
+    Stage s = second.stage(j);
+    s.y += y_shift;
+    remap[j] = stages.size();
+    stages.push_back(s);
+  }
+
+  std::vector<Edge> edges = first.edges();
+  for (const auto& e : second.edges()) {
+    edges.push_back(Edge{remap[e.src], remap[e.dst], e.bytes});
+  }
+  return Spg(std::move(stages), std::move(edges));
+}
+
+Spg parallel_all(const std::vector<Spg>& branches) {
+  if (branches.size() < 2) {
+    throw std::invalid_argument("parallel_all: need at least 2 branches");
+  }
+  Spg acc = branches.front();
+  for (std::size_t i = 1; i < branches.size(); ++i) acc = parallel(acc, branches[i]);
+  return acc;
+}
+
+}  // namespace spgcmp::spg

@@ -1,0 +1,37 @@
+#pragma once
+
+// SPG composition builders implementing the labeling rules of Section 3.1.
+//
+// The smallest SPG is two nodes joined by one edge.  `series` merges the
+// sink of the first operand with the source of the second; `parallel`
+// merges both sources and both sinks.  Labels are updated exactly as in the
+// paper: series shifts the second operand's x by x_sink(first) - 1;
+// parallel keeps the operand with the longest path first and shifts the
+// second operand's inner y by ymax(first).
+//
+// When two nodes merge, their works are summed and their edges are
+// re-targeted at the merged node.  Generators typically assign weights
+// after the structure is complete, so the summing rule only matters for
+// hand-built graphs (and is covered by unit tests).
+
+#include "spg/spg.hpp"
+
+namespace spgcmp::spg {
+
+/// Two stages connected by one edge: labels (1,1) -> (2,1).
+[[nodiscard]] Spg two_node(double w_src = 1.0, double w_dst = 1.0, double bytes = 1.0);
+
+/// Linear chain of `n >= 2` stages with the given uniform work/volume.
+[[nodiscard]] Spg chain(std::size_t n, double work = 1.0, double bytes = 1.0);
+
+/// Series composition: sink(a) merged with source(b).
+[[nodiscard]] Spg series(const Spg& a, const Spg& b);
+
+/// Parallel composition: sources merged, sinks merged.  Operands are
+/// reordered internally so the longer-path SPG provides the outer labels.
+[[nodiscard]] Spg parallel(const Spg& a, const Spg& b);
+
+/// Fold a list of branches into one parallel block (2+ branches).
+[[nodiscard]] Spg parallel_all(const std::vector<Spg>& branches);
+
+}  // namespace spgcmp::spg

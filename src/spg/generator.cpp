@@ -1,0 +1,126 @@
+#include "spg/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "spg/compose.hpp"
+
+namespace spgcmp::spg {
+
+namespace {
+
+/// Structure-only recursive builder; weights are assigned afterwards.
+Spg build(std::size_t n, int y, util::Rng& rng, const GeneratorConfig& cfg) {
+  if (y == 1) return chain(n);
+
+  // A series split keeps elevation y on one side; a parallel split divides
+  // the elevation budget y = y1 + y2 across two branches.
+  const std::size_t min_y = min_stages_for_elevation(y);
+  const bool series_possible = n >= min_y + 1;  // other side needs >= 2, shares 1
+  // Parallel always possible when (n, y) itself is feasible and y >= 2.
+  // High-elevation graphs lean toward parallel splits: free recursive
+  // composition (the paper's generator) only reaches large elevations by
+  // stacking parallel blocks, so those buckets are dominated by compact
+  // fork-join-like shapes rather than long chains with a thin tall block.
+  const double series_bias = cfg.series_bias / (1.0 + 0.20 * (y - 1));
+  const bool do_series = series_possible && rng.bernoulli(series_bias);
+
+  if (do_series) {
+    // n = n1 + n2 - 1; the elevated part needs min_y stages, the other >= 2.
+    // Pick which side carries the full elevation.
+    const bool left_tall = rng.bernoulli(0.5);
+    const std::size_t tall_min = min_y;
+    const std::size_t flat_min = 2;
+    const std::size_t budget = n + 1;  // n1 + n2
+    const std::size_t tall_lo = tall_min;
+    const std::size_t tall_hi = budget - flat_min;
+    const std::size_t tall_n =
+        static_cast<std::size_t>(rng.uniform_int(static_cast<std::int64_t>(tall_lo),
+                                                 static_cast<std::int64_t>(tall_hi)));
+    const std::size_t flat_n = budget - tall_n;
+    // The flat side gets a random (feasible) elevation strictly handled by
+    // recursion: keep it simple and let it be elevation min(y, whatever a
+    // random sub-elevation gives); to preserve ymax exactness the flat side
+    // elevation must be <= y, and the tall side is exactly y.
+    int flat_y = 1;
+    if (flat_n >= 4 && y >= 2) {
+      const int flat_y_max =
+          std::min<int>(y, static_cast<int>(flat_n) - 2);
+      flat_y = static_cast<int>(rng.uniform_int(1, flat_y_max));
+    }
+    const Spg tall = build(tall_n, y, rng, cfg);
+    const Spg flat = build(flat_n, flat_y, rng, cfg);
+    return left_tall ? series(tall, flat) : series(flat, tall);
+  }
+
+  // Parallel split: y = y1 + y2 with both parts feasible.  A branch adds
+  // elevation only through its *inner* nodes, so an elevation-1 branch must
+  // be a chain of at least 3 stages (a bare edge contributes nothing).
+  const auto branch_min = [](int yb) {
+    return yb == 1 ? std::size_t{3} : static_cast<std::size_t>(yb) + 2;
+  };
+  // n = n1 + n2 - 2.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const int y1 = static_cast<int>(rng.uniform_int(1, y - 1));
+    const int y2 = y - y1;
+    const std::size_t m1 = branch_min(y1);
+    const std::size_t m2 = branch_min(y2);
+    if (m1 + m2 - 2 > n) continue;
+    const std::size_t n1_lo = m1;
+    const std::size_t n1_hi = n + 2 - m2;
+    const std::size_t n1 = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(n1_lo), static_cast<std::int64_t>(n1_hi)));
+    const std::size_t n2 = n + 2 - n1;
+    const Spg b1 = build(n1, y1, rng, cfg);
+    const Spg b2 = build(n2, y2, rng, cfg);
+    return parallel(b1, b2);
+  }
+  // Deterministic fallback: balanced split (always feasible at this point:
+  // min_stages_for_elevation(y) = y + 2 = branch_min(y1) + branch_min(y2) - 2
+  // for every split of y into y1 + y2).
+  const int y1 = std::max(1, y / 2);
+  const int y2 = y - y1;
+  const std::size_t m1 = branch_min(y1);
+  const std::size_t m2 = branch_min(y2);
+  std::size_t n1 = std::max(m1, (n + 2) / 2);
+  n1 = std::min(n1, n + 2 - m2);
+  return parallel(build(n1, y1, rng, cfg), build(n + 2 - n1, y2, rng, cfg));
+}
+
+}  // namespace
+
+std::size_t min_stages_for_elevation(int ymax) {
+  if (ymax < 1) throw std::invalid_argument("elevation must be >= 1");
+  return ymax == 1 ? 2 : static_cast<std::size_t>(ymax) + 2;
+}
+
+Spg random_spg(std::size_t n, int ymax, util::Rng& rng, const GeneratorConfig& cfg) {
+  if (n < min_stages_for_elevation(ymax)) {
+    throw std::invalid_argument("random_spg: infeasible (n, ymax)");
+  }
+  Spg g = build(n, ymax, rng, cfg);
+  randomize_weights(g, rng, cfg);
+  return g;
+}
+
+Spg random_spg_free(std::size_t n, util::Rng& rng, const GeneratorConfig& cfg) {
+  if (n < 2) throw std::invalid_argument("random_spg_free: need n >= 2");
+  // Choose a feasible elevation with geometric-ish bias toward low values,
+  // then delegate: this matches "recursively applying series and parallel
+  // compositions" while keeping the elevation distribution broad.
+  int y = 1;
+  const int y_cap = n >= 4 ? static_cast<int>(n) - 2 : 1;
+  while (y < y_cap && rng.bernoulli(0.5)) ++y;
+  return random_spg(n, y, rng, cfg);
+}
+
+void randomize_weights(Spg& g, util::Rng& rng, const GeneratorConfig& cfg) {
+  for (StageId i = 0; i < g.size(); ++i) {
+    g.set_work(i, rng.uniform_real(cfg.work_lo, cfg.work_hi));
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    g.set_bytes(e, rng.uniform_real(0.5, 1.5));
+  }
+}
+
+}  // namespace spgcmp::spg

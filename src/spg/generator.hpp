@@ -1,0 +1,49 @@
+#pragma once
+
+// Random SPG generation (Section 6.1.1, "Randomly generated").
+//
+// The paper sweeps random SPGs by size and *elevation*; its figures plot
+// heuristic quality against ymax.  We therefore generate graphs with an
+// exact (n, ymax) target by recursive composition:
+//   - elevation 1  -> a chain of n stages;
+//   - elevation y  -> either a series of two sub-SPGs (one of which keeps
+//     elevation y) or a parallel block splitting the elevation budget.
+// Feasibility: a graph of elevation y >= 2 needs at least y + 2 stages
+// (y parallel branches of one inner stage each plus source and sink).
+//
+// Weights: stage works are uniform in [work_lo, work_hi] cycles; edge
+// volumes start uniform in [0.5, 1.5] and are rescaled to the requested
+// computation-to-communication ratio (CCR = sum w / sum delta).
+
+#include <cstddef>
+
+#include "spg/spg.hpp"
+#include "util/rng.hpp"
+
+namespace spgcmp::spg {
+
+struct GeneratorConfig {
+  double work_lo = 1e6;        ///< min stage work (cycles)
+  double work_hi = 1e8;        ///< max stage work (cycles)
+  double series_bias = 0.55;   ///< probability of a series split when both legal
+};
+
+/// Minimum number of stages of any SPG with the given elevation.
+[[nodiscard]] std::size_t min_stages_for_elevation(int ymax);
+
+/// Random SPG with exactly n stages and elevation exactly ymax.
+/// Throws std::invalid_argument on infeasible (n, ymax).
+/// The result has randomized works and raw edge volumes; call
+/// `Spg::rescale_ccr` to pin the CCR.
+[[nodiscard]] Spg random_spg(std::size_t n, int ymax, util::Rng& rng,
+                             const GeneratorConfig& config = {});
+
+/// Random SPG with exactly n stages and unconstrained elevation (recursive
+/// unbiased series/parallel splits, as in the paper's setup text).
+[[nodiscard]] Spg random_spg_free(std::size_t n, util::Rng& rng,
+                                  const GeneratorConfig& config = {});
+
+/// Assign fresh uniform works/volumes to an existing structure.
+void randomize_weights(Spg& g, util::Rng& rng, const GeneratorConfig& config = {});
+
+}  // namespace spgcmp::spg

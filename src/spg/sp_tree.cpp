@@ -1,0 +1,186 @@
+#include "spg/sp_tree.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/bitset.hpp"
+
+namespace spgcmp::spg {
+
+namespace {
+
+/// Mutable multigraph edge during reduction.
+struct RedEdge {
+  StageId src, dst;
+  int tree;
+  bool alive = true;
+};
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b, std::uint64_t cap) {
+  const std::uint64_t s = a + b;
+  return (s < a || s > cap) ? cap + 1 : s;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b, std::uint64_t cap) {
+  if (a == 0 || b == 0) return 0;
+  if (a > cap / b) return cap + 1;
+  const std::uint64_t m = a * b;
+  return m > cap ? cap + 1 : m;
+}
+
+/// Enumeration fallback for non-SP DAGs: BFS over ideals with a hash set,
+/// capped.  Returns cap + 1 when the count exceeds the cap.
+std::uint64_t ideal_count_enumerated(const Spg& g, std::uint64_t cap) {
+  using util::DynBitset;
+  const std::size_t n = g.size();
+  std::unordered_map<DynBitset, char, util::DynBitsetHash> seen;
+  std::vector<DynBitset> frontier{DynBitset(n)};
+  seen.emplace(frontier.front(), 1);
+  while (!frontier.empty()) {
+    const DynBitset G = frontier.back();
+    frontier.pop_back();
+    for (StageId j = 0; j < n; ++j) {
+      if (G.test(j)) continue;
+      bool ready = true;
+      for (EdgeId e : g.in_edges(j)) {
+        if (!G.test(g.edge(e).src)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      DynBitset G2 = G;
+      G2.set(j);
+      if (seen.emplace(G2, 1).second) {
+        if (seen.size() > cap) return cap + 1;
+        frontier.push_back(std::move(G2));
+      }
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace
+
+std::optional<SpTree> SpTree::decompose(const Spg& g) {
+  if (g.size() < 2 || g.edge_count() == 0) return std::nullopt;
+  SpTree tree;
+  std::vector<RedEdge> edges;
+  edges.reserve(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    tree.nodes_.push_back(SpTreeNode{SpTreeNode::Kind::Leaf, e, -1, -1});
+    edges.push_back(RedEdge{g.edge(e).src, g.edge(e).dst,
+                            static_cast<int>(tree.nodes_.size()) - 1, true});
+  }
+  const StageId src = g.source();
+  const StageId snk = g.sink();
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Parallel reductions: merge every group of alive edges sharing
+    // endpoints.
+    std::map<std::pair<StageId, StageId>, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (edges[i].alive) groups[{edges[i].src, edges[i].dst}].push_back(i);
+    }
+    for (auto& [key, ids] : groups) {
+      while (ids.size() >= 2) {
+        const std::size_t a = ids[ids.size() - 2];
+        const std::size_t b = ids.back();
+        ids.pop_back();
+        tree.nodes_.push_back(SpTreeNode{SpTreeNode::Kind::Parallel, 0,
+                                         edges[a].tree, edges[b].tree});
+        ++tree.parallel_;
+        edges[a].tree = static_cast<int>(tree.nodes_.size()) - 1;
+        edges[b].alive = false;
+        changed = true;
+      }
+    }
+
+    // Series reductions: internal vertex with exactly one alive in-edge and
+    // one alive out-edge.
+    std::vector<int> indeg(g.size(), 0), outdeg(g.size(), 0);
+    std::vector<int> in_edge(g.size(), -1), out_edge(g.size(), -1);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (!edges[i].alive) continue;
+      ++outdeg[edges[i].src];
+      ++indeg[edges[i].dst];
+      out_edge[edges[i].src] = static_cast<int>(i);
+      in_edge[edges[i].dst] = static_cast<int>(i);
+    }
+    for (StageId v = 0; v < g.size(); ++v) {
+      if (v == src || v == snk) continue;
+      if (indeg[v] != 1 || outdeg[v] != 1) continue;
+      auto& e1 = edges[static_cast<std::size_t>(in_edge[v])];
+      auto& e2 = edges[static_cast<std::size_t>(out_edge[v])];
+      if (!e1.alive || !e2.alive) continue;  // may have just been reduced
+      if (e1.src == e2.dst) continue;        // would create a self-loop
+      tree.nodes_.push_back(
+          SpTreeNode{SpTreeNode::Kind::Series, 0, e1.tree, e2.tree});
+      ++tree.series_;
+      e1.dst = e2.dst;
+      e1.tree = static_cast<int>(tree.nodes_.size()) - 1;
+      e2.alive = false;
+      changed = true;
+      // Degrees are stale now; restart the scan on the next outer pass.
+      break;
+    }
+  }
+
+  // Success iff exactly one alive edge from source to sink remains.
+  int remaining = -1;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!edges[i].alive) continue;
+    if (remaining != -1) return std::nullopt;
+    remaining = static_cast<int>(i);
+  }
+  if (remaining == -1) return std::nullopt;
+  if (edges[static_cast<std::size_t>(remaining)].src != src ||
+      edges[static_cast<std::size_t>(remaining)].dst != snk) {
+    return std::nullopt;
+  }
+  tree.root_ = edges[static_cast<std::size_t>(remaining)].tree;
+  return tree;
+}
+
+std::size_t SpTree::depth() const {
+  std::vector<std::size_t> d(nodes_.size(), 1);
+  // Children always precede parents in nodes_ (construction order).
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& nd = nodes_[i];
+    if (nd.kind == SpTreeNode::Kind::Leaf) continue;
+    d[i] = 1 + std::max(d[static_cast<std::size_t>(nd.left)],
+                        d[static_cast<std::size_t>(nd.right)]);
+  }
+  return root_ >= 0 ? d[static_cast<std::size_t>(root_)] : 0;
+}
+
+std::uint64_t SpTree::ideal_count(std::uint64_t cap) const {
+  // g(X): inner-stage ideal count given "source in, sink out"; see header.
+  std::vector<std::uint64_t> g_of(nodes_.size(), 1);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& nd = nodes_[i];
+    if (nd.kind == SpTreeNode::Kind::Leaf) {
+      g_of[i] = 1;
+    } else if (nd.kind == SpTreeNode::Kind::Series) {
+      g_of[i] = sat_add(g_of[static_cast<std::size_t>(nd.left)],
+                        g_of[static_cast<std::size_t>(nd.right)], cap);
+    } else {
+      g_of[i] = sat_mul(g_of[static_cast<std::size_t>(nd.left)],
+                        g_of[static_cast<std::size_t>(nd.right)], cap);
+    }
+  }
+  return sat_add(g_of[static_cast<std::size_t>(root_)], 2, cap);
+}
+
+bool is_series_parallel(const Spg& g) { return SpTree::decompose(g).has_value(); }
+
+std::uint64_t ideal_count(const Spg& g, std::uint64_t cap) {
+  if (const auto tree = SpTree::decompose(g)) return tree->ideal_count(cap);
+  return ideal_count_enumerated(g, cap);
+}
+
+}  // namespace spgcmp::spg

@@ -1,0 +1,73 @@
+#pragma once
+
+// Series-parallel decomposition trees.
+//
+// Recovers the (edge-)series-parallel structure of an SPG by the classic
+// reduction algorithm: repeatedly merge parallel edges (same endpoints)
+// and series vertices (in-degree = out-degree = 1).  A graph is a
+// two-terminal SP DAG iff the reductions collapse it to a single
+// source->sink edge; the reduction history is the decomposition tree.
+//
+// The tree powers exact combinatorial queries that would otherwise need
+// enumeration.  The one used by the heuristics is the *ideal count* of the
+// stage poset — the number of admissible subgraphs that DPA1D's dynamic
+// program (Theorem 1) has to visit, which grows like n^ymax.  On the tree
+// it satisfies a simple recurrence over inner stages (s in the ideal, t
+// not): g(leaf edge) = 1, g(series) = g(A) + g(B), g(parallel) =
+// g(A) * g(B); the full poset then has g(root) + 2 ideals.  With saturating
+// arithmetic this yields an O(n + m) feasibility oracle for DPA1D's state
+// budget.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "spg/spg.hpp"
+
+namespace spgcmp::spg {
+
+/// One node of the decomposition tree (indices into SpTree::nodes).
+struct SpTreeNode {
+  enum class Kind { Leaf, Series, Parallel } kind = Kind::Leaf;
+  /// For leaves: the SPG edge id.  For composites: unused.
+  EdgeId edge = 0;
+  int left = -1;
+  int right = -1;
+};
+
+/// A binary series-parallel decomposition tree of an SPG.
+class SpTree {
+ public:
+  /// Decompose `g`; nullopt when the graph is not two-terminal
+  /// series-parallel (e.g. a hand-built "N" DAG).
+  [[nodiscard]] static std::optional<SpTree> decompose(const Spg& g);
+
+  [[nodiscard]] const std::vector<SpTreeNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] int root() const noexcept { return root_; }
+
+  /// Counts of composite kinds (structure statistics).
+  [[nodiscard]] std::size_t series_count() const noexcept { return series_; }
+  [[nodiscard]] std::size_t parallel_count() const noexcept { return parallel_; }
+  [[nodiscard]] std::size_t depth() const;
+
+  /// Number of order ideals (admissible subgraphs) of the stage poset,
+  /// saturated at `cap` (returns cap + 1 when the true count exceeds it).
+  [[nodiscard]] std::uint64_t ideal_count(std::uint64_t cap) const;
+
+ private:
+  std::vector<SpTreeNode> nodes_;
+  int root_ = -1;
+  std::size_t series_ = 0;
+  std::size_t parallel_ = 0;
+};
+
+/// Convenience: true when `g` is a two-terminal series-parallel DAG.
+[[nodiscard]] bool is_series_parallel(const Spg& g);
+
+/// Ideal count of the stage poset, saturated at `cap`; falls back to
+/// explicit enumeration when the graph is not SP-decomposable.
+[[nodiscard]] std::uint64_t ideal_count(const Spg& g, std::uint64_t cap);
+
+}  // namespace spgcmp::spg

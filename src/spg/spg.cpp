@@ -1,0 +1,245 @@
+#include "spg/spg.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace spgcmp::spg {
+
+Spg::Spg(std::vector<Stage> stages, std::vector<Edge> edges)
+    : stages_(std::move(stages)), edges_(std::move(edges)) {
+  build_adjacency();
+}
+
+void Spg::build_adjacency() {
+  out_.assign(stages_.size(), {});
+  in_.assign(stages_.size(), {});
+  for (EdgeId e = 0; e < edges_.size(); ++e) {
+    assert(edges_[e].src < stages_.size() && edges_[e].dst < stages_.size());
+    out_[edges_[e].src].push_back(e);
+    in_[edges_[e].dst].push_back(e);
+  }
+}
+
+StageId Spg::source() const {
+  assert(!stages_.empty());
+  for (StageId i = 0; i < size(); ++i) {
+    if (in_[i].empty()) return i;
+  }
+  throw std::logic_error("Spg::source: no source stage");
+}
+
+StageId Spg::sink() const {
+  assert(!stages_.empty());
+  for (StageId i = 0; i < size(); ++i) {
+    if (out_[i].empty()) return i;
+  }
+  throw std::logic_error("Spg::sink: no sink stage");
+}
+
+int Spg::ymax() const noexcept {
+  int y = 0;
+  for (const auto& s : stages_) y = std::max(y, s.y);
+  return y;
+}
+
+int Spg::xmax() const noexcept {
+  int x = 0;
+  for (const auto& s : stages_) x = std::max(x, s.x);
+  return x;
+}
+
+double Spg::total_work() const noexcept {
+  double w = 0;
+  for (const auto& s : stages_) w += s.work;
+  return w;
+}
+
+double Spg::total_bytes() const noexcept {
+  double b = 0;
+  for (const auto& e : edges_) b += e.bytes;
+  return b;
+}
+
+double Spg::ccr() const noexcept {
+  const double b = total_bytes();
+  return b > 0 ? total_work() / b : 0.0;
+}
+
+std::vector<StageId> Spg::topological_order() const {
+  std::vector<std::size_t> indeg(size());
+  for (StageId i = 0; i < size(); ++i) indeg[i] = in_[i].size();
+  std::vector<StageId> order;
+  order.reserve(size());
+  std::vector<StageId> ready;
+  for (StageId i = 0; i < size(); ++i) {
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    const StageId i = ready.back();
+    ready.pop_back();
+    order.push_back(i);
+    for (EdgeId e : out_[i]) {
+      if (--indeg[edges_[e].dst] == 0) ready.push_back(edges_[e].dst);
+    }
+  }
+  if (order.size() != size()) {
+    throw std::logic_error("Spg::topological_order: graph has a cycle");
+  }
+  return order;
+}
+
+std::vector<util::DynBitset> Spg::transitive_closure() const {
+  std::vector<util::DynBitset> reach(size(), util::DynBitset(size()));
+  const auto order = topological_order();
+  // Process in reverse topological order; reach[i] = union of {j} + reach[j]
+  // over successors j.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const StageId i = *it;
+    for (EdgeId e : out_[i]) {
+      const StageId j = edges_[e].dst;
+      reach[i].set(j);
+      reach[i] |= reach[j];
+    }
+  }
+  return reach;
+}
+
+void Spg::rescale_ccr(double target) {
+  if (edges_.empty()) return;
+  if (target <= 0) throw std::invalid_argument("rescale_ccr: target must be > 0");
+  const double bytes = total_bytes();
+  if (bytes <= 0) throw std::logic_error("rescale_ccr: graph has zero communication");
+  const double factor = total_work() / (target * bytes);
+  for (auto& e : edges_) e.bytes *= factor;
+}
+
+std::optional<std::string> Spg::validate() const {
+  if (stages_.empty()) return "empty graph";
+  // Single source / sink.
+  std::size_t sources = 0, sinks = 0;
+  for (StageId i = 0; i < size(); ++i) {
+    sources += in_[i].empty();
+    sinks += out_[i].empty();
+  }
+  if (sources != 1) return "expected exactly one source, found " + std::to_string(sources);
+  if (sinks != 1) return "expected exactly one sink, found " + std::to_string(sinks);
+  // Edge monotonicity in x (implies acyclicity).
+  for (const auto& e : edges_) {
+    if (stages_[e.src].x >= stages_[e.dst].x) {
+      return "edge " + std::to_string(e.src) + "->" + std::to_string(e.dst) +
+             " does not increase x";
+    }
+    if (e.bytes < 0) return "negative edge volume";
+  }
+  for (const auto& s : stages_) {
+    if (s.work < 0) return "negative stage work";
+    if (s.x < 1 || s.y < 1) return "labels must be >= 1";
+  }
+  // Source/sink label conventions.
+  if (stages_[source()].x != 1 || stages_[source()].y != 1) return "source label != (1,1)";
+  if (stages_[sink()].x != xmax() || stages_[sink()].y != 1) {
+    return "sink label != (xmax,1)";
+  }
+  // Unique labels.
+  std::set<std::pair<int, int>> seen;
+  for (const auto& s : stages_) {
+    if (!seen.emplace(s.x, s.y).second) return "duplicate label";
+  }
+  // Same-y stages must be dependence-ordered (paper Section 4.1 argument).
+  const auto reach = transitive_closure();
+  std::map<int, std::vector<StageId>> by_y;
+  for (StageId i = 0; i < size(); ++i) by_y[stages_[i].y].push_back(i);
+  for (const auto& [y, ids] : by_y) {
+    for (std::size_t a = 0; a < ids.size(); ++a) {
+      for (std::size_t b = a + 1; b < ids.size(); ++b) {
+        if (!reach[ids[a]].test(ids[b]) && !reach[ids[b]].test(ids[a])) {
+          return "stages at same elevation are incomparable";
+        }
+      }
+    }
+  }
+  // Weak connectivity: every stage reachable from the source or reaching it.
+  {
+    std::vector<char> vis(size(), 0);
+    std::vector<StageId> stack{source()};
+    vis[source()] = 1;
+    while (!stack.empty()) {
+      const StageId i = stack.back();
+      stack.pop_back();
+      for (EdgeId e : out_[i]) {
+        if (!vis[edges_[e].dst]) {
+          vis[edges_[e].dst] = 1;
+          stack.push_back(edges_[e].dst);
+        }
+      }
+    }
+    for (StageId i = 0; i < size(); ++i) {
+      if (!vis[i]) return "stage unreachable from source";
+    }
+  }
+  return std::nullopt;
+}
+
+void Spg::serialize(std::ostream& os) const {
+  // Full round-trip precision for weights.
+  os.precision(17);
+  os << "spg " << size() << " " << edge_count() << "\n";
+  for (StageId i = 0; i < size(); ++i) {
+    const auto& s = stages_[i];
+    os << "stage " << i << " " << s.work << " " << s.x << " " << s.y << " "
+       << (s.name.empty() ? "-" : s.name) << "\n";
+  }
+  for (const auto& e : edges_) {
+    os << "edge " << e.src << " " << e.dst << " " << e.bytes << "\n";
+  }
+}
+
+Spg Spg::parse(std::istream& is) {
+  std::string tag;
+  std::size_t n = 0, m = 0;
+  if (!(is >> tag >> n >> m) || tag != "spg") {
+    throw std::runtime_error("Spg::parse: bad header");
+  }
+  std::vector<Stage> stages(n);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    StageId i;
+    Stage s;
+    if (!(is >> tag >> i >> s.work >> s.x >> s.y >> s.name) || tag != "stage" || i >= n) {
+      throw std::runtime_error("Spg::parse: bad stage line");
+    }
+    if (s.name == "-") s.name.clear();
+    stages[i] = s;
+  }
+  for (std::size_t k = 0; k < m; ++k) {
+    Edge e;
+    if (!(is >> tag >> e.src >> e.dst >> e.bytes) || tag != "edge" || e.src >= n ||
+        e.dst >= n) {
+      throw std::runtime_error("Spg::parse: bad edge line");
+    }
+    edges.push_back(e);
+  }
+  return Spg(std::move(stages), std::move(edges));
+}
+
+void Spg::to_dot(std::ostream& os) const {
+  os << "digraph spg {\n  rankdir=LR;\n";
+  for (StageId i = 0; i < size(); ++i) {
+    const auto& s = stages_[i];
+    os << "  n" << i << " [label=\"" << (s.name.empty() ? "S" + std::to_string(i) : s.name)
+       << "\\n(" << s.x << "," << s.y << ") w=" << s.work << "\"];\n";
+  }
+  for (const auto& e : edges_) {
+    os << "  n" << e.src << " -> n" << e.dst << " [label=\"" << e.bytes << "\"];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace spgcmp::spg

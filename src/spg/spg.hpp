@@ -1,0 +1,115 @@
+#pragma once
+
+// Series-parallel graph (SPG) application model — Section 3.1 of the paper.
+//
+// Stages carry a computation weight `work` (cycles per data set) and the
+// recursive (x, y) label assigned by the composition rules; edges carry a
+// communication volume `bytes` per data set.  Multi-edges are legal (the
+// parallel composition of two two-node SPGs yields two parallel edges), so
+// edges live in an explicit edge list rather than an adjacency matrix.
+//
+// Structural invariants guaranteed by the composition builders (and
+// re-checked by `validate()`):
+//   * exactly one source (label (1,1)) and one sink (label (xmax, 1));
+//   * every edge goes strictly rightward: x[src] < x[dst];
+//   * labels are unique;
+//   * two stages sharing a y coordinate are ordered by dependence.
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace spgcmp::spg {
+
+using StageId = std::size_t;
+using EdgeId = std::size_t;
+
+/// One application stage.
+struct Stage {
+  double work = 0.0;  ///< cycles per data set
+  int x = 0;          ///< column label (longest-path coordinate)
+  int y = 0;          ///< elevation label
+  std::string name;   ///< optional human-readable name
+};
+
+/// One precedence edge with its communication volume.
+struct Edge {
+  StageId src = 0;
+  StageId dst = 0;
+  double bytes = 0.0;  ///< bytes per data set
+};
+
+/// Immutable-after-build SPG.  Construct through `compose.hpp` builders or
+/// deserialization; mutate only weights (`set_work`, `set_bytes`, CCR
+/// rescaling) so the structure invariants cannot be broken downstream.
+class Spg {
+ public:
+  Spg() = default;
+
+  /// Low-level constructor used by builders/parsers; runs no validation.
+  Spg(std::vector<Stage> stages, std::vector<Edge> edges);
+
+  [[nodiscard]] std::size_t size() const noexcept { return stages_.size(); }
+  [[nodiscard]] std::size_t edge_count() const noexcept { return edges_.size(); }
+  [[nodiscard]] const Stage& stage(StageId i) const { return stages_[i]; }
+  [[nodiscard]] const Edge& edge(EdgeId e) const { return edges_[e]; }
+  [[nodiscard]] const std::vector<Stage>& stages() const noexcept { return stages_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  /// Edge ids leaving / entering a stage.
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(StageId i) const { return out_[i]; }
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(StageId i) const { return in_[i]; }
+
+  /// Unique source / sink stage (asserts the graph is nonempty).
+  [[nodiscard]] StageId source() const;
+  [[nodiscard]] StageId sink() const;
+
+  /// Maximum elevation ymax and maximum column label xmax.
+  [[nodiscard]] int ymax() const noexcept;
+  [[nodiscard]] int xmax() const noexcept;
+
+  /// Sum of stage works / edge volumes; CCR = total_work / total_bytes.
+  [[nodiscard]] double total_work() const noexcept;
+  [[nodiscard]] double total_bytes() const noexcept;
+  [[nodiscard]] double ccr() const noexcept;
+
+  /// A topological order of the stages (by construction, sorting by x works;
+  /// we run Kahn's algorithm to stay robust to hand-built graphs).
+  [[nodiscard]] std::vector<StageId> topological_order() const;
+
+  /// Transitive closure: result[i].test(j) iff a directed path i -> j exists
+  /// (i -> i excluded).  O(n * m / 64).
+  [[nodiscard]] std::vector<util::DynBitset> transitive_closure() const;
+
+  /// Weight mutation (structure stays fixed).
+  void set_work(StageId i, double work) { stages_[i].work = work; }
+  void set_bytes(EdgeId e, double bytes) { edges_[e].bytes = bytes; }
+
+  /// Scale all edge volumes so that ccr() == target (no-op on edgeless
+  /// graphs; requires every edge volume > 0).
+  void rescale_ccr(double target);
+
+  /// Full structural validation; returns an error description or nullopt.
+  [[nodiscard]] std::optional<std::string> validate() const;
+
+  /// Text serialization (round-trips through `parse`).
+  void serialize(std::ostream& os) const;
+  [[nodiscard]] static Spg parse(std::istream& is);
+
+  /// Graphviz DOT dump with labels and weights (debugging/figures).
+  void to_dot(std::ostream& os) const;
+
+ private:
+  void build_adjacency();
+
+  std::vector<Stage> stages_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+};
+
+}  // namespace spgcmp::spg

@@ -1,0 +1,80 @@
+#include "spg/streamit.hpp"
+
+#include <stdexcept>
+
+#include "spg/compose.hpp"
+#include "spg/generator.hpp"
+#include "util/rng.hpp"
+
+namespace spgcmp::spg {
+
+const std::vector<StreamItInfo>& streamit_table() {
+  static const std::vector<StreamItInfo> table = {
+      {1, "Beamformer", 57, 12, 12, 537.0},
+      {2, "ChannelVocoder", 55, 17, 8, 453.0},
+      {3, "Filterbank", 85, 16, 14, 535.0},
+      {4, "FMRadio", 43, 12, 12, 330.0},
+      {5, "Vocoder", 114, 17, 32, 38.0},
+      {6, "BitonicSort", 40, 4, 23, 6.0},
+      {7, "DCT", 8, 1, 8, 68.0},
+      {8, "DES", 53, 3, 45, 7.0},
+      {9, "FFT", 17, 1, 17, 17.0},
+      {10, "MPEG2-noparser", 23, 5, 18, 9.0},
+      {11, "Serpent", 120, 2, 111, 9.0},
+      {12, "TDE", 29, 1, 29, 12.0},
+  };
+  return table;
+}
+
+Spg make_streamit(const StreamItInfo& info, double ccr_override) {
+  Spg g;
+  if (info.ymax == 1) {
+    // Pure pipeline: Table 1 rows with ymax == 1 all satisfy n == xmax.
+    if (info.n != static_cast<std::size_t>(info.xmax)) {
+      throw std::logic_error("streamit: pipeline with n != xmax");
+    }
+    g = chain(info.n);
+  } else {
+    // prefix(2) - splitjoin(ymax branches) - suffix(2).
+    const std::size_t cmax = static_cast<std::size_t>(info.xmax) - 4;
+    const std::size_t inner_total = info.n - 4;
+    if (inner_total < cmax) throw std::logic_error("streamit: infeasible row");
+    std::size_t rest = inner_total - cmax;  // inner stages of short branches
+    const std::size_t short_branches = static_cast<std::size_t>(info.ymax) - 1;
+
+    std::vector<Spg> branches;
+    branches.reserve(short_branches + 1);
+    branches.push_back(chain(cmax + 2));  // longest branch fixes xmax
+    for (std::size_t b = 0; b < short_branches; ++b) {
+      const std::size_t remaining_branches = short_branches - b;
+      std::size_t len = (rest + remaining_branches - 1) / remaining_branches;
+      len = std::min(len, cmax);  // never longer than the main branch
+      if (len == 0) len = 1;      // a branch needs one inner stage to add elevation
+      if (len > rest) len = rest == 0 ? 1 : rest;
+      rest -= std::min(len, rest);
+      branches.push_back(chain(len + 2));
+    }
+    if (rest != 0) throw std::logic_error("streamit: stage budget not exhausted");
+
+    g = series(series(chain(2), parallel_all(branches)), chain(2));
+  }
+
+  // Deterministic per-benchmark weights, then pin the CCR.
+  util::Rng rng(0x5eed5eedULL * static_cast<std::uint64_t>(info.index + 1));
+  randomize_weights(g, rng);
+  g.rescale_ccr(ccr_override > 0 ? ccr_override : info.ccr);
+
+  if (g.size() != info.n || g.ymax() != info.ymax || g.xmax() != info.xmax) {
+    throw std::logic_error("streamit: generated graph does not match Table 1");
+  }
+  return g;
+}
+
+Spg make_streamit(int index, double ccr_override) {
+  for (const auto& info : streamit_table()) {
+    if (info.index == index) return make_streamit(info, ccr_override);
+  }
+  throw std::out_of_range("streamit index out of range (1..12)");
+}
+
+}  // namespace spgcmp::spg

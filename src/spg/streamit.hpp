@@ -1,0 +1,49 @@
+#pragma once
+
+// Synthetic StreamIt workflow suite — Table 1 of the paper.
+//
+// The paper evaluates on the 12 StreamIt benchmarks and reports, for each,
+// its size n, maximum labels ymax/xmax and computation-to-communication
+// ratio (CCR).  The original stream graphs (with per-stage weights) are not
+// part of the paper, so we *substitute* synthetic SPGs that reproduce those
+// four characteristics exactly:
+//
+//   chain(2)  -series-  splitjoin(ymax branches)  -series-  chain(2)
+//
+// where the longest branch has xmax - 4 inner stages and the remaining
+// n - (xmax - 4) - 4 inner stages are spread evenly over the other
+// branches.  Pure pipelines (ymax == 1) are plain chains.  Stage works are
+// drawn from a deterministic per-benchmark stream (U[1e6, 1e8] cycles) and
+// edge volumes are rescaled to the Table 1 CCR.  The evaluation in
+// Sections 6.2 depends on graph shape (n, ymax, xmax) and compute/
+// communication balance, both of which are preserved (verified by tests).
+
+#include <string>
+#include <vector>
+
+#include "spg/spg.hpp"
+
+namespace spgcmp::spg {
+
+/// One row of Table 1.
+struct StreamItInfo {
+  int index;         ///< 1-based index used on the figures' x axis
+  std::string name;
+  std::size_t n;     ///< number of stages
+  int ymax;          ///< maximum elevation
+  int xmax;          ///< maximum column label
+  double ccr;        ///< original computation-to-communication ratio
+};
+
+/// The 12 rows of Table 1, in paper order.
+[[nodiscard]] const std::vector<StreamItInfo>& streamit_table();
+
+/// Build the synthetic SPG for one benchmark with its original CCR.
+/// `ccr_override > 0` rescales communications to that CCR instead (the
+/// paper re-runs the suite at CCR 10, 1 and 0.1).
+[[nodiscard]] Spg make_streamit(const StreamItInfo& info, double ccr_override = 0.0);
+
+/// Convenience: benchmark by 1-based index (Table 1 numbering).
+[[nodiscard]] Spg make_streamit(int index, double ccr_override = 0.0);
+
+}  // namespace spgcmp::spg

@@ -1,0 +1,78 @@
+#include "spg/tree.hpp"
+
+#include <stdexcept>
+
+#include "spg/compose.hpp"
+
+namespace spgcmp::spg {
+
+Tree random_tree(std::size_t n, util::Rng& rng, double work_lo, double work_hi) {
+  if (n < 1) throw std::invalid_argument("random_tree: need n >= 1");
+  Tree t;
+  t.parent.resize(n);
+  t.works.resize(n);
+  t.edge_bytes.resize(n);
+  t.parent[0] = -1;
+  t.edge_bytes[0] = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t.works[i] = rng.uniform_real(work_lo, work_hi);
+    if (i > 0) {
+      t.parent[i] = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      t.edge_bytes[i] = rng.uniform_real(0.5, 1.5);
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Recursive mirror construction; see header for the shape.
+Spg sub_spg(const Tree& t, const std::vector<std::vector<std::size_t>>& children,
+            std::size_t v) {
+  const auto& kids = children[v];
+  if (kids.empty()) {
+    // Leaf: the real node followed by its zero-work mirror.
+    return two_node(t.works[v], 0.0, 0.0);
+  }
+  if (kids.size() == 1) {
+    // Single child: no fork needed; v feeds the child's sub-SPG directly.
+    return series(two_node(t.works[v], 0.0, t.edge_bytes[kids[0]]),
+                  sub_spg(t, children, kids[0]));
+  }
+  // Fork: per-branch zero-work entries keep the children distinct when the
+  // parallel composition merges branch sources; the branch sinks (mirrors)
+  // merge into the joint mirror of v.
+  std::vector<Spg> branches;
+  branches.reserve(kids.size());
+  double fanout_bytes = 0.0;
+  for (const std::size_t c : kids) {
+    branches.push_back(
+        series(two_node(0.0, 0.0, t.edge_bytes[c]), sub_spg(t, children, c)));
+    fanout_bytes += t.edge_bytes[c];
+  }
+  return series(two_node(t.works[v], 0.0, fanout_bytes), parallel_all(branches));
+}
+
+}  // namespace
+
+Spg tree_to_spg(const Tree& tree) {
+  if (tree.size() == 0) throw std::invalid_argument("tree_to_spg: empty tree");
+  std::vector<std::vector<std::size_t>> children(tree.size());
+  std::size_t root = tree.size();
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (tree.parent[i] < 0) {
+      if (root != tree.size()) throw std::invalid_argument("tree_to_spg: two roots");
+      root = i;
+    } else {
+      children[static_cast<std::size_t>(tree.parent[i])].push_back(i);
+    }
+  }
+  if (root == tree.size()) throw std::invalid_argument("tree_to_spg: no root");
+  if (tree.size() == 1) {
+    // Single node: the minimal SPG is the node plus its mirror.
+    return two_node(tree.works[root], 0.0, 0.0);
+  }
+  return sub_spg(tree, children, root);
+}
+
+}  // namespace spgcmp::spg

@@ -1,0 +1,44 @@
+#pragma once
+
+// Tree workloads as SPGs.
+//
+// Section 3.1: bounded-elevation SPGs "nicely generalize linear chains and
+// trees (a tree can easily be transformed into a SPG by adding fake nodes
+// mirroring the tree)".  This module implements that transformation for
+// out-trees: every original tree node keeps its work; each leaf-to-root...
+// more precisely, the tree's branching structure is mirrored by zero-work
+// join nodes so that every fork eventually re-joins, which yields a proper
+// two-terminal SPG whose elevation equals the tree's leaf count.
+//
+// Construction: an out-tree rooted at r maps recursively to
+//   spg(leaf)      = chain(1 real node)  (handled by its parent)
+//   spg(node v)    = v  ->  parallel(spg(child_1), ..., spg(child_k)) -> join_v
+// where join_v is a fake (zero-work, zero-volume) mirror of v.  A random
+// out-tree generator is included for workload studies.
+
+#include "spg/spg.hpp"
+#include "util/rng.hpp"
+
+namespace spgcmp::spg {
+
+/// An out-tree: parent[i] is the parent of node i; parent[root] == -1.
+/// Works are the per-node computation demands.
+struct Tree {
+  std::vector<int> parent;
+  std::vector<double> works;
+  std::vector<double> edge_bytes;  ///< volume on the edge parent[i] -> i
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent.size(); }
+};
+
+/// Uniform random recursive out-tree with n nodes (each new node attaches
+/// to a uniformly random existing node).
+[[nodiscard]] Tree random_tree(std::size_t n, util::Rng& rng,
+                               double work_lo = 1e6, double work_hi = 1e8);
+
+/// Mirror-transform an out-tree into an SPG (fake zero-work join nodes).
+/// The resulting graph validates as an SPG and its total work equals the
+/// tree's total work.
+[[nodiscard]] Spg tree_to_spg(const Tree& tree);
+
+}  // namespace spgcmp::spg

@@ -1,0 +1,118 @@
+#pragma once
+
+// Dynamic fixed-capacity bitset used for node sets.
+//
+// DPA1D and the exact solver enumerate up to hundreds of thousands of node
+// subsets (order ideals of the SPG); they need compact, hashable set values
+// with fast union/difference/subset tests.  std::bitset has a compile-time
+// size and std::vector<bool> is neither hashable nor word-addressable, so
+// we provide a small word-backed bitset.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace spgcmp::util {
+
+/// Fixed-universe bitset; all operands of binary operations must share the
+/// same universe size (checked by assert in debug builds).
+class DynBitset {
+ public:
+  DynBitset() = default;
+  explicit DynBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void reset(std::size_t i) noexcept { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+
+  /// True if *this is a subset of other.
+  [[nodiscard]] bool is_subset_of(const DynBitset& other) const noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool intersects(const DynBitset& other) const noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  DynBitset& operator|=(const DynBitset& o) noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+  DynBitset& operator&=(const DynBitset& o) noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  /// Set difference: remove all elements of o.
+  DynBitset& operator-=(const DynBitset& o) noexcept {
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+  }
+
+  friend DynBitset operator|(DynBitset a, const DynBitset& b) { return a |= b; }
+  friend DynBitset operator&(DynBitset a, const DynBitset& b) { return a &= b; }
+  friend DynBitset operator-(DynBitset a, const DynBitset& b) { return a -= b; }
+
+  friend bool operator==(const DynBitset& a, const DynBitset& b) noexcept {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+  /// Invoke f(i) for every set bit i, in increasing order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int b = __builtin_ctzll(w);
+        f(wi * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t hash() const noexcept {
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ bits_;
+    for (auto w : words_) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct DynBitsetHash {
+  std::size_t operator()(const DynBitset& b) const noexcept { return b.hash(); }
+};
+
+}  // namespace spgcmp::util

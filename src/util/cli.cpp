@@ -1,0 +1,64 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace spgcmp::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;  // ignore positional arguments
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      kv_.emplace_back(std::string(arg), "");
+    } else {
+      kv_.emplace_back(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+std::optional<std::string> Args::get(std::string_view key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+bool Args::has(std::string_view key) const { return get(key).has_value(); }
+
+std::int64_t Args::get_int(std::string_view key, std::string_view env,
+                           std::int64_t fallback) const {
+  if (auto v = get(key); v && !v->empty()) return std::stoll(*v);
+  if (auto v = env_int(env)) return *v;
+  return fallback;
+}
+
+double Args::get_double(std::string_view key, std::string_view env,
+                        double fallback) const {
+  if (auto v = get(key); v && !v->empty()) return std::stod(*v);
+  if (auto v = env_string(env); v && !v->empty()) return std::stod(*v);
+  return fallback;
+}
+
+std::string Args::get_string(std::string_view key, std::string_view env,
+                             std::string fallback) const {
+  if (auto v = get(key); v && !v->empty()) return *v;
+  if (auto v = env_string(env); v && !v->empty()) return *v;
+  return fallback;
+}
+
+std::optional<std::string> env_string(std::string_view name) {
+  const char* v = std::getenv(std::string(name).c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::optional<std::int64_t> env_int(std::string_view name) {
+  auto s = env_string(name);
+  if (!s || s->empty()) return std::nullopt;
+  return std::stoll(*s);
+}
+
+}  // namespace spgcmp::util

@@ -1,0 +1,68 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+
+namespace spgcmp::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // splitmix64 guarantees a non-degenerate state even for seed == 0.
+  for (auto& s : s_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Lemire-style rejection-free-enough bounded draw with rejection of the
+  // biased tail; exact uniformity matters for reproducibility tests.
+  const std::uint64_t threshold = -span % span;
+  for (;;) {
+    const std::uint64_t r = next();
+    // 128-bit multiply-high.
+    const unsigned __int128 m = static_cast<unsigned __int128>(r) * span;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= threshold) {
+      return lo + static_cast<std::int64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::canonical() noexcept {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * canonical();
+}
+
+bool Rng::bernoulli(double p) noexcept { return canonical() < p; }
+
+Rng Rng::split() noexcept { return Rng(next()); }
+
+}  // namespace spgcmp::util

@@ -1,0 +1,58 @@
+#pragma once
+
+// Deterministic, seedable random number generation.
+//
+// All stochastic components of the library (random SPG generation, the
+// Random heuristic, synthetic workload weights) draw from `Rng`, a
+// xoshiro256** generator seeded through splitmix64.  Determinism across
+// platforms matters here: the experiment harness re-runs the paper's
+// simulation campaigns and results must be reproducible bit-for-bit for a
+// given seed, independent of the standard library's distribution
+// implementations.  We therefore implement the uniform int/real mappings
+// ourselves instead of using <random> distributions.
+
+#include <cstdint>
+#include <limits>
+
+namespace spgcmp::util {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  /// UniformRandomBitGenerator interface (usable with std::shuffle).
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) noexcept;
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double canonical() noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Derive an independent child generator (for per-task streams).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace spgcmp::util

@@ -1,0 +1,62 @@
+#pragma once
+
+// A small fixed-size thread pool plus a `parallel_for` helper.
+//
+// The experiment harness sweeps hundreds of (workflow, CCR, heuristic)
+// combinations; each combination is independent, so we parallelize at that
+// granularity with a shared-nothing work distribution (atomic index, no
+// per-item locking).  Heuristics themselves stay single-threaded so that
+// their internal behaviour is deterministic and comparable to the paper.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spgcmp::util {
+
+/// Fixed-size pool executing submitted tasks FIFO.  Threads are joined in
+/// the destructor; submitting after shutdown is a programming error.
+class ThreadPool {
+ public:
+  /// `threads == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for asynchronous execution.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `body(i)` for every i in [begin, end) across `threads` workers.
+/// Items are claimed from a shared atomic counter so uneven item costs
+/// (e.g. DPA1D blowing its budget on one graph) still load-balance.
+/// `threads == 0` selects hardware concurrency.  Exceptions thrown by the
+/// body are rethrown (first one wins) after all workers stop.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace spgcmp::util

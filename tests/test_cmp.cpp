@@ -1,0 +1,166 @@
+// Unit and property tests for the CMP platform model: grid topology, link
+// indexing, XY routing, the snake embedding and the XScale speed model.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cmp/cmp.hpp"
+
+namespace {
+
+using namespace spgcmp::cmp;
+
+TEST(Grid, BasicShape) {
+  const Grid g(4, 6, 19.2e9);
+  EXPECT_EQ(g.rows(), 4);
+  EXPECT_EQ(g.cols(), 6);
+  EXPECT_EQ(g.core_count(), 24);
+  EXPECT_DOUBLE_EQ(g.bandwidth(), 19.2e9);
+  EXPECT_THROW(Grid(0, 3, 1.0), std::invalid_argument);
+  EXPECT_THROW(Grid(3, 3, 0.0), std::invalid_argument);
+}
+
+TEST(Grid, CoreIndexRoundTrip) {
+  const Grid g(3, 5, 1.0);
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 5; ++v) {
+      const CoreId c{u, v};
+      EXPECT_TRUE(g.core_at(g.core_index(c)) == c);
+    }
+  }
+}
+
+TEST(Grid, NeighborsAndBorders) {
+  const Grid g(2, 2, 1.0);
+  EXPECT_FALSE(g.has_neighbor({0, 0}, Dir::North));
+  EXPECT_FALSE(g.has_neighbor({0, 0}, Dir::West));
+  EXPECT_TRUE(g.has_neighbor({0, 0}, Dir::South));
+  EXPECT_TRUE(g.has_neighbor({0, 0}, Dir::East));
+  EXPECT_TRUE(g.neighbor({0, 0}, Dir::East) == (CoreId{0, 1}));
+  EXPECT_TRUE(g.neighbor({1, 1}, Dir::North) == (CoreId{0, 1}));
+}
+
+TEST(Grid, LinkIndexUniqueAndValid) {
+  const Grid g(3, 4, 1.0);
+  std::set<int> seen;
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 4; ++v) {
+      for (int d = 0; d < 4; ++d) {
+        const LinkId l{CoreId{u, v}, static_cast<Dir>(d)};
+        if (!g.has_neighbor(l.from, l.dir)) {
+          EXPECT_THROW(g.link_index(l), std::out_of_range);
+          continue;
+        }
+        const int idx = g.link_index(l);
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, g.link_count());
+        EXPECT_TRUE(seen.insert(idx).second);
+      }
+    }
+  }
+}
+
+struct RoutePair {
+  CoreId a, b;
+};
+
+class XyRouteProperty : public ::testing::TestWithParam<RoutePair> {};
+
+TEST_P(XyRouteProperty, LengthIsManhattanAndContinuous) {
+  const Grid g(6, 6, 1.0);
+  const auto [a, b] = GetParam();
+  const auto path = g.xy_route(a, b);
+  EXPECT_EQ(static_cast<int>(path.size()), g.manhattan(a, b));
+  CoreId cur = a;
+  bool horizontal_done = false;
+  for (const auto& l : path) {
+    EXPECT_TRUE(l.from == cur);
+    EXPECT_TRUE(g.has_neighbor(l.from, l.dir));
+    // XY: all horizontal hops precede all vertical hops.
+    const bool vertical = l.dir == Dir::North || l.dir == Dir::South;
+    if (vertical) horizontal_done = true;
+    if (horizontal_done) EXPECT_TRUE(vertical);
+    cur = g.neighbor(l.from, l.dir);
+  }
+  EXPECT_TRUE(cur == b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, XyRouteProperty,
+    ::testing::Values(RoutePair{{0, 0}, {0, 0}}, RoutePair{{0, 0}, {0, 5}},
+                      RoutePair{{0, 0}, {5, 0}}, RoutePair{{0, 0}, {5, 5}},
+                      RoutePair{{5, 5}, {0, 0}}, RoutePair{{2, 3}, {4, 1}},
+                      RoutePair{{3, 3}, {3, 4}}, RoutePair{{1, 4}, {0, 4}}));
+
+TEST(Grid, SnakeVisitsAllCoresAdjacent) {
+  const Grid g(4, 4, 1.0);
+  std::set<int> seen;
+  for (int k = 0; k < g.core_count(); ++k) {
+    const CoreId c = g.snake_core(k);
+    EXPECT_TRUE(seen.insert(g.core_index(c)).second);
+    EXPECT_EQ(g.snake_position(c), k);
+    if (k > 0) {
+      EXPECT_EQ(g.manhattan(g.snake_core(k - 1), c), 1) << "snake hop " << k;
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Grid, SnakeRouteFollowsSnakeOrder) {
+  const Grid g(3, 3, 1.0);
+  const auto path = g.snake_route(g.snake_core(1), g.snake_core(6));
+  EXPECT_EQ(path.size(), 5u);
+  CoreId cur = g.snake_core(1);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    EXPECT_TRUE(path[i].from == cur);
+    cur = g.neighbor(path[i].from, path[i].dir);
+    EXPECT_EQ(g.snake_position(cur), 1 + static_cast<int>(i) + 1);
+  }
+  EXPECT_THROW(g.snake_route(g.snake_core(3), g.snake_core(1)),
+               std::invalid_argument);
+}
+
+TEST(SpeedModel, XscaleValues) {
+  const auto sm = SpeedModel::xscale();
+  ASSERT_EQ(sm.mode_count(), 5u);
+  EXPECT_DOUBLE_EQ(sm.speed(0), 0.15e9);
+  EXPECT_DOUBLE_EQ(sm.speed(4), 1.0e9);
+  EXPECT_DOUBLE_EQ(sm.dynamic_power(2), 0.400);
+  EXPECT_DOUBLE_EQ(sm.leak_power(), 0.080);
+  EXPECT_DOUBLE_EQ(sm.max_speed(), 1.0e9);
+}
+
+TEST(SpeedModel, SlowestFeasible) {
+  const auto sm = SpeedModel::xscale();
+  // 1e8 cycles in 1 s fits the slowest mode (0.15 GHz).
+  EXPECT_EQ(sm.slowest_feasible(1e8, 1.0), 0u);
+  // 5e8 cycles in 1 s needs 0.6 GHz.
+  EXPECT_EQ(sm.slowest_feasible(5e8, 1.0), 2u);
+  // 1e9 cycles in 1 s needs full speed.
+  EXPECT_EQ(sm.slowest_feasible(1e9, 1.0), 4u);
+  // 2e9 cycles in 1 s is infeasible.
+  EXPECT_EQ(sm.slowest_feasible(2e9, 1.0), 5u);
+}
+
+TEST(SpeedModel, EnergyFormula) {
+  const auto sm = SpeedModel::xscale();
+  // E = P_leak * T + (w/s) * P_dyn.
+  const double e = sm.core_energy(3e8, 2, 0.75);
+  EXPECT_DOUBLE_EQ(e, 0.080 * 0.75 + (3e8 / 0.6e9) * 0.400);
+}
+
+TEST(SpeedModel, RejectsNonIncreasingSpeeds) {
+  EXPECT_THROW(SpeedModel({2e9, 1e9}, {1.0, 2.0}, 0.1), std::invalid_argument);
+  EXPECT_THROW(SpeedModel({1e9}, {1.0, 2.0}, 0.1), std::invalid_argument);
+}
+
+TEST(Platform, ReferenceMatchesPaperConstants) {
+  const auto p = Platform::reference(4, 4);
+  EXPECT_EQ(p.grid.rows(), 4);
+  EXPECT_DOUBLE_EQ(p.grid.bandwidth(), 16.0 * 1.2e9);
+  EXPECT_DOUBLE_EQ(p.comm.energy_per_byte, 48e-12);
+  EXPECT_DOUBLE_EQ(p.comm.leak_power, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests for the future-work extensions: link-level DVFS (communication
+// power management) and general (non-DAG-partition) mappings in the exact
+// solver.
+
+#include <gtest/gtest.h>
+
+#include "heuristics/exact.hpp"
+#include "heuristics/greedy.hpp"
+#include "mapping/link_dvfs.hpp"
+#include "spg/compose.hpp"
+#include "spg/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spgcmp;
+
+TEST(LinkDvfs, QuadraticModelConstruction) {
+  const auto m = mapping::LinkDvfsModel::quadratic({0.5, 1.0});
+  ASSERT_EQ(m.bandwidth_fraction.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.energy_fraction[0], 0.25);
+  EXPECT_DOUBLE_EQ(m.energy_fraction[1], 1.0);
+  EXPECT_THROW(mapping::downscale_links(spg::chain(2), cmp::Platform::reference(1, 2),
+                                        mapping::Mapping{}, 1.0,
+                                        mapping::LinkDvfsModel{{0.5, 0.4}, {1, 1}}),
+               std::invalid_argument);
+}
+
+TEST(LinkDvfs, LightlyLoadedLinkDropsToLowestMode) {
+  // One edge, tiny volume: the link can run at the lowest fraction.
+  auto g = spg::chain(2, 1e6, 0.0);
+  g.set_bytes(0, 1e3);
+  const auto p = cmp::Platform::reference(1, 2);
+  mapping::Mapping m;
+  m.core_of = {0, 1};
+  mapping::attach_xy_paths(g, p.grid, m);
+  ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 1.0, m));
+
+  const auto res = mapping::downscale_links(g, p, m, 1.0);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_DOUBLE_EQ(res.comm_energy_full, 1e3 * p.comm.energy_per_byte);
+  EXPECT_DOUBLE_EQ(res.comm_energy_scaled, 1e3 * p.comm.energy_per_byte * 0.0625);
+  EXPECT_GT(res.saving(), 0.0);
+}
+
+TEST(LinkDvfs, SaturatedLinkStaysAtFullSpeed) {
+  auto g = spg::chain(2, 1e6, 0.0);
+  const auto p = cmp::Platform::reference(1, 2);
+  const double T = 0.01;
+  g.set_bytes(0, p.grid.bandwidth() * T * 0.9);  // 90% utilization
+  mapping::Mapping m;
+  m.core_of = {0, 1};
+  mapping::attach_xy_paths(g, p.grid, m);
+  ASSERT_TRUE(mapping::assign_slowest_modes(g, p, T, m));
+  const auto res = mapping::downscale_links(g, p, m, T);
+  ASSERT_TRUE(res.feasible);
+  // 0.9 > 0.75 so the link must remain at full speed: no saving.
+  EXPECT_DOUBLE_EQ(res.comm_energy_scaled, res.comm_energy_full);
+}
+
+TEST(LinkDvfs, MidUtilizationPicksMiddleMode) {
+  auto g = spg::chain(2, 1e6, 0.0);
+  const auto p = cmp::Platform::reference(1, 2);
+  const double T = 0.01;
+  g.set_bytes(0, p.grid.bandwidth() * T * 0.6);  // needs >= 0.75 fraction
+  mapping::Mapping m;
+  m.core_of = {0, 1};
+  mapping::attach_xy_paths(g, p.grid, m);
+  ASSERT_TRUE(mapping::assign_slowest_modes(g, p, T, m));
+  const auto res = mapping::downscale_links(g, p, m, T);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_DOUBLE_EQ(res.comm_energy_scaled, res.comm_energy_full * 0.5625);
+}
+
+TEST(LinkDvfs, InfeasibleMappingReported) {
+  auto g = spg::chain(2, 1e6, 0.0);
+  const auto p = cmp::Platform::reference(1, 2);
+  g.set_bytes(0, p.grid.bandwidth() * 2.0);  // 2 s of traffic, T = 1 s
+  mapping::Mapping m;
+  m.core_of = {0, 1};
+  mapping::attach_xy_paths(g, p.grid, m);
+  ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 1.0, m));
+  const auto res = mapping::downscale_links(g, p, m, 1.0);
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(LinkDvfs, NeverIncreasesEnergyOnHeuristicMappings) {
+  util::Rng rng(87);
+  const auto p = cmp::Platform::reference(3, 3);
+  for (int rep = 0; rep < 8; ++rep) {
+    spg::Spg g = spg::random_spg(20, 4, rng);
+    g.rescale_ccr(0.5);
+    const double T = g.total_work() / (4.0 * 0.6e9);
+    const auto r = heuristics::GreedyHeuristic().run(g, p, T);
+    if (!r.success) continue;
+    const auto res = mapping::downscale_links(g, p, r.mapping, T);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_LE(res.comm_energy_scaled, res.comm_energy_full * (1 + 1e-12));
+    EXPECT_NEAR(res.comm_energy_full, r.eval.comm_energy, 1e-12);
+  }
+}
+
+TEST(GeneralMappings, NeverWorseThanDagPartition) {
+  // Every DAG-partition is a set partition, so the general optimum is at
+  // most the DAG-partition optimum.
+  util::Rng rng(88);
+  for (int rep = 0; rep < 4; ++rep) {
+    spg::Spg g = spg::random_spg(6, 2, rng);
+    g.rescale_ccr(1.0);
+    const auto p = cmp::Platform::reference(2, 2);
+    const double T = g.total_work() / (2.0 * 0.6e9);
+    const auto dag = heuristics::ExactSolver().run(g, p, T);
+    heuristics::ExactSolver::Options opt;
+    opt.require_dag_partition = false;
+    const auto gen = heuristics::ExactSolver(opt).run(g, p, T);
+    if (!dag.success) continue;
+    ASSERT_TRUE(gen.success);
+    EXPECT_LE(gen.eval.energy, dag.eval.energy * (1 + 1e-9));
+  }
+}
+
+TEST(GeneralMappings, CanUseCyclicQuotient) {
+  // Diamond src -> {m1, m2} -> snk: clustering {src, snk} vs {m1, m2} is a
+  // cyclic quotient, illegal under the DAG-partition rule but admissible as
+  // a general mapping.
+  spg::Spg g({{1e8, 1, 1, ""}, {1e8, 2, 1, ""}, {1e8, 2, 2, ""}, {1e8, 3, 1, ""}},
+             {{0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 1.0}, {2, 3, 1.0}});
+  const auto p = cmp::Platform::reference(1, 2);
+  // T forces exactly two clusters of 2e8 cycles each.
+  const double T = 2e8 / 0.4e9 * 1.001;
+  const auto dag = heuristics::ExactSolver().run(g, p, T);
+  heuristics::ExactSolver::Options opt;
+  opt.require_dag_partition = false;
+  const auto gen = heuristics::ExactSolver(opt).run(g, p, T);
+  ASSERT_TRUE(gen.success);
+  // The general solution space strictly contains the DAG-partition space.
+  if (dag.success) {
+    EXPECT_LE(gen.eval.energy, dag.eval.energy * (1 + 1e-9));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Tests for the ILP emitter: variable counts must match the closed-form
+// formulas of Section 4.4 (n*m*p*q + m*p*q + 4*n^2*p*q binaries) and the
+// emitted text must be structurally sane LP format.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "heuristics/ilp.hpp"
+#include "spg/compose.hpp"
+#include "spg/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spgcmp;
+
+TEST(Ilp, VariableCountMatchesPaperFormulas) {
+  const auto g = spg::chain(3, 1e8, 1e3);
+  const auto p = cmp::Platform::reference(2, 2);
+  std::ostringstream os;
+  const auto stats = heuristics::emit_ilp(g, p, 1.0, os);
+  const std::size_t n = 3, m = 5, pq = 4;
+  EXPECT_EQ(stats.variables, n * m * pq + m * pq + 4 * n * n * pq);
+}
+
+TEST(Ilp, EmitsWellFormedLp) {
+  const auto g = spg::chain(3, 1e8, 1e3);
+  const auto p = cmp::Platform::reference(2, 2);
+  std::ostringstream os;
+  const auto stats = heuristics::emit_ilp(g, p, 1.0, os);
+  const std::string lp = os.str();
+  EXPECT_NE(lp.find("Minimize"), std::string::npos);
+  EXPECT_NE(lp.find("Subject To"), std::string::npos);
+  EXPECT_NE(lp.find("Binary"), std::string::npos);
+  EXPECT_NE(lp.find("End"), std::string::npos);
+  EXPECT_GT(stats.constraints, 0u);
+  // Every constraint line is numbered c0..cK.
+  EXPECT_NE(lp.find(" c0: "), std::string::npos);
+}
+
+TEST(Ilp, ConstraintCountGrowsWithPlatform) {
+  const auto g = spg::chain(3, 1e8, 1e3);
+  std::ostringstream a, b;
+  const auto s22 = heuristics::emit_ilp(g, cmp::Platform::reference(2, 2), 1.0, a);
+  const auto s23 = heuristics::emit_ilp(g, cmp::Platform::reference(2, 3), 1.0, b);
+  EXPECT_GT(s23.variables, s22.variables);
+  EXPECT_GT(s23.constraints, s22.constraints);
+}
+
+TEST(Ilp, DagPartitionConstraintsPresentForDiamond) {
+  // Diamond graph: S1 -> {S2, S3} -> S4; the closure-based DAG-partition
+  // family produces constraints for (i, i2, j) = (S1, S2/S3, S4).
+  spg::Spg g({{1, 1, 1, ""}, {1, 2, 1, ""}, {1, 2, 2, ""}, {1, 3, 1, ""}},
+             {{0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 1.0}, {2, 3, 1.0}});
+  std::ostringstream with_diamond, without;
+  const auto s1 = heuristics::emit_ilp(g, cmp::Platform::reference(2, 2), 1.0,
+                                       with_diamond);
+  // A 4-chain has the same n but fewer intermediate-path triples... it has
+  // MORE (every i<k<j triple); so compare against a 2-stage graph instead.
+  const auto g2 = spg::chain(2, 1.0, 1.0);
+  const auto s2 = heuristics::emit_ilp(g2, cmp::Platform::reference(2, 2), 1.0,
+                                       without);
+  EXPECT_GT(s1.constraints, s2.constraints);
+}
+
+}  // namespace

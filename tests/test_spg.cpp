@@ -1,0 +1,291 @@
+// Unit and property tests for the SPG model: composition labeling rules
+// (checked against Figure 1 of the paper), structural invariants, the
+// random generator's exact (n, ymax) targets, the synthetic StreamIt suite
+// vs Table 1, serialization round-trips and closure/topology helpers.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "spg/compose.hpp"
+#include "spg/generator.hpp"
+#include "spg/spg.hpp"
+#include "spg/streamit.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace spgcmp;
+using spg::chain;
+using spg::parallel;
+using spg::series;
+using spg::Spg;
+
+std::multiset<std::pair<int, int>> labels_of(const Spg& g) {
+  std::multiset<std::pair<int, int>> s;
+  for (const auto& st : g.stages()) s.insert({st.x, st.y});
+  return s;
+}
+
+TEST(Compose, TwoNodeLabels) {
+  const Spg g = spg::two_node();
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.stage(g.source()).x, 1);
+  EXPECT_EQ(g.stage(g.source()).y, 1);
+  EXPECT_EQ(g.stage(g.sink()).x, 2);
+  EXPECT_EQ(g.stage(g.sink()).y, 1);
+  EXPECT_FALSE(g.validate().has_value());
+}
+
+TEST(Compose, ChainLabels) {
+  const Spg g = chain(5);
+  EXPECT_EQ(g.xmax(), 5);
+  EXPECT_EQ(g.ymax(), 1);
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_FALSE(g.validate().has_value());
+}
+
+// Figure 1, left operand: a 4-node chain with a 2-branch attached across
+// it: labels {(1,1),(2,1),(3,1),(4,1),(2,2)} — built as parallel(chain4,
+// chain3).
+TEST(Compose, Figure1LeftSpg) {
+  const Spg spg1 = parallel(chain(4), chain(3));
+  const std::multiset<std::pair<int, int>> expect = {
+      {1, 1}, {2, 1}, {3, 1}, {4, 1}, {2, 2}};
+  EXPECT_EQ(labels_of(spg1), expect);
+  EXPECT_FALSE(spg1.validate().has_value());
+}
+
+// Figure 1 series composition: SPG1 (above) in series with SPG2 =
+// parallel(chain(3), chain(3), chain(3)) whose labels are
+// {(1,1),(2,1),(3,1),(2,2),(2,3)}; the series result must shift SPG2's x
+// by 3 and keep its y values.
+TEST(Compose, Figure1SeriesComposition) {
+  const Spg spg1 = parallel(chain(4), chain(3));
+  const Spg spg2 = spg::parallel_all({chain(3), chain(3), chain(3)});
+  const std::multiset<std::pair<int, int>> expect2 = {
+      {1, 1}, {2, 1}, {3, 1}, {2, 2}, {2, 3}};
+  EXPECT_EQ(labels_of(spg2), expect2);
+
+  const Spg s = series(spg1, spg2);
+  const std::multiset<std::pair<int, int>> expect = {
+      {1, 1}, {2, 1}, {3, 1}, {4, 1}, {2, 2},   // SPG1 labels kept
+      {5, 1}, {6, 1}, {5, 2}, {5, 3}};          // SPG2 shifted by x_sink-1 = 3
+  EXPECT_EQ(labels_of(s), expect);
+  EXPECT_EQ(s.size(), spg1.size() + spg2.size() - 1);
+  EXPECT_FALSE(s.validate().has_value());
+}
+
+// Figure 1 parallel composition of the same operands: SPG1 has the longest
+// path, so SPG2's inner labels get y += ymax(SPG1) = 2.
+TEST(Compose, Figure1ParallelComposition) {
+  const Spg spg1 = parallel(chain(4), chain(3));
+  const Spg spg2 = spg::parallel_all({chain(3), chain(3), chain(3)});
+  const Spg p = parallel(spg1, spg2);
+  const std::multiset<std::pair<int, int>> expect = {
+      {1, 1}, {2, 1}, {3, 1}, {4, 1}, {2, 2},   // SPG1 labels kept
+      {2, 3}, {2, 4}, {2, 5}};                  // SPG2 inner, y += 2
+  EXPECT_EQ(labels_of(p), expect);
+  EXPECT_EQ(p.size(), spg1.size() + spg2.size() - 2);
+  EXPECT_EQ(p.ymax(), 5);
+  EXPECT_FALSE(p.validate().has_value());
+}
+
+TEST(Compose, ParallelOperandOrderIrrelevant) {
+  const Spg a = parallel(chain(4), chain(3));
+  const Spg b = parallel(chain(3), chain(4));
+  EXPECT_EQ(labels_of(a), labels_of(b));
+}
+
+TEST(Compose, ParallelOfTwoEdgesYieldsMultiEdge) {
+  const Spg g = parallel(spg::two_node(), spg::two_node());
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_FALSE(g.validate().has_value());
+}
+
+TEST(Compose, MergedNodesSumWork) {
+  const Spg a = chain(2, /*work=*/3.0);
+  const Spg b = chain(2, /*work=*/5.0);
+  const Spg s = series(a, b);
+  // Merged middle node: 3 + 5.
+  double merged = 0;
+  for (const auto& st : s.stages()) {
+    if (st.x == 2) merged = st.work;
+  }
+  EXPECT_DOUBLE_EQ(merged, 8.0);
+}
+
+TEST(Spg, SourceSinkDetection) {
+  const Spg g = parallel(chain(4), chain(3));
+  EXPECT_EQ(g.stage(g.source()).x, 1);
+  EXPECT_EQ(g.stage(g.sink()).x, g.xmax());
+}
+
+TEST(Spg, TopologicalOrderRespectsEdges) {
+  util::Rng rng(3);
+  const Spg g = spg::random_spg(30, 5, rng);
+  const auto order = g.topological_order();
+  std::vector<int> pos(g.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = static_cast<int>(i);
+  for (const auto& e : g.edges()) EXPECT_LT(pos[e.src], pos[e.dst]);
+}
+
+TEST(Spg, TransitiveClosureOnChain) {
+  const Spg g = chain(4);
+  const auto closure = g.transitive_closure();
+  // In a chain ordered by x, stage with x=a reaches all x>a.
+  for (spg::StageId i = 0; i < g.size(); ++i) {
+    for (spg::StageId j = 0; j < g.size(); ++j) {
+      const bool expect = g.stage(i).x < g.stage(j).x;
+      EXPECT_EQ(closure[i].test(j), expect) << i << "->" << j;
+    }
+  }
+}
+
+TEST(Spg, RescaleCcrHitsTarget) {
+  util::Rng rng(4);
+  Spg g = spg::random_spg(20, 3, rng);
+  g.rescale_ccr(10.0);
+  EXPECT_NEAR(g.ccr(), 10.0, 1e-9);
+  g.rescale_ccr(0.1);
+  EXPECT_NEAR(g.ccr(), 0.1, 1e-9);
+}
+
+TEST(Spg, SerializationRoundTrip) {
+  util::Rng rng(5);
+  const Spg g = spg::random_spg(25, 4, rng);
+  std::stringstream ss;
+  g.serialize(ss);
+  const Spg h = Spg::parse(ss);
+  ASSERT_EQ(h.size(), g.size());
+  ASSERT_EQ(h.edge_count(), g.edge_count());
+  for (spg::StageId i = 0; i < g.size(); ++i) {
+    EXPECT_DOUBLE_EQ(h.stage(i).work, g.stage(i).work);
+    EXPECT_EQ(h.stage(i).x, g.stage(i).x);
+    EXPECT_EQ(h.stage(i).y, g.stage(i).y);
+  }
+  for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(h.edge(e).src, g.edge(e).src);
+    EXPECT_EQ(h.edge(e).dst, g.edge(e).dst);
+    EXPECT_DOUBLE_EQ(h.edge(e).bytes, g.edge(e).bytes);
+  }
+}
+
+TEST(Spg, DotOutputMentionsAllStages) {
+  const Spg g = chain(3);
+  std::ostringstream os;
+  g.to_dot(os);
+  EXPECT_NE(os.str().find("n0"), std::string::npos);
+  EXPECT_NE(os.str().find("n2"), std::string::npos);
+}
+
+// ---- Property tests over the random generator ----
+
+struct GenParam {
+  std::size_t n;
+  int ymax;
+};
+
+class GeneratorProperty : public ::testing::TestWithParam<GenParam> {};
+
+TEST_P(GeneratorProperty, ExactSizeAndElevationAndValid) {
+  const auto [n, ymax] = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    util::Rng rng(seed * 1000 + n + static_cast<std::size_t>(ymax));
+    const Spg g = spg::random_spg(n, ymax, rng);
+    EXPECT_EQ(g.size(), n);
+    EXPECT_EQ(g.ymax(), ymax);
+    const auto err = g.validate();
+    EXPECT_FALSE(err.has_value()) << *err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorProperty,
+    ::testing::Values(GenParam{2, 1}, GenParam{10, 1}, GenParam{10, 3},
+                      GenParam{12, 10}, GenParam{20, 5}, GenParam{50, 1},
+                      GenParam{50, 8}, GenParam{50, 20}, GenParam{150, 2},
+                      GenParam{150, 15}, GenParam{150, 30}, GenParam{60, 25}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_y" +
+             std::to_string(info.param.ymax);
+    });
+
+TEST(Generator, InfeasibleCombinationThrows) {
+  util::Rng rng(1);
+  EXPECT_THROW(spg::random_spg(3, 2, rng), std::invalid_argument);
+  EXPECT_THROW(spg::random_spg(1, 1, rng), std::invalid_argument);
+}
+
+TEST(Generator, MinStagesFormula) {
+  EXPECT_EQ(spg::min_stages_for_elevation(1), 2u);
+  EXPECT_EQ(spg::min_stages_for_elevation(2), 4u);
+  EXPECT_EQ(spg::min_stages_for_elevation(7), 9u);
+}
+
+TEST(Generator, FreeGeneratorProducesValidGraphs) {
+  util::Rng rng(77);
+  for (int i = 0; i < 20; ++i) {
+    const Spg g = spg::random_spg_free(40, rng);
+    EXPECT_EQ(g.size(), 40u);
+    EXPECT_FALSE(g.validate().has_value());
+  }
+}
+
+TEST(Generator, EdgesAlwaysIncreaseX) {
+  util::Rng rng(6);
+  for (int i = 0; i < 10; ++i) {
+    const Spg g = spg::random_spg(40, 6, rng);
+    for (const auto& e : g.edges()) {
+      EXPECT_LT(g.stage(e.src).x, g.stage(e.dst).x);
+    }
+  }
+}
+
+// ---- StreamIt suite vs Table 1 ----
+
+class StreamItTable : public ::testing::TestWithParam<int> {};
+
+TEST_P(StreamItTable, MatchesTable1) {
+  const auto& info = spg::streamit_table()[static_cast<std::size_t>(GetParam())];
+  const Spg g = spg::make_streamit(info);
+  EXPECT_EQ(g.size(), info.n) << info.name;
+  EXPECT_EQ(g.ymax(), info.ymax) << info.name;
+  EXPECT_EQ(g.xmax(), info.xmax) << info.name;
+  EXPECT_NEAR(g.ccr(), info.ccr, info.ccr * 1e-9) << info.name;
+  const auto err = g.validate();
+  EXPECT_FALSE(err.has_value()) << info.name << ": " << *err;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, StreamItTable, ::testing::Range(0, 12),
+                         [](const auto& info) {
+                           std::string name = spgcmp::spg::streamit_table()
+                               [static_cast<std::size_t>(info.param)].name;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(StreamIt, CcrOverride) {
+  const Spg g = spg::make_streamit(1, /*ccr_override=*/0.1);
+  EXPECT_NEAR(g.ccr(), 0.1, 1e-9);
+}
+
+TEST(StreamIt, DeterministicConstruction) {
+  const Spg a = spg::make_streamit(3);
+  const Spg b = spg::make_streamit(3);
+  ASSERT_EQ(a.size(), b.size());
+  for (spg::StageId i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.stage(i).work, b.stage(i).work);
+  }
+}
+
+TEST(StreamIt, IndexOutOfRangeThrows) {
+  EXPECT_THROW(spg::make_streamit(0), std::out_of_range);
+  EXPECT_THROW(spg::make_streamit(13), std::out_of_range);
+}
+
+}  // namespace
