@@ -5,13 +5,18 @@
 // variables (see util::Args); defaults are sized so the full bench/
 // directory runs on a laptop in minutes.  Set REPRO_APPS=100 to match the
 // paper's replication counts exactly.
+//
+// All campaigns run through harness::SweepEngine: --threads=N (or
+// REPRO_THREADS) parallelizes the sweep while keeping the output
+// byte-identical to a single-threaded run.  Pass --json=DIR (or REPRO_JSON)
+// to additionally write a BENCH_<name>.json report per figure/table.
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hpp"
+#include "harness/sweep_engine.hpp"
 #include "spg/generator.hpp"
 #include "spg/streamit.hpp"
 #include "util/cli.hpp"
@@ -28,33 +33,96 @@ inline const std::vector<std::pair<std::string, double>>& ccr_settings() {
   return settings;
 }
 
-/// Run the full StreamIt campaign on one grid and print one table per CCR:
-/// normalized energy per (application, heuristic), the layout of Figures 8
-/// and 9.  Returns per-heuristic failure counts (the grid's Table 2 row).
-inline std::vector<std::size_t> streamit_figure(int rows, int cols,
-                                                std::ostream& os) {
-  const auto platform = cmp::Platform::reference(rows, cols);
-  const auto names = [] {
-    std::vector<std::string> v;
-    for (const auto& h : heuristics::make_paper_heuristics()) v.push_back(h->name());
-    return v;
-  }();
-  std::vector<std::size_t> failures(names.size(), 0);
+/// The CCRs swept by the random-SPG figures.
+inline const std::vector<double>& random_ccrs() {
+  static const std::vector<double> ccrs = {10.0, 1.0, 0.1};
+  return ccrs;
+}
 
+/// Heuristic names in paper order.
+inline std::vector<std::string> heuristic_names() {
+  std::vector<std::string> v;
+  for (const auto& h : heuristics::make_paper_heuristics()) v.push_back(h->name());
+  return v;
+}
+
+/// Common bench flags: sweep thread count and JSON output directory.
+[[nodiscard]] inline std::size_t threads_arg(const util::Args& args) {
+  return static_cast<std::size_t>(args.get_int("threads", "REPRO_THREADS", 0));
+}
+[[nodiscard]] inline std::string json_dir_arg(const util::Args& args) {
+  return args.get_string("json", "REPRO_JSON", "");
+}
+
+/// Write BENCH_<name>.json when a directory was requested; announces the
+/// path on `os` so unattended runs document their artifacts.
+inline void maybe_write_json(const harness::BenchReport& rep,
+                             const std::string& dir, std::ostream& os) {
+  if (dir.empty()) return;
+  os << "[json] " << rep.write_json_file(dir) << "\n";
+}
+
+// ------------------------------------------------------------------------
+// StreamIt figures (8 and 9) and the Table 2 failure counts.
+
+/// Run the full StreamIt campaign on one grid: all (CCR, application)
+/// cells batched through the sweep engine.  Cell order is CCR-major in
+/// `ccr_settings()` order, application-minor in suite order.
+inline harness::BenchReport streamit_report(std::string name, int rows, int cols,
+                                            std::size_t threads) {
+  const auto platform = cmp::Platform::reference(rows, cols);
+  harness::SweepEngineOptions opt;
+  opt.threads = threads;
+  const harness::SweepEngine engine(opt);
+
+  // Workload generation is deterministic and cheap; build the whole batch
+  // up front and let the engine parallelize the campaigns.
+  std::vector<spg::Spg> workloads;
+  for (const auto& [label, ccr] : ccr_settings()) {
+    for (const auto& info : spg::streamit_table()) {
+      workloads.push_back(spg::make_streamit(info, ccr));
+    }
+  }
+  const auto campaigns =
+      engine.run_fixed(workloads, platform, [] { return heuristics::make_paper_heuristics(); });
+
+  harness::BenchReport rep;
+  rep.name = std::move(name);
+  rep.metric = "normalized_energy";
+  rep.meta = {{"suite", "streamit"},
+              {"grid", std::to_string(rows) + "x" + std::to_string(cols)}};
+  rep.heuristics = heuristic_names();
+  std::size_t k = 0;
+  for (const auto& [label, ccr] : ccr_settings()) {
+    for (const auto& info : spg::streamit_table()) {
+      rep.cells.push_back(harness::cell_from_campaign(
+          {{"ccr", label}, {"app", info.name}, {"app_index", std::to_string(info.index)}},
+          campaigns[k++]));
+    }
+  }
+  return rep;
+}
+
+/// Print a StreamIt report in the layout of Figures 8/9 (one table per
+/// CCR); returns per-heuristic failure totals (the grid's Table 2 row).
+inline std::vector<std::size_t> print_streamit_report(
+    const harness::BenchReport& rep, std::ostream& os) {
+  const auto& names = rep.heuristics;
+  std::vector<std::size_t> failures(names.size(), 0);
+  const std::size_t apps = spg::streamit_table().size();
+  std::size_t k = 0;
   for (const auto& [label, ccr] : ccr_settings()) {
     os << "\n-- CCR = " << label << " --\n";
     std::vector<std::string> header = {"app", "name", "T (s)"};
     header.insert(header.end(), names.begin(), names.end());
     util::Table t(header);
-    for (const auto& info : spg::streamit_table()) {
-      const spg::Spg g = spg::make_streamit(info, ccr);
-      const auto hs = heuristics::make_paper_heuristics();
-      const auto c = harness::run_campaign(g, platform, hs);
-      std::vector<std::string> row = {std::to_string(info.index), info.name,
-                                      util::fmt_double(c.period, 3)};
+    for (std::size_t a = 0; a < apps; ++a) {
+      const auto& cell = rep.cells[k++];
+      std::vector<std::string> row = {cell.labels[2].second, cell.labels[1].second,
+                                      util::fmt_double(cell.period, 3)};
       for (std::size_t h = 0; h < names.size(); ++h) {
-        if (c.results[h].success) {
-          row.push_back(util::fmt_double(c.normalized_energy(h), 4));
+        if (cell.failures[h] == 0) {
+          row.push_back(util::fmt_double(cell.values[h], 4));
         } else {
           row.push_back("fail");
           ++failures[h];
@@ -67,77 +135,119 @@ inline std::vector<std::size_t> streamit_figure(int rows, int cols,
   return failures;
 }
 
-/// One elevation series of the random-SPG figures: for each elevation,
-/// `apps` workloads of `n` stages at the given CCR, averaged normalized
-/// 1/E per heuristic (Figures 10-13) plus failure counts (Table 3).
-struct RandomSeries {
-  std::vector<int> elevations;
-  // cell[e][h]: mean inverse energy; failures[e][h]: failure count.
-  std::vector<std::vector<double>> mean_inverse;
-  std::vector<std::vector<std::size_t>> failures;
-  std::size_t apps = 0;
-};
+// ------------------------------------------------------------------------
+// Random-SPG figures (10-13) and the Table 3 failure counts.
 
-inline RandomSeries random_series(std::size_t n, const std::vector<int>& elevations,
-                                  double ccr, std::size_t apps, int rows, int cols,
-                                  std::uint64_t seed_base) {
-  const auto platform = cmp::Platform::reference(rows, cols);
-  RandomSeries series;
-  series.elevations = elevations;
-  series.apps = apps;
-  for (const int y : elevations) {
-    const auto cell = harness::sweep(
-        [&](std::size_t w) {
-          // Seed derived from (n, y, ccr bucket, workload index) so every
-          // figure re-run sees identical workloads.
-          std::uint64_t s = seed_base;
-          s = s * 1000003 + n;
-          s = s * 1000003 + static_cast<std::uint64_t>(y);
-          s = s * 1000003 + static_cast<std::uint64_t>(ccr * 1000);
-          s = s * 1000003 + w;
-          util::Rng rng(s);
-          spg::Spg g = spg::random_spg(n, y, rng);
-          g.rescale_ccr(ccr);
-          return g;
-        },
-        apps, platform, [] { return heuristics::make_paper_heuristics(); });
-    series.mean_inverse.push_back(cell.mean_inverse_energy);
-    series.failures.push_back(cell.failures);
-  }
-  return series;
+/// Legacy per-workload seed: derived from (n, y, ccr bucket, workload
+/// index) so every figure re-run — at any thread count, elevation subset or
+/// replication count — sees identical workloads.
+[[nodiscard]] inline std::uint64_t random_workload_seed(std::uint64_t seed_base,
+                                                        std::size_t n, int y,
+                                                        double ccr, std::size_t w) {
+  std::uint64_t s = seed_base;
+  s = s * 1000003 + n;
+  s = s * 1000003 + static_cast<std::uint64_t>(y);
+  s = s * 1000003 + static_cast<std::uint64_t>(ccr * 1000);
+  s = s * 1000003 + w;
+  return s;
 }
 
-/// Print one random-SPG figure (three CCR panels) in the layout of
-/// Figures 10-13; returns total failures per (ccr, heuristic) for Table 3.
-inline std::vector<std::vector<std::size_t>> random_figure(
-    std::size_t n, int rows, int cols, const std::vector<int>& elevations,
-    std::size_t apps, std::ostream& os) {
-  const auto names = [] {
-    std::vector<std::string> v;
-    for (const auto& h : heuristics::make_paper_heuristics()) v.push_back(h->name());
-    return v;
-  }();
-  std::vector<std::vector<std::size_t>> failures;
-  for (const double ccr : {10.0, 1.0, 0.1}) {
+/// Run the full random-SPG campaign behind one of Figures 10-13: all
+/// (CCR, elevation, workload) instances flattened into one engine batch,
+/// then folded into per-(CCR, elevation) cells of mean normalized 1/E.
+/// Cell order is CCR-major in `random_ccrs()` order.
+inline harness::BenchReport random_report(std::string name, std::size_t n, int rows,
+                                          int cols, const std::vector<int>& elevations,
+                                          std::size_t apps, std::size_t threads,
+                                          std::uint64_t seed_base = 42) {
+  const auto platform = cmp::Platform::reference(rows, cols);
+  harness::SweepEngineOptions opt;
+  opt.threads = threads;
+  const harness::SweepEngine engine(opt);
+
+  std::vector<harness::SweepEngine::GeneratedTask> tasks;
+  tasks.reserve(random_ccrs().size() * elevations.size() * apps);
+  for (const double ccr : random_ccrs()) {
+    for (const int y : elevations) {
+      for (std::size_t w = 0; w < apps; ++w) {
+        tasks.push_back({random_workload_seed(seed_base, n, y, ccr, w),
+                         [n, y, ccr](util::Rng& rng) {
+                           spg::Spg g = spg::random_spg(n, y, rng);
+                           g.rescale_ccr(ccr);
+                           return g;
+                         }});
+      }
+    }
+  }
+  const auto campaigns =
+      engine.run_tasks(tasks, platform, [] { return heuristics::make_paper_heuristics(); });
+
+  harness::BenchReport rep;
+  rep.name = std::move(name);
+  rep.metric = "mean_inverse_energy";
+  rep.meta = {{"suite", "random"},
+              {"n", std::to_string(n)},
+              {"grid", std::to_string(rows) + "x" + std::to_string(cols)},
+              {"apps", std::to_string(apps)},
+              {"seed_base", std::to_string(seed_base)}};
+  rep.heuristics = heuristic_names();
+  std::size_t k = 0;
+  for (const double ccr : random_ccrs()) {
+    for (const int y : elevations) {
+      const harness::Campaign* slice = campaigns.data() + k;
+      k += apps;
+      auto cell = harness::cell_from_sweep(
+          {{"ccr", util::fmt_double(ccr, 3)}, {"elevation", std::to_string(y)}},
+          harness::SweepEngine::aggregate(slice, apps));
+      // --apps=0 yields an empty aggregate; keep cells full-width so the
+      // printers and JSON stay well-formed.
+      cell.values.resize(rep.heuristics.size(), 0.0);
+      cell.failures.resize(rep.heuristics.size(), 0);
+      rep.cells.push_back(std::move(cell));
+    }
+  }
+  return rep;
+}
+
+/// Print a random report in the layout of Figures 10-13 (one table per CCR).
+inline void print_random_report(const harness::BenchReport& rep, std::ostream& os,
+                                std::size_t n, int rows, int cols,
+                                std::size_t elevation_count) {
+  const auto& names = rep.heuristics;
+  std::size_t k = 0;
+  for (const double ccr : random_ccrs()) {
     os << "\n-- n = " << n << ", " << rows << "x" << cols << " grid, CCR = " << ccr
        << " (mean normalized 1/E; higher is better, 0 = always failed) --\n";
-    const auto series = random_series(n, elevations, ccr, apps, rows, cols, 42);
     std::vector<std::string> header = {"elevation"};
     header.insert(header.end(), names.begin(), names.end());
     util::Table t(header);
-    std::vector<std::size_t> ccr_failures(names.size(), 0);
-    for (std::size_t e = 0; e < series.elevations.size(); ++e) {
-      std::vector<std::string> row = {std::to_string(series.elevations[e])};
+    for (std::size_t e = 0; e < elevation_count; ++e) {
+      const auto& cell = rep.cells[k++];
+      std::vector<std::string> row = {cell.labels[1].second};
       for (std::size_t h = 0; h < names.size(); ++h) {
-        row.push_back(util::fmt_double(series.mean_inverse[e][h], 3));
-        ccr_failures[h] += series.failures[e][h];
+        row.push_back(util::fmt_double(cell.values[h], 3));
       }
       t.add_row(std::move(row));
     }
     t.print(os);
-    failures.push_back(std::move(ccr_failures));
   }
-  return failures;
+}
+
+/// Per-CCR failure totals of a random report (the rows of Table 3), in
+/// `random_ccrs()` order.
+[[nodiscard]] inline std::vector<std::vector<std::size_t>> report_failures_by_ccr(
+    const harness::BenchReport& rep, std::size_t elevation_count) {
+  std::vector<std::vector<std::size_t>> by_ccr;
+  std::size_t k = 0;
+  for (std::size_t c = 0; c < random_ccrs().size(); ++c) {
+    std::vector<std::size_t> totals(rep.heuristics.size(), 0);
+    for (std::size_t e = 0; e < elevation_count; ++e) {
+      const auto& cell = rep.cells[k++];
+      for (std::size_t h = 0; h < totals.size(); ++h) totals[h] += cell.failures[h];
+    }
+    by_ccr.push_back(std::move(totals));
+  }
+  return by_ccr;
 }
 
 /// Elevation grids used on the figures' x axes (subset of the paper's
@@ -147,6 +257,37 @@ inline std::vector<int> default_elevations(int max_y, int step) {
   for (int y = 2; y <= max_y; y += step) v.push_back(y);
   if (v.back() != max_y) v.push_back(max_y);
   return v;
+}
+
+/// Table 1 (StreamIt workflow characteristics), shared by the standalone
+/// binary and bench_run_all.
+[[nodiscard]] inline util::Table table1_characteristics() {
+  util::Table t({"index", "name", "n", "ymax", "xmax", "CCR", "edges",
+                 "total work (cycles)"});
+  for (const auto& info : spg::streamit_table()) {
+    const spg::Spg g = spg::make_streamit(info);
+    t.add_row({std::to_string(info.index), info.name, std::to_string(g.size()),
+               std::to_string(g.ymax()), std::to_string(g.xmax()),
+               util::fmt_double(g.ccr(), 4), std::to_string(g.edge_count()),
+               util::fmt_sci(g.total_work(), 2)});
+  }
+  return t;
+}
+
+/// Render Table 2 / Table 3-style failure tables.
+inline void print_failure_table(const std::vector<std::string>& row_labels,
+                                const std::vector<std::vector<std::size_t>>& rows,
+                                const std::string& key_column, std::ostream& os) {
+  std::vector<std::string> header = {key_column};
+  const auto names = heuristic_names();
+  header.insert(header.end(), names.begin(), names.end());
+  util::Table t(header);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::vector<std::string> row = {row_labels[r]};
+    for (const auto v : rows[r]) row.push_back(std::to_string(v));
+    t.add_row(std::move(row));
+  }
+  t.print(os);
 }
 
 }  // namespace spgcmp::bench

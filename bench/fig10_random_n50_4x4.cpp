@@ -1,13 +1,8 @@
-// Figure 10: mean normalized inverse energy (best = 1, failed = 0) versus
-// SPG elevation, for random 50-stage workflows on a 4x4 CMP at CCR 10 / 1 /
-// 0.1.  Defaults: a subset of elevations with --apps per point (paper: 100);
-// override with --apps / REPRO_APPS and --step / REPRO_STEP.
-//
-// Expected shape (paper Section 6.2.2): DPA1D best at elevation <= ~4 then
-// collapses (budget failures); DPA2D poor at low elevation (wastes cores)
-// and best at high elevation; DPA2D1D strong everywhere while CCR is high,
-// receding when communication dominates; Random clearly worst, especially
-// at CCR 0.1.
+// Figure 10: mean normalized inverse energy (best = 1, failed = 0)
+// versus SPG elevation, for random 50-stage workflows on a 4x4
+// CMP at CCR 10 / 1 / 0.1.  Defaults are scaled down from the paper's
+// replication counts; override with --apps / REPRO_APPS and --step /
+// REPRO_STEP.  --threads=N parallelizes the sweep with identical output.
 
 #include <iostream>
 
@@ -18,9 +13,13 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto apps = static_cast<std::size_t>(args.get_int("apps", "REPRO_APPS", 5));
   const int step = static_cast<int>(args.get_int("step", "REPRO_STEP", 3));
+  const auto elevations = bench::default_elevations(20, step);
   std::cout << "Figure 10: random SPGs, n=50, 4x4 CMP (" << apps
             << " workloads per point)\n";
-  bench::random_figure(50, 4, 4, bench::default_elevations(20, step), apps,
-                       std::cout);
+  const auto rep = bench::random_report("fig10_random_n50_4x4", 50,
+                                        4, 4, elevations, apps,
+                                        bench::threads_arg(args));
+  bench::print_random_report(rep, std::cout, 50, 4, 4, elevations.size());
+  bench::maybe_write_json(rep, bench::json_dir_arg(args), std::cout);
   return 0;
 }

@@ -1,4 +1,8 @@
-// Figure 12: random 150-stage SPGs on a 4x4 CMP, elevations up to 30.
+// Figure 12: mean normalized inverse energy (best = 1, failed = 0)
+// versus SPG elevation, for random 150-stage workflows on a 4x4
+// CMP at CCR 10 / 1 / 0.1.  Defaults are scaled down from the paper's
+// replication counts; override with --apps / REPRO_APPS and --step /
+// REPRO_STEP.  --threads=N parallelizes the sweep with identical output.
 
 #include <iostream>
 
@@ -9,9 +13,13 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto apps = static_cast<std::size_t>(args.get_int("apps", "REPRO_APPS", 3));
   const int step = static_cast<int>(args.get_int("step", "REPRO_STEP", 5));
+  const auto elevations = bench::default_elevations(30, step);
   std::cout << "Figure 12: random SPGs, n=150, 4x4 CMP (" << apps
             << " workloads per point)\n";
-  bench::random_figure(150, 4, 4, bench::default_elevations(30, step), apps,
-                       std::cout);
+  const auto rep = bench::random_report("fig12_random_n150_4x4", 150,
+                                        4, 4, elevations, apps,
+                                        bench::threads_arg(args));
+  bench::print_random_report(rep, std::cout, 150, 4, 4, elevations.size());
+  bench::maybe_write_json(rep, bench::json_dir_arg(args), std::cout);
   return 0;
 }

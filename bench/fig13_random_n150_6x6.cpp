@@ -1,4 +1,8 @@
-// Figure 13: random 150-stage SPGs on a 6x6 CMP, elevations up to 30.
+// Figure 13: mean normalized inverse energy (best = 1, failed = 0)
+// versus SPG elevation, for random 150-stage workflows on a 6x6
+// CMP at CCR 10 / 1 / 0.1.  Defaults are scaled down from the paper's
+// replication counts; override with --apps / REPRO_APPS and --step /
+// REPRO_STEP.  --threads=N parallelizes the sweep with identical output.
 
 #include <iostream>
 
@@ -9,9 +13,13 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto apps = static_cast<std::size_t>(args.get_int("apps", "REPRO_APPS", 3));
   const int step = static_cast<int>(args.get_int("step", "REPRO_STEP", 5));
+  const auto elevations = bench::default_elevations(30, step);
   std::cout << "Figure 13: random SPGs, n=150, 6x6 CMP (" << apps
             << " workloads per point)\n";
-  bench::random_figure(150, 6, 6, bench::default_elevations(30, step), apps,
-                       std::cout);
+  const auto rep = bench::random_report("fig13_random_n150_6x6", 150,
+                                        6, 6, elevations, apps,
+                                        bench::threads_arg(args));
+  bench::print_random_report(rep, std::cout, 150, 6, 6, elevations.size());
+  bench::maybe_write_json(rep, bench::json_dir_arg(args), std::cout);
   return 0;
 }

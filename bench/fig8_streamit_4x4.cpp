@@ -12,8 +12,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace spgcmp;
+  const util::Args args(argc, argv);
   std::cout << "Figure 8: normalized energy, StreamIt suite, 4x4 CMP\n";
-  spgcmp::bench::streamit_figure(4, 4, std::cout);
+  const auto rep =
+      bench::streamit_report("fig8_streamit_4x4", 4, 4, bench::threads_arg(args));
+  bench::print_streamit_report(rep, std::cout);
+  bench::maybe_write_json(rep, bench::json_dir_arg(args), std::cout);
   return 0;
 }

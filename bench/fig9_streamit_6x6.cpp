@@ -6,8 +6,13 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace spgcmp;
+  const util::Args args(argc, argv);
   std::cout << "Figure 9: normalized energy, StreamIt suite, 6x6 CMP\n";
-  spgcmp::bench::streamit_figure(6, 6, std::cout);
+  const auto rep =
+      bench::streamit_report("fig9_streamit_6x6", 6, 6, bench::threads_arg(args));
+  bench::print_streamit_report(rep, std::cout);
+  bench::maybe_write_json(rep, bench::json_dir_arg(args), std::cout);
   return 0;
 }

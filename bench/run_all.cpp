@@ -1,0 +1,131 @@
+// One-shot reproduction driver: regenerates Figures 8-13 and Tables 1-3 in
+// a single invocation, with every campaign batched through the parallel
+// sweep engine.  Output (console tables and BENCH_*.json files) is
+// byte-identical at any --threads value; each StreamIt grid is computed
+// once and reused for both its figure and its Table 2 row, and Table 3 is
+// derived from Figure 10's campaigns instead of being re-run.
+//
+// Flags (CLI > REPRO_* env > default):
+//   --threads=N   sweep threads (0 = hardware concurrency)  [REPRO_THREADS]
+//   --apps=N      workloads per point, n=50 figures          [REPRO_APPS]
+//   --apps150=N   workloads per point, n=150 figures         [REPRO_APPS150]
+//   --step=N      elevation step, n=50 figures               [REPRO_STEP]
+//   --step150=N   elevation step, n=150 figures              [REPRO_STEP150]
+//   --out=DIR     directory for BENCH_*.json ("" disables)   [REPRO_OUT]
+//
+// Paper-exact replication: --apps=100 --apps150=100 --step=1 --step150=1.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace spgcmp;
+
+/// Wrap per-grid / per-CCR failure totals as a BENCH_*.json report.
+harness::BenchReport failure_report(std::string name, std::string key,
+                                    const std::vector<std::string>& labels,
+                                    const std::vector<std::vector<std::size_t>>& rows) {
+  harness::BenchReport rep;
+  rep.name = std::move(name);
+  rep.metric = "failures";
+  rep.heuristics = bench::heuristic_names();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    harness::BenchCell cell;
+    cell.labels = {{key, labels[r]}};
+    cell.failures = rows[r];
+    rep.cells.push_back(std::move(cell));
+  }
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Args args(argc, argv);
+  const auto threads = bench::threads_arg(args);
+  const auto apps = static_cast<std::size_t>(args.get_int("apps", "REPRO_APPS", 5));
+  const auto apps150 =
+      static_cast<std::size_t>(args.get_int("apps150", "REPRO_APPS150", 3));
+  const int step = static_cast<int>(args.get_int("step", "REPRO_STEP", 3));
+  const int step150 = static_cast<int>(args.get_int("step150", "REPRO_STEP150", 5));
+  const std::string out = args.get_string("out", "REPRO_OUT", ".");
+
+  std::ostream& os = std::cout;
+  os << "spgcmp reproduction run: Figures 8-13, Tables 1-3\n";
+
+  // ---- Table 1 -----------------------------------------------------------
+  os << "\n== Table 1: characteristics of the StreamIt workflows ==\n";
+  bench::table1_characteristics().print(os);
+
+  // ---- Figures 8-9 + Table 2 (each grid computed once) -------------------
+  os << "\n== Figure 8: normalized energy, StreamIt suite, 4x4 CMP ==\n";
+  const auto fig8 = bench::streamit_report("fig8_streamit_4x4", 4, 4, threads);
+  const auto fail44 = bench::print_streamit_report(fig8, os);
+  bench::maybe_write_json(fig8, out, os);
+
+  os << "\n== Figure 9: normalized energy, StreamIt suite, 6x6 CMP ==\n";
+  const auto fig9 = bench::streamit_report("fig9_streamit_6x6", 6, 6, threads);
+  const auto fail66 = bench::print_streamit_report(fig9, os);
+  bench::maybe_write_json(fig9, out, os);
+
+  os << "\n== Table 2: failures out of 48 StreamIt instances per grid ==\n";
+  bench::print_failure_table({"4x4", "6x6"}, {fail44, fail66}, "platform", os);
+  const auto table2 = failure_report("table2_failures", "platform", {"4x4", "6x6"},
+                                     {fail44, fail66});
+  bench::maybe_write_json(table2, out, os);
+
+  // ---- Figures 10-13 -----------------------------------------------------
+  struct RandomFigure {
+    int fig;
+    std::size_t n;
+    int rows, cols, max_y;
+    std::size_t apps;
+    int step;
+  };
+  const std::vector<RandomFigure> figures = {
+      {10, 50, 4, 4, 20, apps, step},
+      {11, 50, 6, 6, 20, apps, step},
+      {12, 150, 4, 4, 30, apps150, step150},
+      {13, 150, 6, 6, 30, apps150, step150},
+  };
+  harness::BenchReport fig10;
+  std::size_t fig10_elevations = 0;
+  for (const auto& f : figures) {
+    const auto elevations = bench::default_elevations(f.max_y, f.step);
+    os << "\n== Figure " << f.fig << ": random SPGs, n=" << f.n << ", " << f.rows
+       << "x" << f.cols << " CMP (" << f.apps << " workloads per point) ==\n";
+    const auto rep = bench::random_report(
+        "fig" + std::to_string(f.fig) + "_random_n" + std::to_string(f.n) + "_" +
+            std::to_string(f.rows) + "x" + std::to_string(f.cols),
+        f.n, f.rows, f.cols, elevations, f.apps, threads);
+    bench::print_random_report(rep, os, f.n, f.rows, f.cols, elevations.size());
+    bench::maybe_write_json(rep, out, os);
+    if (f.fig == 10) {
+      fig10 = rep;
+      fig10_elevations = elevations.size();
+    }
+  }
+
+  // ---- Table 3 (derived from Figure 10's campaigns) ----------------------
+  const auto by_ccr = bench::report_failures_by_ccr(fig10, fig10_elevations);
+  os << "\n== Table 3: failures out of " << apps * fig10_elevations
+     << " random instances per CCR (n=50, 4x4 CMP) ==\n";
+  std::vector<std::string> ccr_labels;
+  for (const double ccr : bench::random_ccrs()) {
+    ccr_labels.push_back(util::fmt_double(ccr, 3));
+  }
+  bench::print_failure_table(ccr_labels, by_ccr, "CCR", os);
+  bench::maybe_write_json(failure_report("table3_failures_random", "ccr", ccr_labels,
+                                         by_ccr),
+                          out, os);
+
+  os << "\ndone.\n";
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "bench_run_all: " << e.what() << "\n";
+  return 2;
+}

@@ -6,22 +6,12 @@
 #include <cstdio>
 #include <iostream>
 
-#include "spg/streamit.hpp"
-#include "util/table.hpp"
+#include "bench_common.hpp"
 
 int main() {
   using namespace spgcmp;
   std::printf("Table 1: characteristics of the StreamIt workflows\n");
-  util::Table t({"index", "name", "n", "ymax", "xmax", "CCR", "edges",
-                 "total work (cycles)"});
-  for (const auto& info : spg::streamit_table()) {
-    const spg::Spg g = spg::make_streamit(info);
-    t.add_row({std::to_string(info.index), info.name, std::to_string(g.size()),
-               std::to_string(g.ymax()), std::to_string(g.xmax()),
-               util::fmt_double(g.ccr(), 4), std::to_string(g.edge_count()),
-               util::fmt_sci(g.total_work(), 2)});
-  }
-  t.print(std::cout);
+  bench::table1_characteristics().print(std::cout);
   std::printf("\npaper columns (n, ymax, xmax, CCR) match Table 1 by construction;\n"
               "see DESIGN.md for the synthetic-suite substitution rationale.\n");
   return 0;

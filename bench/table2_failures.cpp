@@ -11,24 +11,17 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spgcmp;
+  const util::Args args(argc, argv);
+  const auto threads = bench::threads_arg(args);
   std::ostringstream sink;  // the per-app tables are Figure 8/9's output
-  const auto f44 = bench::streamit_figure(4, 4, sink);
-  const auto f66 = bench::streamit_figure(6, 6, sink);
+  const auto f44 = bench::print_streamit_report(
+      bench::streamit_report("fig8_streamit_4x4", 4, 4, threads), sink);
+  const auto f66 = bench::print_streamit_report(
+      bench::streamit_report("fig9_streamit_6x6", 6, 6, threads), sink);
 
-  const auto hs = heuristics::make_paper_heuristics();
-  std::vector<std::string> header = {"platform"};
-  for (const auto& h : hs) header.push_back(h->name());
-  util::Table t(header);
-  auto add = [&](const std::string& label, const std::vector<std::size_t>& f) {
-    std::vector<std::string> row = {label};
-    for (const auto v : f) row.push_back(std::to_string(v));
-    t.add_row(std::move(row));
-  };
   std::cout << "Table 2: failures out of 48 instances per CMP grid size\n";
-  add("4x4", f44);
-  add("6x6", f66);
-  t.print(std::cout);
+  bench::print_failure_table({"4x4", "6x6"}, {f44, f66}, "platform", std::cout);
   return 0;
 }

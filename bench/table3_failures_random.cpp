@@ -21,23 +21,14 @@ int main(int argc, char** argv) {
   const auto elevations = bench::default_elevations(20, step);
   const std::size_t total = apps * elevations.size();
 
-  const auto hs = heuristics::make_paper_heuristics();
-  std::vector<std::string> header = {"CCR"};
-  for (const auto& h : hs) header.push_back(h->name());
-  util::Table t(header);
+  const auto rep = bench::random_report("table3_random_n50_4x4", 50, 4, 4,
+                                        elevations, apps, bench::threads_arg(args));
+  const auto by_ccr = bench::report_failures_by_ccr(rep, elevations.size());
 
   std::cout << "Table 3: failures out of " << total
             << " random instances per CCR (n=50, 4x4 CMP)\n";
-  for (const double ccr : {10.0, 1.0, 0.1}) {
-    const auto series = bench::random_series(50, elevations, ccr, apps, 4, 4, 42);
-    std::vector<std::size_t> failures(hs.size(), 0);
-    for (const auto& row : series.failures) {
-      for (std::size_t h = 0; h < row.size(); ++h) failures[h] += row[h];
-    }
-    std::vector<std::string> out = {util::fmt_double(ccr, 3)};
-    for (const auto f : failures) out.push_back(std::to_string(f));
-    t.add_row(std::move(out));
-  }
-  t.print(std::cout);
+  std::vector<std::string> labels;
+  for (const double ccr : bench::random_ccrs()) labels.push_back(util::fmt_double(ccr, 3));
+  bench::print_failure_table(labels, by_ccr, "CCR", std::cout);
   return 0;
 }

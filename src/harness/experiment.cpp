@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "harness/sweep_engine.hpp"
 #include "util/thread_pool.hpp"
 
 namespace spgcmp::harness {
@@ -77,8 +78,6 @@ SweepCell sweep(const std::function<spg::Spg(std::size_t)>& make_workload,
                 std::size_t count, const cmp::Platform& p,
                 const std::function<HeuristicSet()>& make_heuristics,
                 std::size_t threads) {
-  SweepCell cell;
-  cell.workloads = count;
   std::vector<Campaign> campaigns(count);
   util::parallel_for(
       0, count,
@@ -88,24 +87,7 @@ SweepCell sweep(const std::function<spg::Spg(std::size_t)>& make_workload,
         campaigns[w] = run_campaign(g, p, hs);
       },
       threads);
-
-  if (count == 0) return cell;
-  const std::size_t H = campaigns[0].results.size();
-  cell.mean_inverse_energy.assign(H, 0.0);
-  cell.failures.assign(H, 0);
-  for (const auto& c : campaigns) {
-    for (std::size_t h = 0; h < H; ++h) {
-      if (c.results[h].success) {
-        cell.mean_inverse_energy[h] += c.normalized_inverse_energy(h);
-      } else {
-        ++cell.failures[h];
-      }
-    }
-  }
-  for (std::size_t h = 0; h < H; ++h) {
-    cell.mean_inverse_energy[h] /= static_cast<double>(count);
-  }
-  return cell;
+  return SweepEngine::aggregate(campaigns);
 }
 
 }  // namespace spgcmp::harness

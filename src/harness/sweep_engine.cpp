@@ -1,0 +1,160 @@
+#include "harness/sweep_engine.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spgcmp::harness {
+
+std::uint64_t instance_seed(std::uint64_t base, std::uint64_t index) noexcept {
+  // Two splitmix64 steps over a combined state: both inputs avalanche, so
+  // (base, 0), (base, 1), ... are decorrelated streams and distinct bases
+  // never collide for small indices.
+  std::uint64_t state = base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  std::uint64_t out = util::splitmix64(state);
+  out ^= util::splitmix64(state);
+  return out;
+}
+
+std::vector<Campaign> SweepEngine::run_generated(
+    std::size_t count, std::uint64_t seed_base, const WorkloadFactory& make,
+    const cmp::Platform& p, const HeuristicFactory& make_heuristics) const {
+  std::vector<Campaign> campaigns(count);
+  util::parallel_for(
+      0, count,
+      [&](std::size_t w) {
+        util::Rng rng(instance_seed(seed_base, w));
+        const spg::Spg g = make(w, rng);
+        const HeuristicSet hs = make_heuristics();
+        campaigns[w] = run_campaign(g, p, hs, opt_.period);
+      },
+      opt_.threads);
+  return campaigns;
+}
+
+std::vector<Campaign> SweepEngine::run_tasks(
+    const std::vector<GeneratedTask>& tasks, const cmp::Platform& p,
+    const HeuristicFactory& make_heuristics) const {
+  std::vector<Campaign> campaigns(tasks.size());
+  util::parallel_for(
+      0, tasks.size(),
+      [&](std::size_t t) {
+        util::Rng rng(tasks[t].seed);
+        const spg::Spg g = tasks[t].make(rng);
+        const HeuristicSet hs = make_heuristics();
+        campaigns[t] = run_campaign(g, p, hs, opt_.period);
+      },
+      opt_.threads);
+  return campaigns;
+}
+
+std::vector<Campaign> SweepEngine::run_fixed(
+    const std::vector<spg::Spg>& workloads, const cmp::Platform& p,
+    const HeuristicFactory& make_heuristics) const {
+  std::vector<Campaign> campaigns(workloads.size());
+  util::parallel_for(
+      0, workloads.size(),
+      [&](std::size_t w) {
+        const HeuristicSet hs = make_heuristics();
+        campaigns[w] = run_campaign(workloads[w], p, hs, opt_.period);
+      },
+      opt_.threads);
+  return campaigns;
+}
+
+SweepCell SweepEngine::aggregate(const Campaign* campaigns, std::size_t count) {
+  SweepCell cell;
+  cell.workloads = count;
+  if (count == 0) return cell;
+  const std::size_t H = campaigns[0].results.size();
+  cell.mean_inverse_energy.assign(H, 0.0);
+  cell.failures.assign(H, 0);
+  for (std::size_t w = 0; w < count; ++w) {
+    const Campaign& c = campaigns[w];
+    for (std::size_t h = 0; h < H; ++h) {
+      if (c.results[h].success) {
+        cell.mean_inverse_energy[h] += c.normalized_inverse_energy(h);
+      } else {
+        ++cell.failures[h];
+      }
+    }
+  }
+  for (std::size_t h = 0; h < H; ++h) {
+    cell.mean_inverse_energy[h] /= static_cast<double>(count);
+  }
+  return cell;
+}
+
+BenchCell cell_from_campaign(
+    std::vector<std::pair<std::string, std::string>> labels, const Campaign& c) {
+  BenchCell cell;
+  cell.labels = std::move(labels);
+  cell.period = c.period;
+  cell.workloads = 1;
+  cell.values.reserve(c.results.size());
+  cell.failures.reserve(c.results.size());
+  for (std::size_t h = 0; h < c.results.size(); ++h) {
+    cell.values.push_back(c.normalized_energy(h));
+    cell.failures.push_back(c.results[h].success ? 0 : 1);
+  }
+  return cell;
+}
+
+BenchCell cell_from_sweep(
+    std::vector<std::pair<std::string, std::string>> labels, const SweepCell& s) {
+  BenchCell cell;
+  cell.labels = std::move(labels);
+  cell.period = 0.0;
+  cell.workloads = s.workloads;
+  cell.values = s.mean_inverse_energy;
+  cell.failures = s.failures;
+  return cell;
+}
+
+void BenchReport::write_json(std::ostream& os) const {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("bench", name);
+  w.kv("metric", metric);
+  if (!meta.empty()) {
+    w.key("meta");
+    w.begin_object();
+    for (const auto& [k, v] : meta) w.kv(k, v);
+    w.end_object();
+  }
+  w.key("heuristics");
+  w.value(heuristics);
+  w.key("cells");
+  w.begin_array();
+  for (const auto& cell : cells) {
+    w.begin_object();
+    for (const auto& [k, v] : cell.labels) w.kv(k, v);
+    if (cell.period > 0.0) w.kv("period", cell.period);
+    // size_t: explicit widening keeps the overload set unambiguous on
+    // platforms where size_t is neither int64_t nor uint64_t exactly.
+    w.kv("workloads", static_cast<std::uint64_t>(cell.workloads));
+    w.key("values");
+    w.value(cell.values);
+    w.key("failures");
+    w.value(cell.failures);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string BenchReport::write_json_file(const std::string& dir) const {
+  const std::string base = dir.empty() ? std::string(".") : dir;
+  std::filesystem::create_directories(base);
+  const std::string path = base + "/BENCH_" + name + ".json";
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path + " for writing");
+  write_json(os);
+  return path;
+}
+
+}  // namespace spgcmp::harness

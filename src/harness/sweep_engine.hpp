@@ -1,0 +1,129 @@
+#pragma once
+
+// Parallel experiment-sweep engine.
+//
+// Every table and figure of Section 6.2 is an aggregation over independent
+// (workload, platform, period-search) campaigns.  The engine batches those
+// campaigns through util::ThreadPool with three guarantees:
+//
+//   1. Deterministic per-instance seeding: instance w of a batch draws all
+//      randomness from Rng(instance_seed(seed_base, w)), never from shared
+//      generator state, so which thread runs it is irrelevant.
+//   2. Thread-count independence: results are stored by instance index and
+//      aggregated in index order, so a 1-thread and an 8-thread run produce
+//      byte-identical output.
+//   3. Structured emission: a BenchReport collects named cells and writes a
+//      BENCH_<name>.json document for downstream tooling, alongside the
+//      console tables the bench binaries already print.
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace spgcmp::harness {
+
+using HeuristicFactory = std::function<HeuristicSet()>;
+
+struct SweepEngineOptions {
+  std::size_t threads = 0;          ///< 0 = hardware concurrency
+  PeriodSearchOptions period{};     ///< period-bound search parameters
+};
+
+/// Deterministic seed for instance `index` of stream `base` (splitmix64
+/// over the pair; avalanche on both inputs so adjacent indices decorrelate).
+[[nodiscard]] std::uint64_t instance_seed(std::uint64_t base,
+                                          std::uint64_t index) noexcept;
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepEngineOptions opt = {}) : opt_(opt) {}
+
+  [[nodiscard]] const SweepEngineOptions& options() const noexcept { return opt_; }
+
+  /// Workload factory for generated batches: build instance `index` using
+  /// only the supplied generator (already seeded with
+  /// instance_seed(seed_base, index)).
+  using WorkloadFactory = std::function<spg::Spg(std::size_t index, util::Rng& rng)>;
+
+  /// Run a full period-search campaign for each of `count` generated
+  /// workloads.  Returns one Campaign per instance, in index order.
+  [[nodiscard]] std::vector<Campaign> run_generated(
+      std::size_t count, std::uint64_t seed_base, const WorkloadFactory& make,
+      const cmp::Platform& p, const HeuristicFactory& make_heuristics) const;
+
+  /// Run a campaign for each fixed workload (e.g. the StreamIt suite at a
+  /// given CCR).  Returns one Campaign per workload, in input order.
+  [[nodiscard]] std::vector<Campaign> run_fixed(
+      const std::vector<spg::Spg>& workloads, const cmp::Platform& p,
+      const HeuristicFactory& make_heuristics) const;
+
+  /// One explicitly-seeded generation task for structured sweeps (e.g. the
+  /// flattened (ccr, elevation, workload) batches behind Figures 10-13,
+  /// whose seeds must stay stable when the elevation grid is subset).
+  struct GeneratedTask {
+    std::uint64_t seed = 0;
+    std::function<spg::Spg(util::Rng&)> make;
+  };
+
+  /// Run a campaign per task; task t builds its workload from Rng(t.seed).
+  [[nodiscard]] std::vector<Campaign> run_tasks(
+      const std::vector<GeneratedTask>& tasks, const cmp::Platform& p,
+      const HeuristicFactory& make_heuristics) const;
+
+  /// Fold a batch of campaigns into the figure aggregate (mean normalized
+  /// 1/E and failure counts per heuristic), in index order.  The pointer
+  /// form aggregates a slice of a larger batch without copying it.
+  [[nodiscard]] static SweepCell aggregate(const Campaign* campaigns,
+                                           std::size_t count);
+  [[nodiscard]] static SweepCell aggregate(const std::vector<Campaign>& campaigns) {
+    return aggregate(campaigns.data(), campaigns.size());
+  }
+
+ private:
+  SweepEngineOptions opt_;
+};
+
+// ------------------------------------------------------------------------
+// Structured bench output (BENCH_*.json).
+
+/// One result cell: a labelled row of per-heuristic values.
+struct BenchCell {
+  /// Ordered label pairs identifying the cell, e.g. {{"ccr","10"},
+  /// {"elevation","5"}} or {{"app","FMRadio"},{"ccr","original"}}.
+  std::vector<std::pair<std::string, std::string>> labels;
+  double period = 0.0;                 ///< retained period; 0 when averaged
+  std::vector<double> values;          ///< per heuristic (metric in `metric`)
+  std::vector<std::size_t> failures;   ///< per heuristic
+  std::size_t workloads = 1;           ///< instances aggregated into this cell
+};
+
+/// A full bench result destined for BENCH_<name>.json.
+struct BenchReport {
+  std::string name;                    ///< e.g. "fig8_streamit_4x4"
+  std::string metric;                  ///< e.g. "normalized_energy"
+  std::vector<std::pair<std::string, std::string>> meta;  ///< grid, apps, ...
+  std::vector<std::string> heuristics;
+  std::vector<BenchCell> cells;
+
+  /// Serialize as a stable, pretty-printed JSON document.
+  void write_json(std::ostream& os) const;
+
+  /// Write to `<dir>/BENCH_<name>.json`; returns the path written.
+  [[nodiscard]] std::string write_json_file(const std::string& dir) const;
+};
+
+/// Build a cell from a finished campaign using the figures' metrics.
+[[nodiscard]] BenchCell cell_from_campaign(
+    std::vector<std::pair<std::string, std::string>> labels, const Campaign& c);
+
+/// Build a cell from a sweep aggregate (mean normalized 1/E).
+[[nodiscard]] BenchCell cell_from_sweep(
+    std::vector<std::pair<std::string, std::string>> labels, const SweepCell& s);
+
+}  // namespace spgcmp::harness

@@ -28,17 +28,65 @@ std::optional<std::string> Args::get(std::string_view key) const {
 
 bool Args::has(std::string_view key) const { return get(key).has_value(); }
 
+namespace {
+
+// The source a value came from, so diagnostics name "--flag=x" for CLI
+// values and "ENV=x (environment)" for environment fallbacks.
+enum class Source { Flag, Env };
+
+// stoll/stod abort unattended bench runs with an opaque "terminate called"
+// on a typo'd value; rewrap with the offending key and value instead.
+[[noreturn]] void bad_value(std::string_view key, const std::string& value,
+                            Source src, const char* want) {
+  const std::string where =
+      src == Source::Flag ? "--" + std::string(key) + "=" + value
+                          : std::string(key) + "=" + value + " (environment)";
+  throw std::invalid_argument(where + ": expected " + want);
+}
+
+std::int64_t parse_int(std::string_view key, const std::string& value, Source src) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t out = std::stoll(value, &used);
+    if (used != value.size()) bad_value(key, value, src, "an integer");
+    return out;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, value, src, "an integer");
+  } catch (const std::out_of_range&) {
+    bad_value(key, value, src, "an integer in range");
+  }
+}
+
+double parse_double(std::string_view key, const std::string& value, Source src) {
+  try {
+    std::size_t used = 0;
+    const double out = std::stod(value, &used);
+    if (used != value.size()) bad_value(key, value, src, "a number");
+    return out;
+  } catch (const std::invalid_argument&) {
+    bad_value(key, value, src, "a number");
+  } catch (const std::out_of_range&) {
+    bad_value(key, value, src, "a number in range");
+  }
+}
+
+}  // namespace
+
 std::int64_t Args::get_int(std::string_view key, std::string_view env,
                            std::int64_t fallback) const {
-  if (auto v = get(key); v && !v->empty()) return std::stoll(*v);
-  if (auto v = env_int(env)) return *v;
+  if (auto v = get(key); v && !v->empty()) return parse_int(key, *v, Source::Flag);
+  if (auto v = env_string(env); v && !v->empty()) {
+    return parse_int(env, *v, Source::Env);
+  }
   return fallback;
 }
 
 double Args::get_double(std::string_view key, std::string_view env,
                         double fallback) const {
-  if (auto v = get(key); v && !v->empty()) return std::stod(*v);
-  if (auto v = env_string(env); v && !v->empty()) return std::stod(*v);
+  if (auto v = get(key); v && !v->empty()) return parse_double(key, *v, Source::Flag);
+  if (auto v = env_string(env); v && !v->empty()) {
+    return parse_double(env, *v, Source::Env);
+  }
   return fallback;
 }
 
@@ -53,12 +101,6 @@ std::optional<std::string> env_string(std::string_view name) {
   const char* v = std::getenv(std::string(name).c_str());
   if (v == nullptr) return std::nullopt;
   return std::string(v);
-}
-
-std::optional<std::int64_t> env_int(std::string_view name) {
-  auto s = env_string(name);
-  if (!s || s->empty()) return std::nullopt;
-  return std::stoll(*s);
 }
 
 }  // namespace spgcmp::util

@@ -40,6 +40,5 @@ class Args {
 
 /// Read environment variable; empty optional when unset.
 [[nodiscard]] std::optional<std::string> env_string(std::string_view name);
-[[nodiscard]] std::optional<std::int64_t> env_int(std::string_view name);
 
 }  // namespace spgcmp::util

@@ -1,0 +1,169 @@
+#include "util/json.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace spgcmp::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, value);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == value) break;
+  }
+  std::string s = buf;
+  // %g may produce "1e+05"; that is valid JSON.  "nan"/"inf" were excluded
+  // above.  Ensure a leading digit for values like ".5" (never produced by
+  // %g, but cheap to assert).
+  assert(!s.empty());
+  return s;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent) : os_(os), indent_(indent) {}
+
+void JsonWriter::newline() {
+  os_ << '\n';
+  const int depth = static_cast<int>(has_elements_.size());
+  for (int i = 0; i < depth * indent_; ++i) os_ << ' ';
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) os_ << ',';
+    has_elements_.back() = true;
+    newline();
+  }
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  const bool had = has_elements_.back();
+  has_elements_.pop_back();
+  if (had) newline();
+  os_ << '}';
+  if (has_elements_.empty()) os_ << '\n';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  const bool had = has_elements_.back();
+  has_elements_.pop_back();
+  if (had) newline();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  assert(!has_elements_.empty());
+  if (has_elements_.back()) os_ << ',';
+  has_elements_.back() = true;
+  newline();
+  os_ << '"' << json_escape(k) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  os_ << '"' << json_escape(s) << '"';
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  os_ << json_number(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+void JsonWriter::value(const std::vector<double>& v) {
+  before_value();
+  os_ << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os_ << ", ";
+    os_ << json_number(v[i]);
+  }
+  os_ << ']';
+}
+
+void JsonWriter::value(const std::vector<std::size_t>& v) {
+  before_value();
+  os_ << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os_ << ", ";
+    os_ << v[i];
+  }
+  os_ << ']';
+}
+
+void JsonWriter::value(const std::vector<std::string>& v) {
+  before_value();
+  os_ << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os_ << ", ";
+    os_ << '"' << json_escape(v[i]) << '"';
+  }
+  os_ << ']';
+}
+
+}  // namespace spgcmp::util

@@ -1,0 +1,78 @@
+#pragma once
+
+// Minimal streaming JSON writer for structured bench output.
+//
+// The sweep engine emits one BENCH_*.json document per figure/table so that
+// downstream tooling (plot scripts, regression diffing between runs at
+// different thread counts) can consume results without scraping console
+// tables.  The writer is deliberately tiny: objects, arrays, strings,
+// numbers and booleans, with deterministic locale-independent number
+// formatting — two runs producing the same values produce byte-identical
+// documents.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spgcmp::util {
+
+/// Escape a string for inclusion in a JSON document (adds no quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Format a double as a JSON number token: shortest round-trip decimal,
+/// locale-independent.  Non-finite values become null (JSON has no inf/nan).
+[[nodiscard]] std::string json_number(double value);
+
+/// Streaming writer with indentation and automatic comma placement.
+/// Usage:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("bench"); w.value("fig8");
+///   w.key("cells"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Convenience: `key(k)` followed by `value(v)`.
+  template <typename T>
+  void kv(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// Convenience: a whole array of doubles / sizes on one line.
+  void value(const std::vector<double>& v);
+  void value(const std::vector<std::size_t>& v);
+  void value(const std::vector<std::string>& v);
+
+ private:
+  void before_value();
+  void newline();
+
+  std::ostream& os_;
+  int indent_;
+  // One frame per open container: true once the first element was written.
+  std::vector<bool> has_elements_;
+  bool pending_key_ = false;
+};
+
+}  // namespace spgcmp::util

@@ -15,6 +15,9 @@ namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));
 }
+
+// GCC/Clang extension; __extension__ keeps it legal under -Wpedantic.
+__extension__ typedef unsigned __int128 u128;
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) noexcept {
@@ -44,7 +47,7 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
   for (;;) {
     const std::uint64_t r = next();
     // 128-bit multiply-high.
-    const unsigned __int128 m = static_cast<unsigned __int128>(r) * span;
+    const u128 m = static_cast<u128>(r) * span;
     const std::uint64_t low = static_cast<std::uint64_t>(m);
     if (low >= threshold) {
       return lo + static_cast<std::int64_t>(m >> 64);

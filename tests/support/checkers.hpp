@@ -1,0 +1,92 @@
+#pragma once
+
+// Shared gtest checkers: the full mapping-invariant audit and a
+// tolerance-aware comparison for rendered tables / bench output.
+//
+// `expect_valid_mapping` re-derives every invariant the evaluator promises
+// (structural validity, DAG-partition, period feasibility, positive energy)
+// instead of trusting a heuristic's own Result, so a heuristic that lies
+// about success is caught regardless of which suite exercises it.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "heuristics/heuristic.hpp"
+#include "mapping/mapping.hpp"
+
+namespace spgcmp::test {
+
+/// Audit one mapping against the evaluator at period bound T.
+inline void expect_valid_mapping(const spg::Spg& g, const cmp::Platform& p,
+                                 const mapping::Mapping& m, double T,
+                                 const std::string& who = "") {
+  ASSERT_EQ(m.core_of.size(), g.size()) << who << ": core_of arity";
+  for (std::size_t i = 0; i < m.core_of.size(); ++i) {
+    EXPECT_GE(m.core_of[i], 0) << who << ": stage " << i << " unmapped";
+    EXPECT_LT(m.core_of[i], p.grid.core_count()) << who << ": stage " << i;
+  }
+  EXPECT_TRUE(mapping::quotient_acyclic(g, m.core_of)) << who;
+  const auto ev = mapping::evaluate(g, p, m, T);
+  EXPECT_TRUE(ev.error.empty()) << who << ": " << ev.error;
+  EXPECT_TRUE(ev.dag_partition_ok) << who;
+  EXPECT_TRUE(ev.meets_period) << who << ": period " << ev.period << " > " << T;
+  EXPECT_LE(ev.period, T * (1 + 1e-9)) << who;
+  EXPECT_GT(ev.energy, 0.0) << who;
+}
+
+/// Audit a heuristic Result: success, internally consistent evaluation, and
+/// a mapping that independently passes `expect_valid_mapping`.
+inline void expect_valid_result(const heuristics::Result& r, const spg::Spg& g,
+                                const cmp::Platform& p, double T,
+                                const std::string& who = "") {
+  ASSERT_TRUE(r.success) << who << ": " << r.failure;
+  EXPECT_TRUE(r.eval.valid()) << who << ": " << r.eval.error;
+  EXPECT_LE(r.eval.period, T * (1 + 1e-9)) << who;
+  EXPECT_GT(r.eval.energy, 0.0) << who;
+  expect_valid_mapping(g, p, r.mapping, T, who);
+}
+
+/// Split a rendered table / bench dump into whitespace-delimited tokens.
+[[nodiscard]] inline std::vector<std::string> tokenize(const std::string& text) {
+  std::istringstream is(text);
+  std::vector<std::string> tokens;
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+/// True when the whole token parses as a decimal number.
+[[nodiscard]] inline bool parse_number(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+/// Tolerance-aware comparison of two rendered tables (or any text blocks):
+/// numeric tokens must agree within `rel_tol` relative tolerance, all other
+/// tokens must match exactly.  Reports the first mismatching token with its
+/// index so table diffs stay readable.
+inline void expect_tables_near(const std::string& actual, const std::string& expected,
+                               double rel_tol = 1e-9,
+                               const std::string& who = "") {
+  const auto a = tokenize(actual);
+  const auto b = tokenize(expected);
+  ASSERT_EQ(a.size(), b.size()) << who << ": token counts differ";
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double x = 0.0, y = 0.0;
+    if (parse_number(a[i], x) && parse_number(b[i], y)) {
+      const double scale = std::max({1.0, std::abs(x), std::abs(y)});
+      EXPECT_NEAR(x, y, rel_tol * scale) << who << ": token " << i;
+    } else {
+      EXPECT_EQ(a[i], b[i]) << who << ": token " << i;
+    }
+  }
+}
+
+}  // namespace spgcmp::test

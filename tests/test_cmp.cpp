@@ -49,7 +49,7 @@ TEST(Grid, LinkIndexUniqueAndValid) {
       for (int d = 0; d < 4; ++d) {
         const LinkId l{CoreId{u, v}, static_cast<Dir>(d)};
         if (!g.has_neighbor(l.from, l.dir)) {
-          EXPECT_THROW(g.link_index(l), std::out_of_range);
+          EXPECT_THROW(static_cast<void>(g.link_index(l)), std::out_of_range);
           continue;
         }
         const int idx = g.link_index(l);
@@ -80,7 +80,9 @@ TEST_P(XyRouteProperty, LengthIsManhattanAndContinuous) {
     // XY: all horizontal hops precede all vertical hops.
     const bool vertical = l.dir == Dir::North || l.dir == Dir::South;
     if (vertical) horizontal_done = true;
-    if (horizontal_done) EXPECT_TRUE(vertical);
+    if (horizontal_done) {
+      EXPECT_TRUE(vertical);
+    }
     cur = g.neighbor(l.from, l.dir);
   }
   EXPECT_TRUE(cur == b);

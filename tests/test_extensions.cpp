@@ -9,6 +9,7 @@
 #include "mapping/link_dvfs.hpp"
 #include "spg/compose.hpp"
 #include "spg/generator.hpp"
+#include "support/fixtures.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -90,7 +91,7 @@ TEST(LinkDvfs, NeverIncreasesEnergyOnHeuristicMappings) {
   for (int rep = 0; rep < 8; ++rep) {
     spg::Spg g = spg::random_spg(20, 4, rng);
     g.rescale_ccr(0.5);
-    const double T = g.total_work() / (4.0 * 0.6e9);
+    const double T = test::period_for_cores(g, 4.0);
     const auto r = heuristics::GreedyHeuristic().run(g, p, T);
     if (!r.success) continue;
     const auto res = mapping::downscale_links(g, p, r.mapping, T);
@@ -107,8 +108,8 @@ TEST(GeneralMappings, NeverWorseThanDagPartition) {
   for (int rep = 0; rep < 4; ++rep) {
     spg::Spg g = spg::random_spg(6, 2, rng);
     g.rescale_ccr(1.0);
-    const auto p = cmp::Platform::reference(2, 2);
-    const double T = g.total_work() / (2.0 * 0.6e9);
+    const auto p = test::grid2x2();
+    const double T = test::period_for_cores(g, 2.0);
     const auto dag = heuristics::ExactSolver().run(g, p, T);
     heuristics::ExactSolver::Options opt;
     opt.require_dag_partition = false;
@@ -123,8 +124,7 @@ TEST(GeneralMappings, CanUseCyclicQuotient) {
   // Diamond src -> {m1, m2} -> snk: clustering {src, snk} vs {m1, m2} is a
   // cyclic quotient, illegal under the DAG-partition rule but admissible as
   // a general mapping.
-  spg::Spg g({{1e8, 1, 1, ""}, {1e8, 2, 1, ""}, {1e8, 2, 2, ""}, {1e8, 3, 1, ""}},
-             {{0, 1, 1.0}, {0, 2, 1.0}, {1, 3, 1.0}, {2, 3, 1.0}});
+  const spg::Spg g = test::diamond();
   const auto p = cmp::Platform::reference(1, 2);
   // T forces exactly two clusters of 2e8 cycles each.
   const double T = 2e8 / 0.4e9 * 1.001;

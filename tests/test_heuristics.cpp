@@ -16,26 +16,15 @@
 #include "spg/compose.hpp"
 #include "spg/generator.hpp"
 #include "spg/streamit.hpp"
+#include "support/checkers.hpp"
+#include "support/fixtures.hpp"
 #include "util/rng.hpp"
 
 namespace {
 
 using namespace spgcmp;
 using heuristics::Result;
-
-/// A period bound that makes the problem feasible but not trivial: total
-/// work spread over ~half the cores at mid speed.
-double pick_period(const spg::Spg& g, const cmp::Platform& p) {
-  const double per_core = g.total_work() / (0.5 * p.grid.core_count());
-  return per_core / 0.6e9;
-}
-
-void expect_valid(const Result& r, double T, const std::string& who) {
-  ASSERT_TRUE(r.success) << who << ": " << r.failure;
-  EXPECT_TRUE(r.eval.valid()) << who << ": " << r.eval.error;
-  EXPECT_LE(r.eval.period, T * (1 + 1e-9)) << who;
-  EXPECT_GT(r.eval.energy, 0.0) << who;
-}
+using test::pick_period;
 
 struct Instance {
   std::size_t n;
@@ -49,9 +38,7 @@ class AllHeuristicsValid : public ::testing::TestWithParam<Instance> {};
 
 TEST_P(AllHeuristicsValid, SuccessImpliesValidMapping) {
   const auto [n, ymax, rows, cols, ccr, seed] = GetParam();
-  util::Rng rng(seed);
-  spg::Spg g = spg::random_spg(n, ymax, rng);
-  g.rescale_ccr(ccr);
+  const spg::Spg g = test::random_workload(seed, n, ymax, ccr);
   const auto p = cmp::Platform::reference(rows, cols);
   const double T = pick_period(g, p);
 
@@ -61,9 +48,7 @@ TEST_P(AllHeuristicsValid, SuccessImpliesValidMapping) {
     const Result r = h->run(g, p, T);
     if (!r.success) continue;
     ++successes;
-    EXPECT_TRUE(r.eval.valid()) << h->name() << ": " << r.eval.error;
-    EXPECT_TRUE(r.eval.dag_partition_ok) << h->name();
-    EXPECT_LE(r.eval.period, T * (1 + 1e-9)) << h->name();
+    test::expect_valid_result(r, g, p, T, h->name());
   }
   // At this mild period bound at least one heuristic must find a mapping.
   EXPECT_GE(successes, 1u);
@@ -120,7 +105,7 @@ TEST(Greedy, MapsChainAndDowngradesSpeeds) {
   const auto p = cmp::Platform::reference(2, 2);
   // 6e8 cycles total; T = 1 s: fits on one core at 0.6-0.8 GHz or spreads.
   const Result r = heuristics::GreedyHeuristic().run(g, p, 1.0);
-  expect_valid(r, 1.0, "Greedy");
+  test::expect_valid_result(r, g, p, 1.0, "Greedy");
   // Downgrading: every active core's speed is the slowest feasible one.
   for (int c = 0; c < p.grid.core_count(); ++c) {
     const double w = r.eval.core_work[static_cast<std::size_t>(c)];

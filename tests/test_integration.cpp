@@ -15,6 +15,7 @@
 #include "spg/generator.hpp"
 #include "spg/sp_tree.hpp"
 #include "spg/streamit.hpp"
+#include "support/fixtures.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -102,7 +103,7 @@ TEST(Integration, EnergyRespectsPhysicalLowerBound) {
                              p.speeds.dynamic_power(k) / p.speeds.speed(k));
   }
   const auto hs = heuristics::make_paper_heuristics(57);
-  const double T0 = g.total_work() / (2.0 * 1e9);
+  const double T0 = test::period_for_cores(g, 2.0, 1e9);
   for (const double mult : {1.0, 2.0, 4.0, 8.0}) {
     const auto c = harness::run_at_period(g, p, hs, T0 * mult);
     for (std::size_t h = 0; h < c.results.size(); ++h) {

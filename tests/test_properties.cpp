@@ -11,6 +11,8 @@
 #include "heuristics/random_heuristic.hpp"
 #include "spg/compose.hpp"
 #include "spg/generator.hpp"
+#include "support/checkers.hpp"
+#include "support/fixtures.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -60,11 +62,9 @@ TEST(Property, Dpa1dUsesOnlySnakeLinks) {
 TEST(Property, CommEnergyLinearInVolumes) {
   // Doubling every edge volume doubles the communication energy and leaves
   // the computation energy unchanged (same placement).
-  util::Rng rng(71);
-  spg::Spg g = spg::random_spg(15, 3, rng);
-  g.rescale_ccr(1.0);
+  const spg::Spg g = test::random_workload(71, 15, 3, 1.0);
   const auto p = cmp::Platform::reference(3, 3);
-  const double T = g.total_work() / (3.0 * 0.4e9);
+  const double T = test::period_for_cores(g, 3.0, 0.4e9);
   const auto r = heuristics::GreedyHeuristic().run(g, p, T);
   ASSERT_TRUE(r.success) << r.failure;
 
@@ -107,8 +107,8 @@ TEST(Property, RandomNeverExceedsCoreCount) {
   for (int rep = 0; rep < 5; ++rep) {
     spg::Spg g = spg::random_spg(30, 4, rng);
     g.rescale_ccr(10.0);
-    const auto p = cmp::Platform::reference(2, 2);
-    const double T = g.total_work() / (2.0 * 0.6e9);
+    const auto p = test::grid2x2();
+    const double T = test::period_for_cores(g, 2.0);
     const auto r = heuristics::RandomHeuristic(rep).run(g, p, T);
     if (!r.success) continue;
     EXPECT_LE(r.eval.active_cores, p.grid.core_count());
@@ -116,13 +116,11 @@ TEST(Property, RandomNeverExceedsCoreCount) {
 }
 
 TEST(Property, EvaluationPeriodIsMaxOfResources) {
-  util::Rng rng(73);
-  spg::Spg g = spg::random_spg(12, 3, rng);
-  g.rescale_ccr(0.2);
+  const spg::Spg g = test::random_workload(73, 12, 3, 0.2);
   const auto p = cmp::Platform::reference(2, 3);
-  const double T = g.total_work() / (2.0 * 0.6e9);
+  const double T = test::period_for_cores(g, 2.0);
   const auto r = heuristics::GreedyHeuristic().run(g, p, T);
-  ASSERT_TRUE(r.success) << r.failure;
+  test::expect_valid_result(r, g, p, T, "Greedy");
   EXPECT_DOUBLE_EQ(r.eval.period,
                    std::max(r.eval.max_core_time, r.eval.max_link_time));
 }

@@ -10,6 +10,7 @@
 #include "mapping/mapping.hpp"
 #include "sim/simulator.hpp"
 #include "spg/compose.hpp"
+#include "support/fixtures.hpp"
 #include "spg/generator.hpp"
 #include "util/rng.hpp"
 
@@ -99,7 +100,7 @@ TEST(Simulator, RejectsStructurallyInvalidMappings) {
   m.core_of = {0, 3};
   m.mode_of_core.assign(4, 0);
   m.edge_paths.assign(1, {});  // missing path
-  EXPECT_THROW(sim::simulate(g, p, m, {}), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(sim::simulate(g, p, m, {})), std::invalid_argument);
 }
 
 TEST(Simulator, FirstCompletionBeforeSteadyState) {
@@ -128,7 +129,7 @@ TEST_P(SimulatorAgreesWithEvaluator, OnHeuristicMappings) {
   spg::Spg g = spg::random_spg(18, 4, rng);
   g.rescale_ccr(1.0);
   const auto p = cmp::Platform::reference(3, 3);
-  const double T = g.total_work() / (4.0 * 0.6e9);
+  const double T = test::period_for_cores(g, 4.0);
 
   for (const auto& h : heuristics::make_paper_heuristics(GetParam())) {
     const auto r = h->run(g, p, T);

@@ -8,6 +8,7 @@
 #include "spg/compose.hpp"
 #include "spg/generator.hpp"
 #include "spg/tree.hpp"
+#include "support/fixtures.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -70,7 +71,7 @@ TEST(TreeToSpg, MappableByHeuristics) {
   auto g = spg::tree_to_spg(t);
   g.rescale_ccr(10.0);
   const auto p = cmp::Platform::reference(3, 3);
-  const double T = g.total_work() / (4.0 * 0.6e9);
+  const double T = test::period_for_cores(g, 4.0);
   std::size_t ok = 0;
   for (const auto& h : heuristics::make_paper_heuristics(92)) {
     const auto r = h->run(g, p, T);
@@ -88,7 +89,7 @@ TEST(Refine, NeverIncreasesEnergy) {
   for (int rep = 0; rep < 5; ++rep) {
     spg::Spg g = spg::random_spg(18, 3, rng);
     g.rescale_ccr(1.0);
-    const double T = g.total_work() / (3.0 * 0.6e9);
+    const double T = test::period_for_cores(g, 3.0);
     for (const auto& h : heuristics::make_paper_heuristics(93)) {
       const auto r = h->run(g, p, T);
       if (!r.success) continue;
@@ -118,7 +119,7 @@ TEST(Refine, ImprovesDeliberatelyBadSeed) {
   spg::Spg g = spg::random_spg(12, 2, rng);
   g.rescale_ccr(10.0);
   const auto p = cmp::Platform::reference(2, 2);
-  const double T = g.total_work() / (1.0 * 0.4e9);  // single core feasible
+  const double T = test::period_for_cores(g, 1.0, 0.4e9);  // single core feasible
 
   // Scatter stages round-robin — legal only if the quotient stays acyclic,
   // so scatter by topological blocks instead.

@@ -232,4 +232,23 @@ TEST(Args, EnvFallback) {
   ::unsetenv("SPGCMP_TEST_ENV");
 }
 
+TEST(Args, RejectsGarbageNumbersNamingTheFlag) {
+  // Regression: a typo'd numeric flag used to escape as a bare stoll
+  // exception ("what(): stoll"), aborting unattended bench runs with no
+  // hint of which flag was wrong.
+  const char* argv[] = {"prog", "--threads=abc", "--apps=3x"};
+  Args args(3, argv);
+  try {
+    (void)args.get_int("threads", "NO_SUCH_ENV", 0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--threads=abc"), std::string::npos)
+        << e.what();
+  }
+  // Trailing garbage after a valid prefix is rejected too.
+  EXPECT_THROW((void)args.get_int("apps", "NO_SUCH_ENV", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("apps", "NO_SUCH_ENV", 0.0),
+               std::invalid_argument);
+}
+
 }  // namespace
