@@ -40,7 +40,7 @@ spg::Spg workload(std::uint64_t seed, std::size_t n, int y, double ccr) {
 }
 
 double period_for(const spg::Spg& g, const cmp::Platform& p) {
-  return g.total_work() / (0.5 * p.grid.core_count() * 0.6e9);
+  return g.total_work() / (0.5 * p.grid().core_count() * 0.6e9);
 }
 
 void greedy_downgrade_ablation(std::size_t reps) {

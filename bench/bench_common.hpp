@@ -11,7 +11,9 @@
 // byte-identical to a single-threaded run.  Pass --json=DIR (or REPRO_JSON)
 // to additionally write a BENCH_<name>.json report per figure/table.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -46,12 +48,32 @@ inline std::vector<std::string> heuristic_names() {
   return v;
 }
 
-/// Common bench flags: sweep thread count and JSON output directory.
+/// Common bench flags: sweep thread count, JSON output directory and the
+/// platform topology to map onto (mesh|snake|torus|hetero).
 [[nodiscard]] inline std::size_t threads_arg(const util::Args& args) {
   return static_cast<std::size_t>(args.get_int("threads", "REPRO_THREADS", 0));
 }
 [[nodiscard]] inline std::string json_dir_arg(const util::Args& args) {
   return args.get_string("json", "REPRO_JSON", "");
+}
+[[nodiscard]] inline std::string topology_arg(const util::Args& args) {
+  const std::string t = args.get_string("topology", "REPRO_TOPOLOGY", "mesh");
+  // Validate here so every bench binary exits with a diagnostic instead of
+  // std::terminate when Topology::make throws mid-report.
+  const auto& names = cmp::Topology::names();
+  if (std::find(names.begin(), names.end(), t) == names.end()) {
+    std::fprintf(stderr, "unknown --topology=%s (expected", t.c_str());
+    for (const auto& n : names) std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, ")\n");
+    std::exit(2);
+  }
+  return t;
+}
+
+/// Tag a report with its non-default topology.  The default mesh adds no
+/// meta entry, keeping mesh outputs byte-identical across versions.
+inline void tag_topology(harness::BenchReport& rep, const std::string& topology) {
+  if (topology != "mesh") rep.meta.emplace_back("topology", topology);
 }
 
 /// Write BENCH_<name>.json when a directory was requested; announces the
@@ -69,8 +91,9 @@ inline void maybe_write_json(const harness::BenchReport& rep,
 /// cells batched through the sweep engine.  Cell order is CCR-major in
 /// `ccr_settings()` order, application-minor in suite order.
 inline harness::BenchReport streamit_report(std::string name, int rows, int cols,
-                                            std::size_t threads) {
-  const auto platform = cmp::Platform::reference(rows, cols);
+                                            std::size_t threads,
+                                            const std::string& topology = "mesh") {
+  const auto platform = cmp::Platform::reference(topology, rows, cols);
   harness::SweepEngineOptions opt;
   opt.threads = threads;
   const harness::SweepEngine engine(opt);
@@ -91,6 +114,7 @@ inline harness::BenchReport streamit_report(std::string name, int rows, int cols
   rep.metric = "normalized_energy";
   rep.meta = {{"suite", "streamit"},
               {"grid", std::to_string(rows) + "x" + std::to_string(cols)}};
+  tag_topology(rep, topology);
   rep.heuristics = heuristic_names();
   std::size_t k = 0;
   for (const auto& [label, ccr] : ccr_settings()) {
@@ -159,8 +183,9 @@ inline std::vector<std::size_t> print_streamit_report(
 inline harness::BenchReport random_report(std::string name, std::size_t n, int rows,
                                           int cols, const std::vector<int>& elevations,
                                           std::size_t apps, std::size_t threads,
-                                          std::uint64_t seed_base = 42) {
-  const auto platform = cmp::Platform::reference(rows, cols);
+                                          std::uint64_t seed_base = 42,
+                                          const std::string& topology = "mesh") {
+  const auto platform = cmp::Platform::reference(topology, rows, cols);
   harness::SweepEngineOptions opt;
   opt.threads = threads;
   const harness::SweepEngine engine(opt);
@@ -190,6 +215,7 @@ inline harness::BenchReport random_report(std::string name, std::size_t n, int r
               {"grid", std::to_string(rows) + "x" + std::to_string(cols)},
               {"apps", std::to_string(apps)},
               {"seed_base", std::to_string(seed_base)}};
+  tag_topology(rep, topology);
   rep.heuristics = heuristic_names();
   std::size_t k = 0;
   for (const double ccr : random_ccrs()) {

@@ -1,0 +1,190 @@
+// Evaluator throughput microbenchmark: full re-evaluation of a single-stage
+// move (reroute + downgrade + evaluate, the pre-Evaluator refine inner
+// loop) versus the incremental evaluate_move protocol, on random SPGs of
+// n = 50 and n = 150 over 4x4 and 6x6 meshes.
+//
+// Both sides score the *same* deterministic probe sequence against the same
+// bound mapping, so the reported speedup is the wall-time ratio of
+// identical work.  The first probes are also cross-checked (energy within
+// 1e-9 relative, validity bit-equal); any disagreement fails the run.
+//
+// Flags: --moves=N probe count per scenario (default 2000)   [REPRO_MOVES]
+//        --seed=S  workload seed (default 42)
+//        --json=DIR  BENCH_eval.json directory (default ".") [REPRO_JSON]
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mapping/evaluator.hpp"
+
+namespace {
+
+using namespace spgcmp;
+using Clock = std::chrono::steady_clock;
+
+struct Scenario {
+  std::size_t n;
+  int rows, cols;
+};
+
+struct Probe {
+  spg::StageId stage;
+  int core;
+};
+
+/// A valid mapping + period for the scenario: the first paper heuristic
+/// that succeeds, at the smallest power-of-two relaxation of the ablation
+/// period estimate.
+struct SeedMapping {
+  mapping::Mapping m;
+  double T = 0.0;
+};
+
+SeedMapping find_seed(const spg::Spg& g, const cmp::Platform& p) {
+  double T = g.total_work() / (0.5 * p.grid().core_count() * 0.6e9);
+  const auto hs = heuristics::make_paper_heuristics();
+  for (int relax = 0; relax < 24; ++relax, T *= 2.0) {
+    for (const auto& h : hs) {
+      auto r = h->run(g, p, T);
+      if (r.success) return SeedMapping{std::move(r.mapping), T};
+    }
+  }
+  throw std::runtime_error("eval_microbench: no valid seed mapping found");
+}
+
+double us_per_op(Clock::duration d, std::size_t ops) {
+  return std::chrono::duration<double, std::micro>(d).count() /
+         static_cast<double>(ops);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  const util::Args args(argc, argv);
+  const auto moves =
+      static_cast<std::size_t>(args.get_int("moves", "REPRO_MOVES", 2000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", "", 42));
+  const std::string json = args.get_string("json", "REPRO_JSON", ".");
+
+  const std::vector<Scenario> scenarios = {
+      {50, 4, 4}, {50, 6, 6}, {150, 4, 4}, {150, 6, 6}};
+
+  harness::BenchReport rep;
+  rep.name = "eval";
+  rep.metric = "evaluator_microbench";
+  rep.meta = {{"moves", std::to_string(moves)}, {"seed", std::to_string(seed)}};
+  rep.heuristics = {"full_us_per_eval", "incremental_us_per_eval", "speedup"};
+
+  util::Table table({"n", "grid", "full (us)", "incremental (us)", "speedup"});
+  double sink = 0.0;  // keep the timed loops observable
+  for (const auto& sc : scenarios) {
+    util::Rng rng(harness::instance_seed(seed, sc.n * 100 +
+                                                   static_cast<std::size_t>(sc.rows)));
+    spg::Spg g = spg::random_spg(sc.n, 6, rng);
+    g.rescale_ccr(1.0);
+    const auto p = cmp::Platform::reference(sc.rows, sc.cols);
+    const auto seeded = find_seed(g, p);
+    const double T = seeded.T;
+
+    // Deterministic probe sequence over (stage, target core).
+    std::vector<Probe> probes;
+    probes.reserve(moves);
+    std::vector<int> home = seeded.m.core_of;
+    while (probes.size() < moves) {
+      const auto s = static_cast<spg::StageId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.size()) - 1));
+      const int c = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::int64_t>(p.grid().core_count()) - 1));
+      if (c == home[s]) continue;
+      probes.push_back(Probe{s, c});
+    }
+
+    // Cross-check: the incremental score of a probe must match a fresh full
+    // evaluation of the moved mapping.
+    {
+      mapping::Evaluator checker(g, p, T);
+      mapping::Mapping bound = seeded.m;
+      mapping::attach_routes(g, p.topology, bound);
+      if (!mapping::assign_slowest_modes(g, p, T, bound)) {
+        throw std::runtime_error("eval_microbench: seed lost feasibility");
+      }
+      checker.bind(bound);
+      const std::size_t checks = std::min<std::size_t>(probes.size(), 64);
+      for (std::size_t i = 0; i < checks; ++i) {
+        const auto& inc = checker.evaluate_move(probes[i].stage, probes[i].core);
+        const bool inc_valid = inc.valid();
+        const double inc_energy = inc.energy;
+        mapping::Mapping cand = bound;
+        cand.core_of[probes[i].stage] = probes[i].core;
+        mapping::attach_routes(g, p.topology, cand);
+        const bool modes_ok = mapping::assign_slowest_modes(g, p, T, cand);
+        const auto full = mapping::evaluate(g, p, cand, T);
+        const bool full_valid = modes_ok && full.valid();
+        const double tol = 1e-9 * std::max(1.0, std::abs(full.energy));
+        if (inc_valid != full_valid ||
+            (inc_valid && std::abs(inc_energy - full.energy) > tol)) {
+          std::fprintf(stderr,
+                       "MISMATCH n=%zu %dx%d probe %zu: inc (%d, %.17g) vs "
+                       "full (%d, %.17g)\n",
+                       sc.n, sc.rows, sc.cols, i, inc_valid, inc_energy,
+                       full_valid, full.energy);
+          return 1;
+        }
+      }
+    }
+
+    // Timed: full re-evaluation per probe (reroute everything, re-downgrade
+    // every core, evaluate from scratch through the one-shot shim).
+    mapping::Mapping bound = seeded.m;
+    mapping::attach_routes(g, p.topology, bound);
+    (void)mapping::assign_slowest_modes(g, p, T, bound);
+    const auto t0 = Clock::now();
+    for (const auto& pr : probes) {
+      mapping::Mapping cand = bound;
+      cand.core_of[pr.stage] = pr.core;
+      mapping::attach_routes(g, p.topology, cand);
+      if (!mapping::assign_slowest_modes(g, p, T, cand)) continue;
+      sink += mapping::evaluate(g, p, cand, T).energy;
+    }
+    const auto full_dt = Clock::now() - t0;
+
+    // Timed: incremental probes against the bound state.
+    mapping::Evaluator evaluator(g, p, T);
+    evaluator.bind(bound);
+    const auto t1 = Clock::now();
+    for (const auto& pr : probes) {
+      sink += evaluator.evaluate_move(pr.stage, pr.core).energy;
+    }
+    const auto inc_dt = Clock::now() - t1;
+
+    const double full_us = us_per_op(full_dt, probes.size());
+    const double inc_us = us_per_op(inc_dt, probes.size());
+    const double speedup = inc_us > 0.0 ? full_us / inc_us : 0.0;
+
+    const std::string grid =
+        std::to_string(sc.rows) + "x" + std::to_string(sc.cols);
+    table.add_row({std::to_string(sc.n), grid, util::fmt_double(full_us, 3),
+                   util::fmt_double(inc_us, 3), util::fmt_double(speedup, 2)});
+    harness::BenchCell cell;
+    cell.labels = {{"n", std::to_string(sc.n)}, {"grid", grid}};
+    cell.period = T;
+    cell.values = {full_us, inc_us, speedup};
+    cell.failures = {0, 0, 0};
+    cell.workloads = probes.size();
+    rep.cells.push_back(std::move(cell));
+  }
+
+  std::cout << "Evaluator microbenchmark: full vs incremental re-evaluation ("
+            << moves << " probes per scenario)\n";
+  table.print(std::cout);
+  bench::maybe_write_json(rep, json, std::cout);
+  if (!std::isfinite(sink)) std::cout << "";  // defeat dead-code elimination
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "eval_microbench: " << e.what() << "\n";
+  return 2;
+}

@@ -12,6 +12,7 @@
 //   --step=N      elevation step, n=50 figures               [REPRO_STEP]
 //   --step150=N   elevation step, n=150 figures              [REPRO_STEP150]
 //   --out=DIR     directory for BENCH_*.json ("" disables)   [REPRO_OUT]
+//   --topology=T  mesh|snake|torus|hetero platform fabric    [REPRO_TOPOLOGY]
 //
 // Paper-exact replication: --apps=100 --apps150=100 --step=1 --step150=1.
 
@@ -53,9 +54,11 @@ int main(int argc, char** argv) try {
   const int step = static_cast<int>(args.get_int("step", "REPRO_STEP", 3));
   const int step150 = static_cast<int>(args.get_int("step150", "REPRO_STEP150", 5));
   const std::string out = args.get_string("out", "REPRO_OUT", ".");
+  const std::string topology = bench::topology_arg(args);
 
   std::ostream& os = std::cout;
   os << "spgcmp reproduction run: Figures 8-13, Tables 1-3\n";
+  if (topology != "mesh") os << "platform topology: " << topology << "\n";
 
   // ---- Table 1 -----------------------------------------------------------
   os << "\n== Table 1: characteristics of the StreamIt workflows ==\n";
@@ -63,12 +66,14 @@ int main(int argc, char** argv) try {
 
   // ---- Figures 8-9 + Table 2 (each grid computed once) -------------------
   os << "\n== Figure 8: normalized energy, StreamIt suite, 4x4 CMP ==\n";
-  const auto fig8 = bench::streamit_report("fig8_streamit_4x4", 4, 4, threads);
+  const auto fig8 =
+      bench::streamit_report("fig8_streamit_4x4", 4, 4, threads, topology);
   const auto fail44 = bench::print_streamit_report(fig8, os);
   bench::maybe_write_json(fig8, out, os);
 
   os << "\n== Figure 9: normalized energy, StreamIt suite, 6x6 CMP ==\n";
-  const auto fig9 = bench::streamit_report("fig9_streamit_6x6", 6, 6, threads);
+  const auto fig9 =
+      bench::streamit_report("fig9_streamit_6x6", 6, 6, threads, topology);
   const auto fail66 = bench::print_streamit_report(fig9, os);
   bench::maybe_write_json(fig9, out, os);
 
@@ -101,7 +106,7 @@ int main(int argc, char** argv) try {
     const auto rep = bench::random_report(
         "fig" + std::to_string(f.fig) + "_random_n" + std::to_string(f.n) + "_" +
             std::to_string(f.rows) + "x" + std::to_string(f.cols),
-        f.n, f.rows, f.cols, elevations, f.apps, threads);
+        f.n, f.rows, f.cols, elevations, f.apps, threads, 42, topology);
     bench::print_random_report(rep, os, f.n, f.rows, f.cols, elevations.size());
     bench::maybe_write_json(rep, out, os);
     if (f.fig == 10) {

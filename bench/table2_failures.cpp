@@ -15,11 +15,12 @@ int main(int argc, char** argv) {
   using namespace spgcmp;
   const util::Args args(argc, argv);
   const auto threads = bench::threads_arg(args);
+  const auto topology = bench::topology_arg(args);
   std::ostringstream sink;  // the per-app tables are Figure 8/9's output
   const auto f44 = bench::print_streamit_report(
-      bench::streamit_report("fig8_streamit_4x4", 4, 4, threads), sink);
+      bench::streamit_report("fig8_streamit_4x4", 4, 4, threads, topology), sink);
   const auto f66 = bench::print_streamit_report(
-      bench::streamit_report("fig9_streamit_6x6", 6, 6, threads), sink);
+      bench::streamit_report("fig9_streamit_6x6", 6, 6, threads, topology), sink);
 
   std::cout << "Table 2: failures out of 48 instances per CMP grid size\n";
   bench::print_failure_table({"4x4", "6x6"}, {f44, f66}, "platform", std::cout);

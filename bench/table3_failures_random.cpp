@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   const std::size_t total = apps * elevations.size();
 
   const auto rep = bench::random_report("table3_random_n50_4x4", 50, 4, 4,
-                                        elevations, apps, bench::threads_arg(args));
+                                        elevations, apps, bench::threads_arg(args),
+                                        42, bench::topology_arg(args));
   const auto by_ccr = bench::report_failures_by_ccr(rep, elevations.size());
 
   std::cout << "Table 3: failures out of " << total

@@ -125,8 +125,4 @@ double SpeedModel::core_energy(double work, std::size_t k, double period) const 
   return leak_ * period + (work / speeds_[k]) * dynamic_[k];
 }
 
-Platform Platform::reference(int rows, int cols) {
-  return Platform{Grid(rows, cols, 16.0 * 1.2e9), SpeedModel::xscale(), CommModel{}};
-}
-
 }  // namespace spgcmp::cmp

@@ -12,6 +12,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 namespace spgcmp::cmp {
@@ -25,6 +27,20 @@ struct CoreId {
 
 /// Link directions out of a core.
 enum class Dir : std::uint8_t { North = 0, South = 1, West = 2, East = 3 };
+
+/// The reverse direction (North <-> South, West <-> East).
+[[nodiscard]] constexpr Dir opposite(Dir d) noexcept {
+  switch (d) {
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+    case Dir::West: return Dir::East;
+    case Dir::East: return Dir::West;
+  }
+  return d;
+}
+
+/// Human-readable direction name ("North", ...), for diagnostics.
+[[nodiscard]] const char* to_string(Dir d) noexcept;
 
 /// A directed link: from `from` toward `dir`.
 struct LinkId {
@@ -124,15 +140,109 @@ struct CommModel {
   double leak_power = 0.0;               ///< P_leak^(comm), 0 in the paper
 };
 
+/// Which fabric a Topology models on top of the rectangular core layout.
+enum class TopologyKind : std::uint8_t { Mesh, Snake, Torus, HeteroMesh };
+
+/// Pluggable interconnect topology over a p x q core layout.
+///
+/// The Grid stays a pure geometry helper (coordinates, mesh neighbors, the
+/// snake embedding); a Topology decides which directed links exist, what
+/// the default route between two cores is, and how fast each core runs.
+/// Default routes for every ordered core pair are precomputed into one flat
+/// table at construction, so hot paths (the mapping::Evaluator, route
+/// attachment) serve routes as spans instead of rebuilding std::vectors:
+///
+///   Mesh        mesh links, XY (horizontal-then-vertical) routes
+///   Snake       mesh links, routes follow the boustrophedon embedding
+///   Torus       mesh links plus row/column wrap-around links; per-dimension
+///               shortest direction, ties broken toward East/South
+///   HeteroMesh  mesh links and XY routes, but cores alternate between full
+///               speed and a reduced speed scale in a checkerboard pattern
+///
+/// Every mesh link exists in all four topologies, so a mapping routed with
+/// mesh paths stays structurally valid on any of them; only Torus adds
+/// links of its own (the wrap-arounds).
+class Topology {
+ public:
+  [[nodiscard]] static Topology mesh(int rows, int cols, double bandwidth);
+  [[nodiscard]] static Topology snake(int rows, int cols, double bandwidth);
+  [[nodiscard]] static Topology torus(int rows, int cols, double bandwidth);
+  /// Checkerboard of full-speed and `slow_scale`-speed cores ((0,0) fast).
+  [[nodiscard]] static Topology hetero_mesh(int rows, int cols, double bandwidth,
+                                            double slow_scale = 0.75);
+  /// Factory by name: "mesh", "snake", "torus" or "hetero"; throws
+  /// std::invalid_argument on anything else.
+  [[nodiscard]] static Topology make(const std::string& name, int rows, int cols,
+                                     double bandwidth);
+  /// The names `make` accepts, in presentation order.
+  [[nodiscard]] static const std::vector<std::string>& names();
+
+  [[nodiscard]] TopologyKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Grid& grid() const noexcept { return grid_; }
+  [[nodiscard]] int core_count() const noexcept { return grid_.core_count(); }
+  /// Dense directed-link index space (shared with Grid::link_index); wrap
+  /// links of the torus reuse the indices a mesh leaves unused.
+  [[nodiscard]] int link_count() const noexcept { return grid_.link_count(); }
+
+  /// True when the directed link out of `c` toward `d` exists here.
+  [[nodiscard]] bool has_link(CoreId c, Dir d) const noexcept;
+  /// Endpoint of that link (wraps around on the torus).
+  [[nodiscard]] CoreId link_target(CoreId c, Dir d) const noexcept;
+  /// Dense index of a directed link; throws std::out_of_range (naming the
+  /// core and direction) when the link does not exist in this topology.
+  [[nodiscard]] int link_index(LinkId l) const;
+
+  /// Default route between two cores (empty when src == dst), served from
+  /// the precomputed table.  Valid for the lifetime of the Topology.
+  [[nodiscard]] std::span<const LinkId> route(int src_core, int dst_core) const noexcept;
+  /// The same route as dense link indices (avoids link_index() in loops).
+  [[nodiscard]] std::span<const int> route_links(int src_core,
+                                                 int dst_core) const noexcept;
+  /// Hop count of the default route.
+  [[nodiscard]] int distance(int src_core, int dst_core) const noexcept;
+
+  /// Relative speed of a core (multiplies every SpeedModel mode); 1.0
+  /// everywhere except on the heterogeneous mesh.
+  [[nodiscard]] double core_speed_scale(int core) const noexcept {
+    return speed_scale_.empty() ? 1.0 : speed_scale_[static_cast<std::size_t>(core)];
+  }
+  /// True when some core runs below full speed.
+  [[nodiscard]] bool heterogeneous() const noexcept { return !speed_scale_.empty(); }
+
+ private:
+  Topology(TopologyKind kind, std::string name, Grid grid);
+  void build_route_table();
+  void append_route(CoreId src, CoreId dst);
+
+  TopologyKind kind_;
+  std::string name_;
+  Grid grid_;
+  std::vector<double> speed_scale_;      ///< empty = homogeneous (all 1.0)
+  // Routes for all ordered pairs, flattened: pair (s, d) occupies
+  // [route_begin_[s*N+d], route_begin_[s*N+d+1]) in both pools.
+  std::vector<LinkId> route_pool_;
+  std::vector<int> route_link_pool_;     ///< parallel pool of dense indices
+  std::vector<std::uint32_t> route_begin_;
+};
+
 /// Bundled platform description handed to heuristics.
 struct Platform {
-  Grid grid;
+  Topology topology;
   SpeedModel speeds;
   CommModel comm;
 
-  /// The paper's reference platform: p x q grid, BW = 16 B * 1.2 GHz,
+  /// Core geometry of the topology (kept as the platform's vocabulary type
+  /// for coordinates, indexing and the snake embedding).
+  [[nodiscard]] const Grid& grid() const noexcept { return topology.grid(); }
+
+  /// The paper's reference platform: p x q mesh, BW = 16 B * 1.2 GHz,
   /// XScale cores, E_bit = 6 pJ.
   [[nodiscard]] static Platform reference(int rows, int cols);
+  /// Reference constants on a named topology ("mesh", "snake", "torus",
+  /// "hetero").
+  [[nodiscard]] static Platform reference(const std::string& topology, int rows,
+                                          int cols);
 };
 
 }  // namespace spgcmp::cmp

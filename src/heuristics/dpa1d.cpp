@@ -39,9 +39,9 @@ struct Dpa1dSolver {
   explicit Dpa1dSolver(const spg::Spg& graph, const cmp::Platform& plat, double period,
                        Dpa1dHeuristic::Options options)
       : g(graph), p(plat), T(period), opt(options), n(graph.size()),
-        r(static_cast<std::size_t>(plat.grid.core_count())),
+        r(static_cast<std::size_t>(plat.grid().core_count())),
         weight_cap(period * plat.speeds.max_speed()),
-        cut_cap(period * plat.grid.bandwidth()) {
+        cut_cap(period * plat.grid().bandwidth()) {
     const auto order = g.topological_order();
     topo_idx.assign(n, 0);
     by_topo = order;
@@ -257,7 +257,7 @@ Result Dpa1dHeuristic::run(const spg::Spg& g, const cmp::Platform& p, double T) 
   }
 
   // Cluster j lives on snake core j; edges follow the snake.
-  const cmp::Grid& grid = p.grid;
+  const cmp::Grid& grid = p.grid();
   mapping::Mapping m;
   m.core_of.resize(g.size());
   for (spg::StageId i = 0; i < g.size(); ++i) {

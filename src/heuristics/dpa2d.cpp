@@ -429,20 +429,20 @@ struct Dpa2dSolver {
 
 Result Dpa2dHeuristic::run(const spg::Spg& g, const cmp::Platform& p, double T) const {
   if (mode_ == Mode::Grid2D) {
-    Dpa2dSolver solver(g, p.grid, p.speeds, p.comm, T);
+    Dpa2dSolver solver(g, p.grid(), p.speeds, p.comm, T);
     auto cores = solver.solve();
     if (!cores) return Result::fail("DPA2D: no feasible column partition");
     mapping::Mapping m;
     m.core_of.resize(g.size());
     for (spg::StageId i = 0; i < g.size(); ++i) {
-      m.core_of[i] = p.grid.core_index((*cores)[i]);
+      m.core_of[i] = p.grid().core_index((*cores)[i]);
     }
-    return finalize_with_xy(g, p, T, std::move(m));
+    return finalize_with_routes(g, p, T, std::move(m));
   }
 
   // DPA2D1D: virtual 1 x (p*q) line, then embed along the snake.
-  const int r = p.grid.core_count();
-  const cmp::Grid line(1, r, p.grid.bandwidth());
+  const int r = p.grid().core_count();
+  const cmp::Grid line(1, r, p.grid().bandwidth());
   Dpa2dSolver solver(g, line, p.speeds, p.comm, T);
   auto cores = solver.solve();
   if (!cores) return Result::fail("DPA2D1D: no feasible line partition");
@@ -450,7 +450,7 @@ Result Dpa2dHeuristic::run(const spg::Spg& g, const cmp::Platform& p, double T) 
   mapping::Mapping m;
   m.core_of.resize(g.size());
   for (spg::StageId i = 0; i < g.size(); ++i) {
-    m.core_of[i] = p.grid.core_index(p.grid.snake_core((*cores)[i].col));
+    m.core_of[i] = p.grid().core_index(p.grid().snake_core((*cores)[i].col));
   }
   m.edge_paths.assign(g.edge_count(), {});
   for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
@@ -459,7 +459,7 @@ Result Dpa2dHeuristic::run(const spg::Spg& g, const cmp::Platform& p, double T) 
     const int b = (*cores)[edge.dst].col;
     if (a != b) {
       m.edge_paths[e] =
-          p.grid.snake_route(p.grid.snake_core(a), p.grid.snake_core(b));
+          p.grid().snake_route(p.grid().snake_core(a), p.grid().snake_core(b));
     }
   }
   return finalize_with_paths(g, p, T, std::move(m), /*downgrade=*/true);

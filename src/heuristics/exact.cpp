@@ -97,11 +97,15 @@ Result ExactSolver::run(const spg::Spg& g, const cmp::Platform& p, double T) con
   if (g.size() > options_.max_stages) {
     return Result::fail("Exact: graph too large");
   }
-  if (p.grid.core_count() > options_.max_cores) {
+  if (p.grid().core_count() > options_.max_cores) {
     return Result::fail("Exact: platform too large");
   }
-  const int cores = p.grid.core_count();
+  const int cores = p.grid().core_count();
   std::size_t fuel = options_.max_candidates;
+  // One evaluator reused across the whole enumeration (candidate counts run
+  // into the tens of thousands; per-candidate workspace allocation would
+  // dominate).
+  mapping::Evaluator evaluator(g, p, T);
 
   Result best = Result::fail(options_.require_dag_partition
                                  ? "Exact: no feasible DAG-partition mapping"
@@ -131,46 +135,47 @@ Result ExactSolver::run(const spg::Spg& g, const cmp::Platform& p, double T) con
         for (spg::StageId i = 0; i < g.size(); ++i) {
           m.core_of[i] = choice[static_cast<std::size_t>(cluster_of[i])];
         }
-        // XY routes (and YX variant when enabled, which can relieve a
-        // saturated link on square grids).
+        // Topology default routes (and the YX variant when enabled, which
+        // can relieve a saturated link on square grids).
         for (int variant = 0; variant < (options_.try_yx_routes ? 2 : 1); ++variant) {
           mapping::Mapping cand = m;
           if (variant == 0) {
-            mapping::attach_xy_paths(g, p.grid, cand);
+            mapping::attach_routes(g, p.topology, cand);
           } else {
             // YX: route vertically first — equivalent to XY on the
             // transposed pair; build manually.
             cand.edge_paths.assign(g.edge_count(), {});
             for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
               const auto& edge = g.edge(e);
-              cmp::CoreId a = p.grid.core_at(cand.core_of[edge.src]);
-              const cmp::CoreId b = p.grid.core_at(cand.core_of[edge.dst]);
+              cmp::CoreId a = p.grid().core_at(cand.core_of[edge.src]);
+              const cmp::CoreId b = p.grid().core_at(cand.core_of[edge.dst]);
               if (a == b) continue;
               auto& path = cand.edge_paths[e];
               while (a.row != b.row) {
                 const cmp::Dir d = a.row < b.row ? cmp::Dir::South : cmp::Dir::North;
                 path.push_back(cmp::LinkId{a, d});
-                a = p.grid.neighbor(a, d);
+                a = p.grid().neighbor(a, d);
               }
               while (a.col != b.col) {
                 const cmp::Dir d = a.col < b.col ? cmp::Dir::East : cmp::Dir::West;
                 path.push_back(cmp::LinkId{a, d});
-                a = p.grid.neighbor(a, d);
+                a = p.grid().neighbor(a, d);
               }
             }
           }
           Result r;
           if (options_.require_dag_partition) {
-            r = finalize_with_paths(g, p, T, std::move(cand), /*downgrade=*/true);
+            r = finalize_with_paths(g, p, T, std::move(cand), /*downgrade=*/true,
+                                    evaluator);
           } else {
             // General mappings: accept structurally sound, period-feasible
             // mappings even when the cluster quotient is cyclic.
             if (!mapping::assign_slowest_modes(g, p, T, cand)) continue;
-            auto ev = mapping::evaluate(g, p, cand, T);
+            const auto& ev = evaluator.evaluate_full(cand);
             if (ev.error.empty() && ev.meets_period) {
               r.success = true;
               r.mapping = std::move(cand);
-              r.eval = std::move(ev);
+              r.eval = ev;
             }
           }
           if (r.success && (!best.success || r.eval.energy < best.eval.energy)) {

@@ -14,42 +14,6 @@ using cmp::CoreId;
 using cmp::Dir;
 using cmp::LinkId;
 
-/// Acyclicity of the quotient graph restricted to *placed* stages
-/// (core_of[i] == -1 means not yet placed; such stages and their incident
-/// edges are ignored).  The final mapping is re-checked in full by the
-/// evaluator; this partial test steers absorption decisions.
-bool placed_quotient_acyclic(const spg::Spg& g, const std::vector<int>& core_of) {
-  std::map<int, int> id;
-  for (int c : core_of) {
-    if (c != -1) id.emplace(c, static_cast<int>(id.size()));
-  }
-  const int k = static_cast<int>(id.size());
-  std::vector<std::set<int>> out(static_cast<std::size_t>(k));
-  std::vector<int> indeg(static_cast<std::size_t>(k), 0);
-  for (const auto& e : g.edges()) {
-    if (core_of[e.src] == -1 || core_of[e.dst] == -1) continue;
-    const int a = id.at(core_of[e.src]);
-    const int b = id.at(core_of[e.dst]);
-    if (a != b && out[static_cast<std::size_t>(a)].insert(b).second) {
-      ++indeg[static_cast<std::size_t>(b)];
-    }
-  }
-  std::vector<int> ready;
-  for (int i = 0; i < k; ++i) {
-    if (indeg[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
-  }
-  int seen = 0;
-  while (!ready.empty()) {
-    const int i = ready.back();
-    ready.pop_back();
-    ++seen;
-    for (int j : out[static_cast<std::size_t>(i)]) {
-      if (--indeg[static_cast<std::size_t>(j)] == 0) ready.push_back(j);
-    }
-  }
-  return seen == k;
-}
-
 /// A communication in flight: edge `e` has been emitted by its (placed)
 /// source and is parked at some core until the destination stage is
 /// absorbed there or the flow is forwarded onward.  `path` records every
@@ -64,9 +28,14 @@ struct Flow {
 std::optional<mapping::Mapping> greedy_at_speed(const spg::Spg& g,
                                                 const cmp::Platform& p, double T,
                                                 double speed_hz) {
-  const cmp::Grid& grid = p.grid;
+  const cmp::Grid& grid = p.grid();
   const std::size_t n = g.size();
   const double budget = T * speed_hz;
+  // Heterogeneous fabrics scale each core's budget; on homogeneous
+  // topologies the scale is exactly 1.0 and this is the plain budget.
+  const auto core_budget = [&](int ci) {
+    return budget * p.topology.core_speed_scale(ci);
+  };
 
   std::vector<int> core_of(n, -1);
   std::vector<double> core_work(static_cast<std::size_t>(grid.core_count()), 0.0);
@@ -76,6 +45,7 @@ std::optional<mapping::Mapping> greedy_at_speed(const spg::Spg& g,
   std::vector<std::vector<LinkId>> edge_paths(g.edge_count());
   std::vector<std::size_t> preds_left(n);
   for (spg::StageId i = 0; i < n; ++i) preds_left[i] = g.in_edges(i).size();
+  mapping::QuotientWorkspace quotient_ws;  // reused across absorption checks
 
   std::size_t placed_count = 0;
   // Place a stage and emit flows for its outgoing edges at its core.
@@ -90,8 +60,8 @@ std::optional<mapping::Mapping> greedy_at_speed(const spg::Spg& g,
   };
 
   const spg::StageId src = g.source();
-  if (g.stage(src).work > budget) return std::nullopt;
   const int first_core = grid.core_index(CoreId{0, 0});
+  if (g.stage(src).work > core_budget(first_core)) return std::nullopt;
   place(src, first_core);
 
   std::deque<int> queue{first_core};
@@ -126,11 +96,16 @@ std::optional<mapping::Mapping> greedy_at_speed(const spg::Spg& g,
 
         bool absorbed = false;
         for (const auto& [bytes, stage] : order) {
-          if (core_work[static_cast<std::size_t>(ci)] + g.stage(stage).work > budget) {
+          if (core_work[static_cast<std::size_t>(ci)] + g.stage(stage).work >
+              core_budget(ci)) {
             continue;
           }
-          core_of[stage] = ci;  // tentative, for the acyclicity check
-          if (!placed_quotient_acyclic(g, core_of)) {
+          // Tentative placement for the partial acyclicity check: unplaced
+          // stages hold -1, which quotient_acyclic_in ignores; the final
+          // mapping is re-checked in full by the evaluator.
+          core_of[stage] = ci;
+          if (!mapping::quotient_acyclic_in(g, core_of, grid.core_count(),
+                                            quotient_ws)) {
             core_of[stage] = -1;
             continue;
           }
@@ -250,7 +225,7 @@ Result GreedyHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
     if (!m) continue;
     if (!downgrade_) {
       // Ablation mode: all active cores stay at the construction speed.
-      m->mode_of_core.assign(static_cast<std::size_t>(p.grid.core_count()), k);
+      m->mode_of_core.assign(static_cast<std::size_t>(p.grid().core_count()), k);
     }
     Result r = finalize_with_paths(g, p, T, std::move(*m), downgrade_);
     if (!r.success) continue;

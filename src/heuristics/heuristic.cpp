@@ -8,13 +8,14 @@
 namespace spgcmp::heuristics {
 
 Result finalize_with_paths(const spg::Spg& g, const cmp::Platform& p, double T,
-                           mapping::Mapping m, bool downgrade) {
+                           mapping::Mapping m, bool downgrade,
+                           mapping::Evaluator& evaluator) {
   if (downgrade) {
     if (!mapping::assign_slowest_modes(g, p, T, m)) {
       return Result::fail("some core cannot meet the period at maximum speed");
     }
   }
-  auto ev = mapping::evaluate(g, p, m, T);
+  const auto& ev = evaluator.evaluate_full(m);
   if (!ev.valid()) {
     return Result::fail(ev.error.empty()
                             ? (ev.dag_partition_ok ? "period bound violated"
@@ -24,13 +25,19 @@ Result finalize_with_paths(const spg::Spg& g, const cmp::Platform& p, double T,
   Result r;
   r.success = true;
   r.mapping = std::move(m);
-  r.eval = std::move(ev);
+  r.eval = ev;
   return r;
 }
 
-Result finalize_with_xy(const spg::Spg& g, const cmp::Platform& p, double T,
-                        mapping::Mapping m) {
-  mapping::attach_xy_paths(g, p.grid, m);
+Result finalize_with_paths(const spg::Spg& g, const cmp::Platform& p, double T,
+                           mapping::Mapping m, bool downgrade) {
+  mapping::Evaluator evaluator(g, p, T);
+  return finalize_with_paths(g, p, T, std::move(m), downgrade, evaluator);
+}
+
+Result finalize_with_routes(const spg::Spg& g, const cmp::Platform& p, double T,
+                            mapping::Mapping m) {
+  mapping::attach_routes(g, p.topology, m);
   return finalize_with_paths(g, p, T, std::move(m), /*downgrade=*/true);
 }
 

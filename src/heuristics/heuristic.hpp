@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cmp/cmp.hpp"
+#include "mapping/evaluator.hpp"
 #include "mapping/mapping.hpp"
 #include "spg/spg.hpp"
 
@@ -44,15 +45,22 @@ class Heuristic {
                                    double T) const = 0;
 };
 
-/// Finalize a candidate allocation: attach XY paths, downgrade speeds and
-/// evaluate; returns success only if the evaluation is fully valid.
-[[nodiscard]] Result finalize_with_xy(const spg::Spg& g, const cmp::Platform& p,
-                                      double T, mapping::Mapping m);
+/// Finalize a candidate allocation: attach the platform topology's default
+/// routes, downgrade speeds and evaluate; returns success only if the
+/// evaluation is fully valid.
+[[nodiscard]] Result finalize_with_routes(const spg::Spg& g, const cmp::Platform& p,
+                                          double T, mapping::Mapping m);
 
 /// Finalize a mapping that already carries explicit paths.
 [[nodiscard]] Result finalize_with_paths(const spg::Spg& g, const cmp::Platform& p,
                                          double T, mapping::Mapping m,
                                          bool downgrade = true);
+
+/// Same, but reusing a caller-held Evaluator's arenas (for enumeration
+/// loops that finalize many candidates against one (g, p, T)).
+[[nodiscard]] Result finalize_with_paths(const spg::Spg& g, const cmp::Platform& p,
+                                         double T, mapping::Mapping m,
+                                         bool downgrade, mapping::Evaluator& ev);
 
 /// The five heuristics evaluated in Section 6, in paper order:
 /// Random, Greedy, DPA2D, DPA1D, DPA2D1D.

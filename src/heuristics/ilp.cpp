@@ -43,8 +43,8 @@ IlpStats emit_ilp(const spg::Spg& g, const cmp::Platform& p, double T,
                   std::ostream& os) {
   const std::size_t n = g.size();
   const std::size_t m = p.speeds.mode_count();
-  const int P = p.grid.rows();
-  const int Q = p.grid.cols();
+  const int P = p.grid().rows();
+  const int Q = p.grid().cols();
   LpWriter lp;
 
   // Adjacency and transitive closure as dense lookups.
@@ -265,7 +265,7 @@ IlpStats emit_ilp(const spg::Spg& g, const cmp::Platform& p, double T,
             first = false;
           }
         if (first) continue;
-        c << " <= " << T * p.grid.bandwidth();
+        c << " <= " << T * p.grid().bandwidth();
         lp.constraint(c.str());
       }
 

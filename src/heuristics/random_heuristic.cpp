@@ -4,6 +4,7 @@
 #include <cstring>
 #include <optional>
 
+#include "mapping/evaluator.hpp"
 #include "util/rng.hpp"
 
 namespace spgcmp::heuristics {
@@ -33,7 +34,7 @@ std::optional<Trial> random_partition(const spg::Spg& g, const cmp::Platform& p,
   }
 
   std::size_t assigned = 0;
-  const int max_clusters = p.grid.core_count();
+  const int max_clusters = p.grid().core_count();
   while (assigned < n) {
     if (static_cast<int>(trial.mode_of.size()) >= max_clusters) {
       return std::nullopt;  // more clusters than cores
@@ -86,38 +87,53 @@ Result RandomHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
   sig ^= tbits;
   util::Rng rng(sig);
 
-  Result best = Result::fail("no valid random trial");
+  // One evaluator serves every trial: placements are scored against the
+  // topology's implicit default routes (no per-trial path vectors), and the
+  // arenas are reused across all `trials_` evaluations.
+  mapping::Evaluator evaluator(g, p, T);
+  std::vector<int> core_of(g.size());
+  std::vector<std::size_t> mode_of_core;
+  std::vector<int> best_core_of;
+  std::vector<std::size_t> best_mode_of_core;
+  double best_energy = 0.0;
+  bool found = false;
+
   for (int t = 0; t < trials_; ++t) {
     auto trial = random_partition(g, p, T, rng);
     if (!trial) continue;
     const int k = static_cast<int>(trial->mode_of.size());
 
     // Random one-to-one placement of clusters onto cores.
-    std::vector<int> cores(static_cast<std::size_t>(p.grid.core_count()));
+    std::vector<int> cores(static_cast<std::size_t>(p.grid().core_count()));
     for (std::size_t c = 0; c < cores.size(); ++c) cores[c] = static_cast<int>(c);
     std::shuffle(cores.begin(), cores.end(), rng);
 
-    mapping::Mapping m;
-    m.core_of.resize(g.size());
     for (spg::StageId i = 0; i < g.size(); ++i) {
-      m.core_of[i] = cores[static_cast<std::size_t>(trial->cluster_of[i])];
+      core_of[i] = cores[static_cast<std::size_t>(trial->cluster_of[i])];
     }
-    m.mode_of_core.assign(static_cast<std::size_t>(p.grid.core_count()), 0);
+    mode_of_core.assign(static_cast<std::size_t>(p.grid().core_count()), 0);
     for (int c = 0; c < k; ++c) {
-      m.mode_of_core[static_cast<std::size_t>(cores[static_cast<std::size_t>(c)])] =
+      mode_of_core[static_cast<std::size_t>(cores[static_cast<std::size_t>(c)])] =
           trial->mode_of[static_cast<std::size_t>(c)];
     }
-    mapping::attach_xy_paths(g, p.grid, m);
 
-    const auto ev = mapping::evaluate(g, p, m, T);
+    const auto& ev = evaluator.evaluate_placement(core_of, mode_of_core);
     if (!ev.valid()) continue;
-    if (!best.success || ev.energy < best.eval.energy) {
-      best.success = true;
-      best.failure.clear();
-      best.mapping = std::move(m);
-      best.eval = ev;
+    if (!found || ev.energy < best_energy) {
+      found = true;
+      best_energy = ev.energy;
+      best_core_of = core_of;
+      best_mode_of_core = mode_of_core;
     }
   }
+
+  if (!found) return Result::fail("no valid random trial");
+  Result best;
+  best.success = true;
+  best.mapping.core_of = std::move(best_core_of);
+  best.mapping.mode_of_core = std::move(best_mode_of_core);
+  mapping::attach_routes(g, p.topology, best.mapping);
+  best.eval = evaluator.evaluate_full(best.mapping);
   return best;
 }
 

@@ -2,38 +2,41 @@
 
 #include <stdexcept>
 
+#include "mapping/evaluator.hpp"
+
 namespace spgcmp::heuristics {
 
 Result refine_mapping(const spg::Spg& g, const cmp::Platform& p, double T,
                       const mapping::Mapping& seed, const RefineOptions& options) {
-  // Re-evaluate the seed placement under XY routing; this is the state the
-  // local moves operate on.
+  // Re-route the seed placement onto topology default routes; this is the
+  // state the local moves operate on.
   mapping::Mapping cur = seed;
-  mapping::attach_xy_paths(g, p.grid, cur);
+  mapping::attach_routes(g, p.topology, cur);
   if (!mapping::assign_slowest_modes(g, p, T, cur)) {
-    return Result::fail("refine: seed infeasible under XY routing");
-  }
-  auto cur_ev = mapping::evaluate(g, p, cur, T);
-  if (!cur_ev.valid()) {
-    return Result::fail("refine: seed invalid under XY routing: " + cur_ev.error);
+    return Result::fail("refine: seed infeasible under default routing");
   }
 
-  const int cores = p.grid.core_count();
+  // The hill climber scores every candidate with an incremental single-stage
+  // move instead of re-routing and re-evaluating the whole mapping.
+  mapping::Evaluator evaluator(g, p, T);
+  const auto& bound_ev = evaluator.bind(cur);
+  if (!bound_ev.valid()) {
+    return Result::fail("refine: seed invalid under default routing: " +
+                        bound_ev.error);
+  }
+  double cur_energy = bound_ev.energy;
+
+  const int cores = p.grid().core_count();
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     bool improved = false;
     for (spg::StageId i = 0; i < g.size(); ++i) {
-      const int home = cur.core_of[i];
+      const int home = evaluator.mapping().core_of[i];
       for (int c = 0; c < cores; ++c) {
         if (c == home) continue;
-        mapping::Mapping cand = cur;
-        cand.core_of[i] = c;
-        mapping::attach_xy_paths(g, p.grid, cand);
-        if (!mapping::assign_slowest_modes(g, p, T, cand)) continue;
-        const auto ev = mapping::evaluate(g, p, cand, T);
+        const auto& ev = evaluator.evaluate_move(i, c);
         if (!ev.valid()) continue;
-        if (ev.energy < cur_ev.energy * (1.0 - options.min_gain)) {
-          cur = std::move(cand);
-          cur_ev = ev;
+        if (ev.energy < cur_energy * (1.0 - options.min_gain)) {
+          cur_energy = evaluator.commit_move().energy;
           improved = true;
           break;  // first improvement; rescan the stage's new neighbourhood
         }
@@ -42,10 +45,21 @@ Result refine_mapping(const spg::Spg& g, const cmp::Platform& p, double T,
     if (!improved) break;
   }
 
+  // Re-derive the authoritative evaluation from scratch: committed moves
+  // update the arenas by exact value replacement, but the final result
+  // should match what a fresh evaluate() of the mapping reports.
   Result r;
   r.success = true;
-  r.mapping = std::move(cur);
-  r.eval = std::move(cur_ev);
+  r.mapping = evaluator.mapping();
+  r.eval = mapping::evaluate(g, p, r.mapping, T);
+  if (!r.eval.valid()) {
+    // Hairline case: a committed move sat exactly on the period bound and
+    // the incremental score disagrees with the fresh evaluation by an ulp.
+    // Fall back to the seed state, which was fully validated at bind time —
+    // refine never returns worse than a valid input.
+    r.mapping = std::move(cur);
+    r.eval = mapping::evaluate(g, p, r.mapping, T);
+  }
   return r;
 }
 

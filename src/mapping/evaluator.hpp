@@ -1,0 +1,134 @@
+#pragma once
+
+// Reusable, arena-based mapping evaluator.
+//
+// The free function mapping::evaluate() rebuilds every workspace it needs
+// (per-core work, per-link loads, the cluster quotient) on each call, which
+// makes it expensive inside heuristic inner loops (refine's hill climber,
+// the random heuristic's trials, exact enumeration).  An Evaluator owns
+// those workspaces:
+//
+//   * per-core work / stage-count / per-link load arenas, allocated once
+//     and reused across calls;
+//   * the quotient DAG as flat index vectors (CSR adjacency + in-degrees
+//     keyed by core index) — no std::map / std::set;
+//   * the platform topology's precomputed routing tables, so default routes
+//     are spans instead of freshly built std::vectors.
+//
+// Three modes, fastest last:
+//
+//   evaluate_full(m)        arbitrary mapping with explicit paths; validates
+//                           structure and produces results identical to
+//                           mapping::evaluate().
+//   evaluate_placement(..)  placement + modes with *implicit* topology
+//                           default routes; skips path materialization and
+//                           validation entirely (routes are valid by
+//                           construction).
+//   bind / evaluate_move /  incremental protocol for single-stage moves:
+//   commit_move             only the two affected cores and the moved
+//                           stage's incident-edge routes are touched, then
+//                           the cheap O(cores + links + edges) scalar pass
+//                           re-aggregates.  evaluate_move leaves the bound
+//                           state untouched until commit_move.
+//
+// Move evaluations return scalar results only (their `core_work` /
+// `link_load` vectors stay empty); full evaluations expose the arenas.
+// References returned by any method are invalidated by the next call.
+// Evaluators are cheap to construct (no routing-table build; tables live in
+// the Topology) but are not thread-safe; use one per thread.
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+
+namespace spgcmp::mapping {
+
+class Evaluator {
+ public:
+  /// Evaluate against period bound `T`; `g` and `p` must outlive the
+  /// Evaluator.
+  Evaluator(const spg::Spg& g, const cmp::Platform& p, double T);
+
+  [[nodiscard]] double period_bound() const noexcept { return T_; }
+
+  /// Full evaluation of an arbitrary mapping (explicit paths, validated).
+  /// Invalidates any previous bind().
+  const Evaluation& evaluate_full(const Mapping& m);
+
+  /// Full evaluation of a placement under implicit topology-default routes:
+  /// `core_of` maps stages to cores, `mode_of_core` is indexed by core.
+  /// No paths are built or checked.  Invalidates any previous bind().
+  const Evaluation& evaluate_placement(const std::vector<int>& core_of,
+                                       const std::vector<std::size_t>& mode_of_core);
+
+  // --- incremental single-stage-move protocol ---------------------------
+
+  /// Copy `m` as the bound state and fully evaluate it.  `m` must be
+  /// structurally valid (Evaluation::error empty) for moves to be allowed.
+  const Evaluation& bind(const Mapping& m);
+
+  /// The bound mapping (with all committed moves applied).
+  [[nodiscard]] const Mapping& mapping() const noexcept { return m_; }
+
+  /// Evaluation of the bound mapping (updated by commit_move).
+  [[nodiscard]] const Evaluation& current() const noexcept { return ev_; }
+
+  /// Evaluate moving stage `s` to core `to` (its incident edges rerouted
+  /// onto topology default routes, the two touched cores re-downgraded to
+  /// their slowest feasible modes).  The bound state is left unchanged.
+  const Evaluation& evaluate_move(spg::StageId s, int to);
+
+  /// Apply the most recently evaluated move; returns the updated current
+  /// evaluation.  Throws std::logic_error without a preceding
+  /// evaluate_move.
+  const Evaluation& commit_move();
+
+ private:
+  const Evaluation& finish_scalars(Evaluation& out, const std::vector<int>& core_of,
+                                   const std::vector<std::size_t>& mode_of_core);
+  void accumulate_work(const std::vector<int>& core_of);
+  void touch_link(int index);
+  [[nodiscard]] std::size_t downgraded_mode(double work, int core) const;
+
+  const spg::Spg* g_;
+  const cmp::Platform* p_;
+  double T_;
+
+  Evaluation ev_;       ///< current result; its core_work/link_load are the arenas
+  Evaluation move_ev_;  ///< scalar-only result of the last evaluate_move
+
+  // Bound state.
+  Mapping m_;
+  bool bound_ = false;
+
+  // Arenas.
+  std::vector<int> stage_count_;       ///< stages per core
+  std::vector<int> link_paths_;        ///< paths crossing each link; a link
+                                       ///< whose count drains to 0 gets its
+                                       ///< load reset to exactly 0.0, so
+                                       ///< add/subtract deltas cannot leave
+                                       ///< epsilon residue on idle links
+  QuotientWorkspace q_ws_;             ///< quotient CSR + Kahn arenas
+
+  // Move journal / pending move.
+  struct LinkDelta {
+    int index;
+    double load;
+    int paths;
+  };
+  std::vector<std::uint32_t> link_epoch_;
+  std::uint32_t epoch_ = 0;
+  std::vector<LinkDelta> journal_links_;   ///< pre-move link state
+  std::vector<LinkDelta> pending_links_;   ///< post-move link state
+  bool have_pending_ = false;
+  spg::StageId pending_stage_ = 0;
+  int pending_from_ = 0;
+  int pending_to_ = 0;
+  double pending_work_from_ = 0.0;
+  double pending_work_to_ = 0.0;
+  std::size_t pending_mode_from_ = 0;
+  std::size_t pending_mode_to_ = 0;
+};
+
+}  // namespace spgcmp::mapping

@@ -39,7 +39,7 @@ LinkDvfsResult downscale_links(const spg::Spg& g, const cmp::Platform& p,
   LinkDvfsResult res;
   res.feasible = true;
   res.link_mode.assign(ev.link_load.size(), model.bandwidth_fraction.size() - 1);
-  const double full_bw = p.grid.bandwidth();
+  const double full_bw = p.grid().bandwidth();
   for (std::size_t l = 0; l < ev.link_load.size(); ++l) {
     const double bytes = ev.link_load[l];
     if (bytes <= 0.0) continue;

@@ -33,7 +33,7 @@ struct LinkDvfsModel {
 
 struct LinkDvfsResult {
   bool feasible = false;            ///< false if some link misses T at full speed
-  std::vector<std::size_t> link_mode;  ///< per Grid::link_index (loaded links)
+  std::vector<std::size_t> link_mode;  ///< per Topology::link_index (loaded links)
   double comm_energy_full = 0.0;    ///< dynamic link energy at full speed (J)
   double comm_energy_scaled = 0.0;  ///< after per-link downgrading (J)
 

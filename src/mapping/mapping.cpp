@@ -2,139 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
-#include <set>
 
 namespace spgcmp::mapping {
-
-namespace {
-
-/// Check one explicit path: starts at `src`, walks existing links, ends at
-/// `dst`.  Returns an error string or empty.
-std::string check_path(const cmp::Grid& grid, cmp::CoreId src, cmp::CoreId dst,
-                       const std::vector<cmp::LinkId>& path) {
-  cmp::CoreId cur = src;
-  for (const auto& link : path) {
-    if (!(link.from == cur)) return "path discontinuity";
-    if (!grid.contains(link.from) || !grid.has_neighbor(link.from, link.dir)) {
-      return "path uses a non-existent link";
-    }
-    cur = grid.neighbor(link.from, link.dir);
-  }
-  if (!(cur == dst)) return "path does not reach destination core";
-  return {};
-}
-
-}  // namespace
-
-Evaluation evaluate(const spg::Spg& g, const cmp::Platform& p, const Mapping& m,
-                    double T) {
-  Evaluation ev;
-  const cmp::Grid& grid = p.grid;
-  const std::size_t n = g.size();
-
-  if (m.core_of.size() != n) {
-    ev.error = "core_of arity mismatch";
-    return ev;
-  }
-  if (m.edge_paths.size() != g.edge_count()) {
-    ev.error = "edge_paths arity mismatch";
-    return ev;
-  }
-  for (int c : m.core_of) {
-    if (c < 0 || c >= grid.core_count()) {
-      ev.error = "stage mapped outside the grid";
-      return ev;
-    }
-  }
-  if (m.mode_of_core.size() != static_cast<std::size_t>(grid.core_count())) {
-    ev.error = "mode_of_core arity mismatch";
-    return ev;
-  }
-
-  // Per-core work and activity.
-  ev.core_work.assign(static_cast<std::size_t>(grid.core_count()), 0.0);
-  for (spg::StageId i = 0; i < n; ++i) {
-    ev.core_work[static_cast<std::size_t>(m.core_of[i])] += g.stage(i).work;
-  }
-
-  // Link loads from explicit paths; co-located edges must have empty paths.
-  ev.link_load.assign(static_cast<std::size_t>(grid.link_count()), 0.0);
-  for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
-    const auto& edge = g.edge(e);
-    const cmp::CoreId src = grid.core_at(m.core_of[edge.src]);
-    const cmp::CoreId dst = grid.core_at(m.core_of[edge.dst]);
-    const auto& path = m.edge_paths[e];
-    if (src == dst) {
-      if (!path.empty()) {
-        ev.error = "co-located edge has a non-empty path";
-        return ev;
-      }
-      continue;
-    }
-    if (path.empty()) {
-      ev.error = "cross-core edge has no path";
-      return ev;
-    }
-    if (auto err = check_path(grid, src, dst, path); !err.empty()) {
-      ev.error = err;
-      return ev;
-    }
-    for (const auto& link : path) {
-      ev.link_load[static_cast<std::size_t>(grid.link_index(link))] += edge.bytes;
-    }
-  }
-
-  // DAG-partition constraint.
-  ev.dag_partition_ok = quotient_acyclic(g, m.core_of);
-
-  // Cycle-times and energy.
-  ev.max_core_time = 0.0;
-  ev.comp_energy = 0.0;
-  ev.active_cores = 0;
-  bool speed_ok = true;
-  for (int c = 0; c < grid.core_count(); ++c) {
-    const double w = ev.core_work[static_cast<std::size_t>(c)];
-    if (w <= 0.0) continue;  // inactive core (or zero-work cluster): skip
-    ++ev.active_cores;
-    const std::size_t k = m.mode_of_core[static_cast<std::size_t>(c)];
-    if (k >= p.speeds.mode_count()) {
-      speed_ok = false;
-      continue;
-    }
-    const double t = w / p.speeds.speed(k);
-    ev.max_core_time = std::max(ev.max_core_time, t);
-    ev.comp_energy += p.speeds.core_energy(w, k, T);
-  }
-  // Cores holding only zero-work stages still count as active (they consume
-  // leakage and occupy the core); detect them separately.
-  {
-    std::vector<char> used(static_cast<std::size_t>(grid.core_count()), 0);
-    for (spg::StageId i = 0; i < n; ++i) used[static_cast<std::size_t>(m.core_of[i])] = 1;
-    for (int c = 0; c < grid.core_count(); ++c) {
-      if (used[static_cast<std::size_t>(c)] &&
-          ev.core_work[static_cast<std::size_t>(c)] <= 0.0) {
-        ++ev.active_cores;
-        ev.comp_energy += p.speeds.leak_power() * T;
-      }
-    }
-  }
-
-  ev.max_link_time = 0.0;
-  ev.comm_energy = p.comm.leak_power * T;
-  double total_link_bytes = 0.0;
-  for (double b : ev.link_load) {
-    if (b <= 0.0) continue;
-    ev.max_link_time = std::max(ev.max_link_time, b / grid.bandwidth());
-    total_link_bytes += b;
-  }
-  ev.comm_energy += total_link_bytes * p.comm.energy_per_byte;
-
-  ev.period = std::max(ev.max_core_time, ev.max_link_time);
-  ev.meets_period = speed_ok && ev.period <= T * (1.0 + 1e-12);
-  ev.energy = ev.comp_energy + ev.comm_energy;
-  return ev;
-}
 
 void attach_xy_paths(const spg::Spg& g, const cmp::Grid& grid, Mapping& m) {
   m.edge_paths.assign(g.edge_count(), {});
@@ -146,18 +15,34 @@ void attach_xy_paths(const spg::Spg& g, const cmp::Grid& grid, Mapping& m) {
   }
 }
 
+void attach_routes(const spg::Spg& g, const cmp::Topology& topo, Mapping& m) {
+  m.edge_paths.assign(g.edge_count(), {});
+  for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    const int src = m.core_of[edge.src];
+    const int dst = m.core_of[edge.dst];
+    if (src != dst) {
+      const auto r = topo.route(src, dst);
+      m.edge_paths[e].assign(r.begin(), r.end());
+    }
+  }
+}
+
 bool assign_slowest_modes(const spg::Spg& g, const cmp::Platform& p, double T,
                           Mapping& m) {
-  std::vector<double> work(static_cast<std::size_t>(p.grid.core_count()), 0.0);
+  std::vector<double> work(static_cast<std::size_t>(p.grid().core_count()), 0.0);
   for (spg::StageId i = 0; i < g.size(); ++i) {
     work[static_cast<std::size_t>(m.core_of[i])] += g.stage(i).work;
   }
-  m.mode_of_core.assign(static_cast<std::size_t>(p.grid.core_count()), 0);
+  m.mode_of_core.assign(static_cast<std::size_t>(p.grid().core_count()), 0);
   bool ok = true;
-  for (int c = 0; c < p.grid.core_count(); ++c) {
+  for (int c = 0; c < p.grid().core_count(); ++c) {
     const double w = work[static_cast<std::size_t>(c)];
     if (w <= 0.0) continue;
-    const std::size_t k = p.speeds.slowest_feasible(w, T);
+    // Heterogeneous cores run every mode at speed * scale, so a core needs
+    // the mode feasible for the scaled-up work w / scale.
+    const std::size_t k =
+        p.speeds.slowest_feasible(w / p.topology.core_speed_scale(c), T);
     if (k == p.speeds.mode_count()) {
       ok = false;
       m.mode_of_core[static_cast<std::size_t>(c)] = p.speeds.mode_count() - 1;
@@ -168,34 +53,65 @@ bool assign_slowest_modes(const spg::Spg& g, const cmp::Platform& p, double T,
   return ok;
 }
 
-bool quotient_acyclic(const spg::Spg& g, const std::vector<int>& core_of) {
-  // Collect distinct clusters and quotient edges, then run Kahn.
-  std::map<int, int> cluster_id;
-  for (int c : core_of) cluster_id.emplace(c, static_cast<int>(cluster_id.size()));
-  const int k = static_cast<int>(cluster_id.size());
-  std::vector<std::set<int>> out(static_cast<std::size_t>(k));
-  std::vector<int> indeg(static_cast<std::size_t>(k), 0);
-  for (const auto& e : g.edges()) {
-    const int a = cluster_id.at(core_of[e.src]);
-    const int b = cluster_id.at(core_of[e.dst]);
-    if (a != b && out[static_cast<std::size_t>(a)].insert(b).second) {
-      ++indeg[static_cast<std::size_t>(b)];
-    }
+bool quotient_acyclic_in(const spg::Spg& g, const std::vector<int>& core_of,
+                         int id_count, QuotientWorkspace& ws) {
+  const auto k = static_cast<std::size_t>(id_count);
+  ws.out_count.assign(k, 0);
+  ws.indeg.assign(k, 0);
+  ws.used.assign(k, 0);
+  for (const int c : core_of) {
+    if (c >= 0) ws.used[static_cast<std::size_t>(c)] = 1;
   }
-  std::vector<int> ready;
-  for (int i = 0; i < k; ++i) {
-    if (indeg[static_cast<std::size_t>(i)] == 0) ready.push_back(i);
+  for (const auto& e : g.edges()) {
+    const int a = core_of[e.src];
+    const int b = core_of[e.dst];
+    if (a < 0 || b < 0 || a == b) continue;
+    ++ws.out_count[static_cast<std::size_t>(a)];
+    ++ws.indeg[static_cast<std::size_t>(b)];
+  }
+  ws.offset.assign(k + 1, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    ws.offset[i + 1] = ws.offset[i] + ws.out_count[i];
+  }
+  ws.adj.assign(static_cast<std::size_t>(ws.offset[k]), 0);
+  // Reuse out_count as the CSR fill cursor.
+  std::copy(ws.offset.begin(), ws.offset.end() - 1, ws.out_count.begin());
+  for (const auto& e : g.edges()) {
+    const int a = core_of[e.src];
+    const int b = core_of[e.dst];
+    if (a < 0 || b < 0 || a == b) continue;
+    ws.adj[static_cast<std::size_t>(ws.out_count[static_cast<std::size_t>(a)]++)] = b;
+  }
+  ws.stack.clear();
+  int total = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!ws.used[i]) continue;
+    ++total;
+    if (ws.indeg[i] == 0) ws.stack.push_back(static_cast<int>(i));
   }
   int seen = 0;
-  while (!ready.empty()) {
-    const int i = ready.back();
-    ready.pop_back();
+  while (!ws.stack.empty()) {
+    const int i = ws.stack.back();
+    ws.stack.pop_back();
     ++seen;
-    for (int j : out[static_cast<std::size_t>(i)]) {
-      if (--indeg[static_cast<std::size_t>(j)] == 0) ready.push_back(j);
+    for (int a = ws.offset[static_cast<std::size_t>(i)];
+         a < ws.offset[static_cast<std::size_t>(i) + 1]; ++a) {
+      const int j = ws.adj[static_cast<std::size_t>(a)];
+      if (--ws.indeg[static_cast<std::size_t>(j)] == 0) ws.stack.push_back(j);
     }
   }
-  return seen == k;
+  return seen == total;
+}
+
+bool quotient_acyclic(const spg::Spg& g, const std::vector<int>& core_of) {
+  int max_id = -1;
+  for (const int c : core_of) {
+    assert(c >= 0);
+    max_id = std::max(max_id, c);
+  }
+  if (max_id < 0) return true;
+  QuotientWorkspace ws;
+  return quotient_acyclic_in(g, core_of, max_id + 1, ws);
 }
 
 bool cluster_convex(const spg::Spg& g, const std::vector<util::DynBitset>& closure,

@@ -47,7 +47,8 @@ struct Evaluation {
   double energy = 0.0;
   int active_cores = 0;
   std::vector<double> core_work;  ///< cycles per flat core index
-  std::vector<double> link_load;  ///< bytes per Grid::link_index
+  std::vector<double> link_load;  ///< bytes per Topology::link_index (torus
+                                  ///< wrap links use slots Grid rejects)
 
   [[nodiscard]] bool valid() const noexcept {
     return error.empty() && dag_partition_ok && meets_period;
@@ -55,11 +56,18 @@ struct Evaluation {
 };
 
 /// Evaluate `m` on graph `g` over platform `p` against period bound `T`.
+/// Thin shim over mapping::Evaluator (see evaluator.hpp) for one-shot
+/// callers; loops should hold an Evaluator and reuse its arenas.
 [[nodiscard]] Evaluation evaluate(const spg::Spg& g, const cmp::Platform& p,
                                   const Mapping& m, double T);
 
 /// Default routing: XY paths for every cross-core edge.
 void attach_xy_paths(const spg::Spg& g, const cmp::Grid& grid, Mapping& m);
+
+/// Topology-default routing: every cross-core edge takes the topology's
+/// precomputed route (XY on meshes, snake-order on the uni-line embedding,
+/// wrap-aware shortest paths on the torus).
+void attach_routes(const spg::Spg& g, const cmp::Topology& topo, Mapping& m);
 
 /// Set each active core to the slowest mode meeting the period for its
 /// assigned work ("downgrading", Section 5.2).  Returns false when some
@@ -69,6 +77,26 @@ void attach_xy_paths(const spg::Spg& g, const cmp::Grid& grid, Mapping& m);
 
 /// True iff the cluster quotient graph induced by `core_of` is acyclic.
 [[nodiscard]] bool quotient_acyclic(const spg::Spg& g, const std::vector<int>& core_of);
+
+/// Reusable arenas for `quotient_acyclic_in` (flat CSR + Kahn worklist) —
+/// hold one per loop to make repeated checks allocation-free.
+struct QuotientWorkspace {
+  std::vector<int> out_count;
+  std::vector<int> offset;
+  std::vector<int> adj;
+  std::vector<int> indeg;
+  std::vector<int> stack;
+  std::vector<char> used;
+};
+
+/// Core of every quotient-acyclicity check in the library: Kahn over the
+/// quotient of `core_of` restricted to ids in [0, id_count).  Entries < 0
+/// are ignored (unplaced stages); quotient nodes are the ids that actually
+/// appear.  Parallel quotient edges are counted on both sides, which leaves
+/// the reachability fixpoint unchanged.
+[[nodiscard]] bool quotient_acyclic_in(const spg::Spg& g,
+                                       const std::vector<int>& core_of,
+                                       int id_count, QuotientWorkspace& ws);
 
 /// Convexity test for one candidate cluster: false when some path between
 /// two cluster members leaves the cluster (necessary condition for any

@@ -31,14 +31,15 @@ struct JobGraph {
 
 JobGraph build_jobs(const spg::Spg& g, const cmp::Platform& p,
                     const mapping::Mapping& m) {
-  const cmp::Grid& grid = p.grid;
+  const cmp::Grid& grid = p.grid();
+  const cmp::Topology& topo = p.topology;
   JobGraph jg;
 
   // Dense resource ids: cores first, then links.
   const auto core_resource = [&](int core) { return core; };
   const auto link_resource = [&](int link) { return grid.core_count() + link; };
   jg.resource_count =
-      static_cast<std::size_t>(grid.core_count() + grid.link_count());
+      static_cast<std::size_t>(grid.core_count() + topo.link_count());
 
   std::map<int, std::size_t> compute_job_of_core;
   std::vector<double> core_work(static_cast<std::size_t>(grid.core_count()), 0.0);
@@ -52,7 +53,8 @@ JobGraph build_jobs(const spg::Spg& g, const cmp::Platform& p,
     Job j;
     j.kind = Job::Kind::Compute;
     const std::size_t mode = m.mode_of_core[static_cast<std::size_t>(c)];
-    j.duration = core_work[static_cast<std::size_t>(c)] / p.speeds.speed(mode);
+    j.duration = core_work[static_cast<std::size_t>(c)] /
+                 (p.speeds.speed(mode) * topo.core_speed_scale(c));
     j.resource = core_resource(c);
     compute_job_of_core.emplace(c, jg.jobs.size());
     jg.jobs.push_back(std::move(j));
@@ -69,7 +71,7 @@ JobGraph build_jobs(const spg::Spg& g, const cmp::Platform& p,
       Job j;
       j.kind = Job::Kind::Transfer;
       j.duration = edge.bytes / grid.bandwidth();
-      j.resource = link_resource(grid.link_index(link));
+      j.resource = link_resource(topo.link_index(link));
       j.deps.push_back(prev);
       prev = jg.jobs.size();
       jg.jobs.push_back(std::move(j));

@@ -233,8 +233,15 @@ void Spg::to_dot(std::ostream& os) const {
   os << "digraph spg {\n  rankdir=LR;\n";
   for (StageId i = 0; i < size(); ++i) {
     const auto& s = stages_[i];
-    os << "  n" << i << " [label=\"" << (s.name.empty() ? "S" + std::to_string(i) : s.name)
-       << "\\n(" << s.x << "," << s.y << ") w=" << s.work << "\"];\n";
+    // Streamed in pieces: GCC 12's -Wrestrict false-positives on the
+    // `"S" + std::to_string(i)` temporary at -O2.
+    os << "  n" << i << " [label=\"";
+    if (s.name.empty()) {
+      os << 'S' << i;
+    } else {
+      os << s.name;
+    }
+    os << "\\n(" << s.x << "," << s.y << ") w=" << s.work << "\"];\n";
   }
   for (const auto& e : edges_) {
     os << "  n" << e.src << " -> n" << e.dst << " [label=\"" << e.bytes << "\"];\n";

@@ -28,7 +28,7 @@ inline void expect_valid_mapping(const spg::Spg& g, const cmp::Platform& p,
   ASSERT_EQ(m.core_of.size(), g.size()) << who << ": core_of arity";
   for (std::size_t i = 0; i < m.core_of.size(); ++i) {
     EXPECT_GE(m.core_of[i], 0) << who << ": stage " << i << " unmapped";
-    EXPECT_LT(m.core_of[i], p.grid.core_count()) << who << ": stage " << i;
+    EXPECT_LT(m.core_of[i], p.grid().core_count()) << who << ": stage " << i;
   }
   EXPECT_TRUE(mapping::quotient_acyclic(g, m.core_of)) << who;
   const auto ev = mapping::evaluate(g, p, m, T);

@@ -22,7 +22,7 @@ namespace spgcmp::test {
 [[nodiscard]] inline double pick_period(const spg::Spg& g, const cmp::Platform& p,
                                         double core_fraction = 0.5,
                                         double speed_hz = 0.6e9) {
-  const double per_core = g.total_work() / (core_fraction * p.grid.core_count());
+  const double per_core = g.total_work() / (core_fraction * p.grid().core_count());
   return per_core / speed_hz;
 }
 

@@ -159,8 +159,8 @@ TEST(SpeedModel, RejectsNonIncreasingSpeeds) {
 
 TEST(Platform, ReferenceMatchesPaperConstants) {
   const auto p = Platform::reference(4, 4);
-  EXPECT_EQ(p.grid.rows(), 4);
-  EXPECT_DOUBLE_EQ(p.grid.bandwidth(), 16.0 * 1.2e9);
+  EXPECT_EQ(p.grid().rows(), 4);
+  EXPECT_DOUBLE_EQ(p.grid().bandwidth(), 16.0 * 1.2e9);
   EXPECT_DOUBLE_EQ(p.comm.energy_per_byte, 48e-12);
   EXPECT_DOUBLE_EQ(p.comm.leak_power, 0.0);
 }

@@ -34,7 +34,7 @@ TEST(LinkDvfs, LightlyLoadedLinkDropsToLowestMode) {
   const auto p = cmp::Platform::reference(1, 2);
   mapping::Mapping m;
   m.core_of = {0, 1};
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 1.0, m));
 
   const auto res = mapping::downscale_links(g, p, m, 1.0);
@@ -48,10 +48,10 @@ TEST(LinkDvfs, SaturatedLinkStaysAtFullSpeed) {
   auto g = spg::chain(2, 1e6, 0.0);
   const auto p = cmp::Platform::reference(1, 2);
   const double T = 0.01;
-  g.set_bytes(0, p.grid.bandwidth() * T * 0.9);  // 90% utilization
+  g.set_bytes(0, p.grid().bandwidth() * T * 0.9);  // 90% utilization
   mapping::Mapping m;
   m.core_of = {0, 1};
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, T, m));
   const auto res = mapping::downscale_links(g, p, m, T);
   ASSERT_TRUE(res.feasible);
@@ -63,10 +63,10 @@ TEST(LinkDvfs, MidUtilizationPicksMiddleMode) {
   auto g = spg::chain(2, 1e6, 0.0);
   const auto p = cmp::Platform::reference(1, 2);
   const double T = 0.01;
-  g.set_bytes(0, p.grid.bandwidth() * T * 0.6);  // needs >= 0.75 fraction
+  g.set_bytes(0, p.grid().bandwidth() * T * 0.6);  // needs >= 0.75 fraction
   mapping::Mapping m;
   m.core_of = {0, 1};
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, T, m));
   const auto res = mapping::downscale_links(g, p, m, T);
   ASSERT_TRUE(res.feasible);
@@ -76,10 +76,10 @@ TEST(LinkDvfs, MidUtilizationPicksMiddleMode) {
 TEST(LinkDvfs, InfeasibleMappingReported) {
   auto g = spg::chain(2, 1e6, 0.0);
   const auto p = cmp::Platform::reference(1, 2);
-  g.set_bytes(0, p.grid.bandwidth() * 2.0);  // 2 s of traffic, T = 1 s
+  g.set_bytes(0, p.grid().bandwidth() * 2.0);  // 2 s of traffic, T = 1 s
   mapping::Mapping m;
   m.core_of = {0, 1};
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 1.0, m));
   const auto res = mapping::downscale_links(g, p, m, 1.0);
   EXPECT_FALSE(res.feasible);

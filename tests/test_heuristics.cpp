@@ -63,10 +63,20 @@ INSTANTIATE_TEST_SUITE_P(
                       Instance{40, 1, 4, 4, 10, 9}, Instance{25, 10, 6, 6, 1, 10},
                       Instance{15, 2, 1, 4, 10, 11}, Instance{12, 4, 1, 1, 10, 12}),
     [](const auto& info) {
+      // Appended rather than operator+ chained: GCC 12's -Wrestrict
+      // false-positives on literal + std::to_string concatenations at -O2.
       const auto& q = info.param;
-      return "n" + std::to_string(q.n) + "_y" + std::to_string(q.ymax) + "_g" +
-             std::to_string(q.rows) + "x" + std::to_string(q.cols) + "_s" +
-             std::to_string(q.seed);
+      std::string name = "n";
+      name += std::to_string(q.n);
+      name += "_y";
+      name += std::to_string(q.ymax);
+      name += "_g";
+      name += std::to_string(q.rows);
+      name += "x";
+      name += std::to_string(q.cols);
+      name += "_s";
+      name += std::to_string(q.seed);
+      return name;
     });
 
 TEST(RandomHeuristic, DeterministicAcrossCalls) {
@@ -107,7 +117,7 @@ TEST(Greedy, MapsChainAndDowngradesSpeeds) {
   const Result r = heuristics::GreedyHeuristic().run(g, p, 1.0);
   test::expect_valid_result(r, g, p, 1.0, "Greedy");
   // Downgrading: every active core's speed is the slowest feasible one.
-  for (int c = 0; c < p.grid.core_count(); ++c) {
+  for (int c = 0; c < p.grid().core_count(); ++c) {
     const double w = r.eval.core_work[static_cast<std::size_t>(c)];
     if (w <= 0) continue;
     const std::size_t k = r.mapping.mode_of_core[static_cast<std::size_t>(c)];
@@ -266,7 +276,7 @@ TEST(Exact, QuasiMonotoneInPeriod) {
     if (!r.success) continue;
     if (std::isfinite(prev_e)) {
       const double slack =
-          p.grid.core_count() * p.speeds.leak_power() * (scaled_T - prev_t);
+          p.grid().core_count() * p.speeds.leak_power() * (scaled_T - prev_t);
       EXPECT_LE(r.eval.energy, prev_e + slack * (1 + 1e-9)) << "T=" << scaled_T;
     }
     prev_e = r.eval.energy;

@@ -31,7 +31,7 @@ spg::Spg small_chain() {
 Mapping all_on_one_core(const spg::Spg& g, const cmp::Platform& p) {
   Mapping m;
   m.core_of.assign(g.size(), 0);
-  m.mode_of_core.assign(static_cast<std::size_t>(p.grid.core_count()), 0);
+  m.mode_of_core.assign(static_cast<std::size_t>(p.grid().core_count()), 0);
   m.edge_paths.assign(g.edge_count(), {});
   return m;
 }
@@ -58,7 +58,7 @@ TEST(Evaluate, TwoCoresWithCommunication) {
   Mapping m;
   m.core_of = {0, 1, 1};  // stage0 on (0,0); stages 1,2 on (0,1)
   m.mode_of_core.assign(4, 0);
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 1.0, m));
   // 2e8 on core0 -> 0.4 GHz (mode 1); 5e8 on core1 -> 0.6 GHz (mode 2).
   EXPECT_EQ(m.mode_of_core[0], 1u);
@@ -67,7 +67,7 @@ TEST(Evaluate, TwoCoresWithCommunication) {
   ASSERT_TRUE(ev.valid()) << ev.error;
   EXPECT_EQ(ev.active_cores, 2);
   // Edge 0 crosses one link with 1e6 bytes.
-  EXPECT_DOUBLE_EQ(ev.max_link_time, 1e6 / p.grid.bandwidth());
+  EXPECT_DOUBLE_EQ(ev.max_link_time, 1e6 / p.grid().bandwidth());
   EXPECT_DOUBLE_EQ(ev.comm_energy, 1e6 * p.comm.energy_per_byte);
   const double e0 = 0.080 + (2e8 / 0.4e9) * 0.170;
   const double e1 = 0.080 + (5e8 / 0.6e9) * 0.400;
@@ -80,7 +80,7 @@ TEST(Evaluate, MultiHopPathChargesEveryLink) {
   Mapping m;
   m.core_of = {0, 3};
   m.mode_of_core.assign(4, 0);
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 1.0, m));
   const auto ev = mapping::evaluate(g, p, m, 1.0);
   ASSERT_TRUE(ev.valid()) << ev.error;
@@ -106,7 +106,7 @@ TEST(Evaluate, LinkOverloadViolatesPeriod) {
   Mapping m;
   m.core_of = {0, 1};
   m.mode_of_core.assign(4, 4);
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   const auto ev = mapping::evaluate(g, p, m, 1.0);
   EXPECT_FALSE(ev.meets_period);
   EXPECT_GT(ev.max_link_time, 1.0);
@@ -193,7 +193,7 @@ TEST(AssignSlowestModes, PicksMinimalFeasibleSpeeds) {
   g.set_work(1, 7.9e8);  // needs 0.8 GHz at T=1
   Mapping m;
   m.core_of = {0, 1};
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 1.0, m));
   EXPECT_EQ(m.mode_of_core[0], 0u);
   EXPECT_EQ(m.mode_of_core[1], 3u);

@@ -44,15 +44,15 @@ TEST(Property, Dpa1dUsesOnlySnakeLinks) {
   const auto p = cmp::Platform::reference(3, 3);
   const auto r = heuristics::Dpa1dHeuristic().run(g, p, 0.5);
   ASSERT_TRUE(r.success) << r.failure;
-  for (int c = 0; c < p.grid.core_count(); ++c) {
+  for (int c = 0; c < p.grid().core_count(); ++c) {
     for (int d = 0; d < 4; ++d) {
-      const cmp::LinkId link{p.grid.core_at(c), static_cast<cmp::Dir>(d)};
-      if (!p.grid.has_neighbor(link.from, link.dir)) continue;
+      const cmp::LinkId link{p.grid().core_at(c), static_cast<cmp::Dir>(d)};
+      if (!p.grid().has_neighbor(link.from, link.dir)) continue;
       const double load =
-          r.eval.link_load[static_cast<std::size_t>(p.grid.link_index(link))];
+          r.eval.link_load[static_cast<std::size_t>(p.grid().link_index(link))];
       if (load <= 0) continue;
-      const auto to = p.grid.neighbor(link.from, link.dir);
-      EXPECT_EQ(std::abs(p.grid.snake_position(link.from) - p.grid.snake_position(to)),
+      const auto to = p.grid().neighbor(link.from, link.dir);
+      EXPECT_EQ(std::abs(p.grid().snake_position(link.from) - p.grid().snake_position(to)),
                 1)
           << "non-snake link carries load";
     }
@@ -111,7 +111,7 @@ TEST(Property, RandomNeverExceedsCoreCount) {
     const double T = test::period_for_cores(g, 2.0);
     const auto r = heuristics::RandomHeuristic(rep).run(g, p, T);
     if (!r.success) continue;
-    EXPECT_LE(r.eval.active_cores, p.grid.core_count());
+    EXPECT_LE(r.eval.active_cores, p.grid().core_count());
   }
 }
 

@@ -60,7 +60,7 @@ TEST(Simulator, PipelinedTwoCoresOverlap) {
   const auto p = cmp::Platform::reference(1, 2);
   mapping::Mapping m;
   m.core_of = {0, 1};
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 1.0, m));
   const auto ev = mapping::evaluate(g, p, m, 1.0);
   ASSERT_TRUE(ev.valid());
@@ -80,7 +80,7 @@ TEST(Simulator, LinkBottleneckGovernsThroughput) {
   const auto p = cmp::Platform::reference(1, 2);
   mapping::Mapping m;
   m.core_of = {0, 1};
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 1.0, m));
   const auto ev = mapping::evaluate(g, p, m, 1.0);
   ASSERT_TRUE(ev.valid());
@@ -108,7 +108,7 @@ TEST(Simulator, FirstCompletionBeforeSteadyState) {
   const auto p = cmp::Platform::reference(1, 3);
   mapping::Mapping m;
   m.core_of = {0, 1, 2};
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 2.0, m));
   sim::SimConfig cfg;
   cfg.arrival_period = 0.0;
@@ -166,7 +166,7 @@ TEST(PeriodicModulo, MatchesFifoOnSimplePipelines) {
   const auto p = cmp::Platform::reference(1, 3);
   mapping::Mapping m;
   m.core_of = {0, 1, 2};
-  mapping::attach_xy_paths(g, p.grid, m);
+  mapping::attach_xy_paths(g, p.grid(), m);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, 2.0, m));
   sim::SimConfig cfg;
   cfg.datasets = 80;

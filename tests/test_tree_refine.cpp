@@ -99,7 +99,7 @@ TEST(Refine, NeverIncreasesEnergy) {
       // Refinement under XY routing can only be compared against the XY
       // re-evaluation of the seed, which it is by construction <=.
       mapping::Mapping seed_xy = r.mapping;
-      mapping::attach_xy_paths(g, p.grid, seed_xy);
+      mapping::attach_xy_paths(g, p.grid(), seed_xy);
       if (mapping::assign_slowest_modes(g, p, T, seed_xy)) {
         const auto seed_ev = mapping::evaluate(g, p, seed_xy, T);
         if (seed_ev.valid()) {
@@ -129,7 +129,7 @@ TEST(Refine, ImprovesDeliberatelyBadSeed) {
   for (std::size_t k = 0; k < order.size(); ++k) {
     seed.core_of[order[k]] = static_cast<int>((k * 4) / order.size());
   }
-  mapping::attach_xy_paths(g, p.grid, seed);
+  mapping::attach_xy_paths(g, p.grid(), seed);
   ASSERT_TRUE(mapping::assign_slowest_modes(g, p, T, seed));
   const auto seed_ev = mapping::evaluate(g, p, seed, T);
   ASSERT_TRUE(seed_ev.valid());

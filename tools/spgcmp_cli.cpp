@@ -10,6 +10,9 @@
 // period search (or a fixed --period) and prints the heuristic comparison;
 // `sim` maps with the best heuristic and streams data sets through it;
 // `ilp` emits the Section 4.4 integer linear program in LP format.
+//
+// `map` and `sim` accept --topology=mesh|snake|torus|hetero (REPRO_TOPOLOGY)
+// to select the platform interconnect; the default is the paper's 2D mesh.
 
 #include <cstdio>
 #include <cstring>
@@ -48,7 +51,9 @@ spg::Spg load(const util::Args& args) {
 cmp::Platform platform_of(const util::Args& args) {
   const int rows = static_cast<int>(args.get_int("rows", "REPRO_ROWS", 4));
   const int cols = static_cast<int>(args.get_int("cols", "REPRO_COLS", 4));
-  return cmp::Platform::reference(rows, cols);
+  const std::string topology =
+      args.get_string("topology", "REPRO_TOPOLOGY", "mesh");
+  return cmp::Platform::reference(topology, rows, cols);
 }
 
 int cmd_gen(const util::Args& args) {
@@ -114,6 +119,9 @@ int cmd_map(const util::Args& args) {
     c = harness::run_campaign(g, p, hs);
   }
   std::printf("period bound: %g s\n", c.period);
+  if (p.topology.kind() != cmp::TopologyKind::Mesh) {
+    std::printf("topology: %s\n", p.topology.name().c_str());
+  }
   util::Table t({"heuristic", "status", "energy (mJ)", "E/Emin", "cores"});
   for (std::size_t h = 0; h < c.results.size(); ++h) {
     const auto& r = c.results[h];
@@ -132,7 +140,7 @@ int cmd_map(const util::Args& args) {
       if (!c.results[h].success) continue;
       std::printf("\n%s placement (stage -> core row,col):\n", c.names[h].c_str());
       for (spg::StageId i = 0; i < g.size(); ++i) {
-        const auto core = p.grid.core_at(c.results[h].mapping.core_of[i]);
+        const auto core = p.grid().core_at(c.results[h].mapping.core_of[i]);
         std::printf("  S%zu -> (%d,%d)\n", i, core.row, core.col);
       }
       break;  // best-effort: show the first successful one
@@ -180,6 +188,10 @@ int cmd_sim(const util::Args& args) {
 int cmd_ilp(const util::Args& args) {
   const spg::Spg g = load(args);
   const auto p = platform_of(args);
+  if (p.topology.kind() != cmp::TopologyKind::Mesh) {
+    throw std::runtime_error(
+        "ilp: only the homogeneous XY mesh is modelled; drop --topology");
+  }
   const double T = args.get_double("period", "", 1.0);
   const auto out = args.get("out");
   heuristics::IlpStats stats;
