@@ -6,6 +6,13 @@
 // directory runs on a laptop in minutes.  Set REPRO_APPS=100 to match the
 // paper's replication counts exactly.
 //
+// Since the campaign subsystem (src/campaign/) landed, the bench binaries
+// are thin campaign specs over the shared runner: each figure builds a
+// campaign::SweepSpec, expands it into a SweepPlan and renders the plan's
+// results through campaign::sweep_report.  The resumable campaign service
+// (tools/spgcmp_campaign) executes the same plans shard by shard and merges
+// to byte-identical BENCH_<name>.json output.
+//
 // All campaigns run through harness::SweepEngine: --threads=N (or
 // REPRO_THREADS) parallelizes the sweep while keeping the output
 // byte-identical to a single-threaded run.  Pass --json=DIR (or REPRO_JSON)
@@ -18,6 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
 #include "harness/sweep_engine.hpp"
 #include "spg/generator.hpp"
 #include "spg/streamit.hpp"
@@ -30,22 +40,15 @@ namespace spgcmp::bench {
 /// The four CCR settings of the StreamIt experiments: the original value,
 /// then uniformly 10, 1 and 0.1 (Section 6.1.1).
 inline const std::vector<std::pair<std::string, double>>& ccr_settings() {
-  static const std::vector<std::pair<std::string, double>> settings = {
-      {"original", 0.0}, {"10", 10.0}, {"1", 1.0}, {"0.1", 0.1}};
-  return settings;
+  return campaign::streamit_ccrs();
 }
 
 /// The CCRs swept by the random-SPG figures.
-inline const std::vector<double>& random_ccrs() {
-  static const std::vector<double> ccrs = {10.0, 1.0, 0.1};
-  return ccrs;
-}
+inline const std::vector<double>& random_ccrs() { return campaign::random_ccrs(); }
 
 /// Heuristic names in paper order.
 inline std::vector<std::string> heuristic_names() {
-  std::vector<std::string> v;
-  for (const auto& h : heuristics::make_paper_heuristics()) v.push_back(h->name());
-  return v;
+  return campaign::heuristic_names();
 }
 
 /// Common bench flags: sweep thread count, JSON output directory and the
@@ -70,12 +73,6 @@ inline std::vector<std::string> heuristic_names() {
   return t;
 }
 
-/// Tag a report with its non-default topology.  The default mesh adds no
-/// meta entry, keeping mesh outputs byte-identical across versions.
-inline void tag_topology(harness::BenchReport& rep, const std::string& topology) {
-  if (topology != "mesh") rep.meta.emplace_back("topology", topology);
-}
-
 /// Write BENCH_<name>.json when a directory was requested; announces the
 /// path on `os` so unattended runs document their artifacts.
 inline void maybe_write_json(const harness::BenchReport& rep,
@@ -93,38 +90,13 @@ inline void maybe_write_json(const harness::BenchReport& rep,
 inline harness::BenchReport streamit_report(std::string name, int rows, int cols,
                                             std::size_t threads,
                                             const std::string& topology = "mesh") {
-  const auto platform = cmp::Platform::reference(topology, rows, cols);
-  harness::SweepEngineOptions opt;
-  opt.threads = threads;
-  const harness::SweepEngine engine(opt);
-
-  // Workload generation is deterministic and cheap; build the whole batch
-  // up front and let the engine parallelize the campaigns.
-  std::vector<spg::Spg> workloads;
-  for (const auto& [label, ccr] : ccr_settings()) {
-    for (const auto& info : spg::streamit_table()) {
-      workloads.push_back(spg::make_streamit(info, ccr));
-    }
-  }
-  const auto campaigns =
-      engine.run_fixed(workloads, platform, [] { return heuristics::make_paper_heuristics(); });
-
-  harness::BenchReport rep;
-  rep.name = std::move(name);
-  rep.metric = "normalized_energy";
-  rep.meta = {{"suite", "streamit"},
-              {"grid", std::to_string(rows) + "x" + std::to_string(cols)}};
-  tag_topology(rep, topology);
-  rep.heuristics = heuristic_names();
-  std::size_t k = 0;
-  for (const auto& [label, ccr] : ccr_settings()) {
-    for (const auto& info : spg::streamit_table()) {
-      rep.cells.push_back(harness::cell_from_campaign(
-          {{"ccr", label}, {"app", info.name}, {"app_index", std::to_string(info.index)}},
-          campaigns[k++]));
-    }
-  }
-  return rep;
+  campaign::SweepSpec spec;
+  spec.name = std::move(name);
+  spec.kind = campaign::SweepKind::Streamit;
+  spec.rows = rows;
+  spec.cols = cols;
+  const campaign::SweepPlan plan(spec, topology);
+  return campaign::sweep_report(plan.spec(), topology, plan.run_all(threads));
 }
 
 /// Print a StreamIt report in the layout of Figures 8/9 (one table per
@@ -168,12 +140,7 @@ inline std::vector<std::size_t> print_streamit_report(
 [[nodiscard]] inline std::uint64_t random_workload_seed(std::uint64_t seed_base,
                                                         std::size_t n, int y,
                                                         double ccr, std::size_t w) {
-  std::uint64_t s = seed_base;
-  s = s * 1000003 + n;
-  s = s * 1000003 + static_cast<std::uint64_t>(y);
-  s = s * 1000003 + static_cast<std::uint64_t>(ccr * 1000);
-  s = s * 1000003 + w;
-  return s;
+  return campaign::random_workload_seed(seed_base, n, y, ccr, w);
 }
 
 /// Run the full random-SPG campaign behind one of Figures 10-13: all
@@ -185,54 +152,17 @@ inline harness::BenchReport random_report(std::string name, std::size_t n, int r
                                           std::size_t apps, std::size_t threads,
                                           std::uint64_t seed_base = 42,
                                           const std::string& topology = "mesh") {
-  const auto platform = cmp::Platform::reference(topology, rows, cols);
-  harness::SweepEngineOptions opt;
-  opt.threads = threads;
-  const harness::SweepEngine engine(opt);
-
-  std::vector<harness::SweepEngine::GeneratedTask> tasks;
-  tasks.reserve(random_ccrs().size() * elevations.size() * apps);
-  for (const double ccr : random_ccrs()) {
-    for (const int y : elevations) {
-      for (std::size_t w = 0; w < apps; ++w) {
-        tasks.push_back({random_workload_seed(seed_base, n, y, ccr, w),
-                         [n, y, ccr](util::Rng& rng) {
-                           spg::Spg g = spg::random_spg(n, y, rng);
-                           g.rescale_ccr(ccr);
-                           return g;
-                         }});
-      }
-    }
-  }
-  const auto campaigns =
-      engine.run_tasks(tasks, platform, [] { return heuristics::make_paper_heuristics(); });
-
-  harness::BenchReport rep;
-  rep.name = std::move(name);
-  rep.metric = "mean_inverse_energy";
-  rep.meta = {{"suite", "random"},
-              {"n", std::to_string(n)},
-              {"grid", std::to_string(rows) + "x" + std::to_string(cols)},
-              {"apps", std::to_string(apps)},
-              {"seed_base", std::to_string(seed_base)}};
-  tag_topology(rep, topology);
-  rep.heuristics = heuristic_names();
-  std::size_t k = 0;
-  for (const double ccr : random_ccrs()) {
-    for (const int y : elevations) {
-      const harness::Campaign* slice = campaigns.data() + k;
-      k += apps;
-      auto cell = harness::cell_from_sweep(
-          {{"ccr", util::fmt_double(ccr, 3)}, {"elevation", std::to_string(y)}},
-          harness::SweepEngine::aggregate(slice, apps));
-      // --apps=0 yields an empty aggregate; keep cells full-width so the
-      // printers and JSON stay well-formed.
-      cell.values.resize(rep.heuristics.size(), 0.0);
-      cell.failures.resize(rep.heuristics.size(), 0);
-      rep.cells.push_back(std::move(cell));
-    }
-  }
-  return rep;
+  campaign::SweepSpec spec;
+  spec.name = std::move(name);
+  spec.kind = campaign::SweepKind::Random;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.n = n;
+  spec.elevations = elevations;
+  spec.apps = apps;
+  spec.seed_base = seed_base;
+  const campaign::SweepPlan plan(spec, topology);
+  return campaign::sweep_report(plan.spec(), topology, plan.run_all(threads));
 }
 
 /// Print a random report in the layout of Figures 10-13 (one table per CCR).
@@ -263,26 +193,13 @@ inline void print_random_report(const harness::BenchReport& rep, std::ostream& o
 /// `random_ccrs()` order.
 [[nodiscard]] inline std::vector<std::vector<std::size_t>> report_failures_by_ccr(
     const harness::BenchReport& rep, std::size_t elevation_count) {
-  std::vector<std::vector<std::size_t>> by_ccr;
-  std::size_t k = 0;
-  for (std::size_t c = 0; c < random_ccrs().size(); ++c) {
-    std::vector<std::size_t> totals(rep.heuristics.size(), 0);
-    for (std::size_t e = 0; e < elevation_count; ++e) {
-      const auto& cell = rep.cells[k++];
-      for (std::size_t h = 0; h < totals.size(); ++h) totals[h] += cell.failures[h];
-    }
-    by_ccr.push_back(std::move(totals));
-  }
-  return by_ccr;
+  return campaign::random_failures_by_ccr(rep, elevation_count);
 }
 
 /// Elevation grids used on the figures' x axes (subset of the paper's
 /// 1..20 / 1..30 sweep; override density with --step).
 inline std::vector<int> default_elevations(int max_y, int step) {
-  std::vector<int> v{1};
-  for (int y = 2; y <= max_y; y += step) v.push_back(y);
-  if (v.back() != max_y) v.push_back(max_y);
-  return v;
+  return campaign::default_elevations(max_y, step);
 }
 
 /// Table 1 (StreamIt workflow characteristics), shared by the standalone

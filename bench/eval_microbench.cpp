@@ -8,6 +8,11 @@
 // identical work.  The first probes are also cross-checked (energy within
 // 1e-9 relative, validity bit-equal); any disagreement fails the run.
 //
+// A final scenario ("exact_enum") times the exact solver's placement
+// enumeration with full per-candidate re-evaluation versus the
+// bind/evaluate_move/commit_move delta path, over the identical candidate
+// sequence; both sides must agree on the optimal energy.
+//
 // Flags: --moves=N probe count per scenario (default 2000)   [REPRO_MOVES]
 //        --seed=S  workload seed (default 42)
 //        --json=DIR  BENCH_eval.json directory (default ".") [REPRO_JSON]
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "heuristics/exact.hpp"
 #include "mapping/evaluator.hpp"
 
 namespace {
@@ -175,6 +181,62 @@ int main(int argc, char** argv) try {
     cell.values = {full_us, inc_us, speedup};
     cell.failures = {0, 0, 0};
     cell.workloads = probes.size();
+    rep.cells.push_back(std::move(cell));
+  }
+
+  // Exact-solver placement enumeration, full vs delta path.  Tiny instance
+  // (the solver's regime); YX routes off so every candidate is scored by
+  // exactly one evaluation on both sides.
+  {
+    util::Rng rng(harness::instance_seed(seed, 999));
+    spg::Spg g = spg::random_spg(12, 3, rng);
+    g.rescale_ccr(1.0);
+    const auto p = cmp::Platform::reference(2, 3);
+    // Relax the bound: at a tight T most candidates short-circuit in
+    // assign_slowest_modes before being scored, which would compare the
+    // delta path's complete scoring against mostly-skipped work.
+    const double T = find_seed(g, p).T * 4.0;
+
+    const auto timed_run = [&](bool incremental, std::size_t& candidates) {
+      heuristics::ExactSolver::Options opt;
+      opt.try_yx_routes = false;
+      opt.max_candidates = 30000;
+      opt.use_incremental = incremental;
+      opt.evaluated_out = &candidates;
+      const heuristics::ExactSolver solver(opt);
+      const auto t0 = Clock::now();
+      auto r = solver.run(g, p, T);
+      const auto dt = Clock::now() - t0;
+      if (r.success) sink += r.eval.energy;
+      return std::make_pair(std::move(r), dt);
+    };
+
+    std::size_t full_cands = 0, inc_cands = 0;
+    const auto [full_r, full_dt] = timed_run(false, full_cands);
+    const auto [inc_r, inc_dt] = timed_run(true, inc_cands);
+    if (full_r.success != inc_r.success || full_cands != inc_cands ||
+        (full_r.success &&
+         std::abs(full_r.eval.energy - inc_r.eval.energy) >
+             1e-9 * std::max(1.0, std::abs(full_r.eval.energy)))) {
+      std::fprintf(stderr,
+                   "MISMATCH exact_enum: full (%d, %.17g, %zu cands) vs "
+                   "delta (%d, %.17g, %zu cands)\n",
+                   full_r.success, full_r.eval.energy, full_cands,
+                   inc_r.success, inc_r.eval.energy, inc_cands);
+      return 1;
+    }
+
+    const double full_us = us_per_op(full_dt, full_cands);
+    const double inc_us = us_per_op(inc_dt, inc_cands);
+    const double speedup = inc_us > 0.0 ? full_us / inc_us : 0.0;
+    table.add_row({"exact_enum n=12", "2x3", util::fmt_double(full_us, 3),
+                   util::fmt_double(inc_us, 3), util::fmt_double(speedup, 2)});
+    harness::BenchCell cell;
+    cell.labels = {{"n", "12"}, {"grid", "2x3"}, {"scenario", "exact_enum"}};
+    cell.period = T;
+    cell.values = {full_us, inc_us, speedup};
+    cell.failures = {0, 0, 0};
+    cell.workloads = full_cands;
     rep.cells.push_back(std::move(cell));
   }
 

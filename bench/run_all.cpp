@@ -1,9 +1,13 @@
 // One-shot reproduction driver: regenerates Figures 8-13 and Tables 1-3 in
-// a single invocation, with every campaign batched through the parallel
-// sweep engine.  Output (console tables and BENCH_*.json files) is
-// byte-identical at any --threads value; each StreamIt grid is computed
-// once and reused for both its figure and its Table 2 row, and Table 3 is
-// derived from Figure 10's campaigns instead of being re-run.
+// a single invocation.  The grid of work is the built-in "paper" campaign
+// spec (campaign::CampaignSpec::paper — the same spec `spgcmp_campaign
+// run --spec=paper` executes shard by shard); this binary expands each
+// sweep through the shared runner and prints/writes the reports in one go.
+// Output (console tables and BENCH_*.json files) is byte-identical at any
+// --threads value and to a merged campaign over the same spec; each
+// StreamIt grid is computed once and reused for both its figure and its
+// Table 2 row, and Table 3 is derived from Figure 10's campaigns instead
+// of being re-run.
 //
 // Flags (CLI > REPRO_* env > default):
 //   --threads=N   sweep threads (0 = hardware concurrency)  [REPRO_THREADS]
@@ -21,6 +25,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "campaign/spec.hpp"
 
 namespace {
 
@@ -43,6 +48,11 @@ harness::BenchReport failure_report(std::string name, std::string key,
   return rep;
 }
 
+/// "Figure N" extracted from a sweep name like "fig10_random_n50_4x4".
+int figure_number(const std::string& sweep_name) {
+  return std::stoi(sweep_name.substr(3));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) try {
@@ -56,6 +66,11 @@ int main(int argc, char** argv) try {
   const std::string out = args.get_string("out", "REPRO_OUT", ".");
   const std::string topology = bench::topology_arg(args);
 
+  // The whole run is one declarative campaign; this driver only schedules
+  // it in-process and renders the console tables.
+  const auto spec =
+      campaign::CampaignSpec::paper(apps, apps150, step, step150, topology);
+
   std::ostream& os = std::cout;
   os << "spgcmp reproduction run: Figures 8-13, Tables 1-3\n";
   if (topology != "mesh") os << "platform topology: " << topology << "\n";
@@ -65,53 +80,46 @@ int main(int argc, char** argv) try {
   bench::table1_characteristics().print(os);
 
   // ---- Figures 8-9 + Table 2 (each grid computed once) -------------------
-  os << "\n== Figure 8: normalized energy, StreamIt suite, 4x4 CMP ==\n";
-  const auto fig8 =
-      bench::streamit_report("fig8_streamit_4x4", 4, 4, threads, topology);
-  const auto fail44 = bench::print_streamit_report(fig8, os);
-  bench::maybe_write_json(fig8, out, os);
-
-  os << "\n== Figure 9: normalized energy, StreamIt suite, 6x6 CMP ==\n";
-  const auto fig9 =
-      bench::streamit_report("fig9_streamit_6x6", 6, 6, threads, topology);
-  const auto fail66 = bench::print_streamit_report(fig9, os);
-  bench::maybe_write_json(fig9, out, os);
-
-  os << "\n== Table 2: failures out of 48 StreamIt instances per grid ==\n";
-  bench::print_failure_table({"4x4", "6x6"}, {fail44, fail66}, "platform", os);
-  const auto table2 = failure_report("table2_failures", "platform", {"4x4", "6x6"},
-                                     {fail44, fail66});
-  bench::maybe_write_json(table2, out, os);
-
-  // ---- Figures 10-13 -----------------------------------------------------
-  struct RandomFigure {
-    int fig;
-    std::size_t n;
-    int rows, cols, max_y;
-    std::size_t apps;
-    int step;
-  };
-  const std::vector<RandomFigure> figures = {
-      {10, 50, 4, 4, 20, apps, step},
-      {11, 50, 6, 6, 20, apps, step},
-      {12, 150, 4, 4, 30, apps150, step150},
-      {13, 150, 6, 6, 30, apps150, step150},
-  };
+  std::vector<std::vector<std::size_t>> streamit_failures;
+  std::vector<std::string> streamit_labels;
   harness::BenchReport fig10;
   std::size_t fig10_elevations = 0;
-  for (const auto& f : figures) {
-    const auto elevations = bench::default_elevations(f.max_y, f.step);
-    os << "\n== Figure " << f.fig << ": random SPGs, n=" << f.n << ", " << f.rows
-       << "x" << f.cols << " CMP (" << f.apps << " workloads per point) ==\n";
-    const auto rep = bench::random_report(
-        "fig" + std::to_string(f.fig) + "_random_n" + std::to_string(f.n) + "_" +
-            std::to_string(f.rows) + "x" + std::to_string(f.cols),
-        f.n, f.rows, f.cols, elevations, f.apps, threads, 42, topology);
-    bench::print_random_report(rep, os, f.n, f.rows, f.cols, elevations.size());
-    bench::maybe_write_json(rep, out, os);
-    if (f.fig == 10) {
-      fig10 = rep;
-      fig10_elevations = elevations.size();
+
+  for (const auto& sweep : spec.sweeps) {
+    const campaign::SweepPlan plan(sweep, topology);
+    if (sweep.kind == campaign::SweepKind::Streamit) {
+      os << "\n== Figure " << figure_number(sweep.name)
+         << ": normalized energy, StreamIt suite, " << sweep.rows << "x"
+         << sweep.cols << " CMP ==\n";
+      const auto rep =
+          campaign::sweep_report(sweep, topology, plan.run_all(threads));
+      streamit_failures.push_back(bench::print_streamit_report(rep, os));
+      streamit_labels.push_back(std::to_string(sweep.rows) + "x" +
+                                std::to_string(sweep.cols));
+      bench::maybe_write_json(rep, out, os);
+
+      // Table 2 prints once both grids are in.
+      if (streamit_failures.size() == 2) {
+        os << "\n== Table 2: failures out of 48 StreamIt instances per grid ==\n";
+        bench::print_failure_table(streamit_labels, streamit_failures, "platform",
+                                   os);
+        bench::maybe_write_json(failure_report("table2_failures", "platform",
+                                               streamit_labels, streamit_failures),
+                                out, os);
+      }
+    } else {
+      os << "\n== Figure " << figure_number(sweep.name) << ": random SPGs, n="
+         << sweep.n << ", " << sweep.rows << "x" << sweep.cols << " CMP ("
+         << sweep.apps << " workloads per point) ==\n";
+      const auto rep =
+          campaign::sweep_report(sweep, topology, plan.run_all(threads));
+      bench::print_random_report(rep, os, sweep.n, sweep.rows, sweep.cols,
+                                 sweep.elevations.size());
+      bench::maybe_write_json(rep, out, os);
+      if (figure_number(sweep.name) == 10) {
+        fig10 = rep;
+        fig10_elevations = sweep.elevations.size();
+      }
     }
   }
 

@@ -1,0 +1,179 @@
+#include "campaign/report.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "spg/streamit.hpp"
+#include "util/table.hpp"
+
+namespace spgcmp::campaign {
+
+namespace {
+
+/// Tag a report with its non-default topology.  The default mesh adds no
+/// meta entry, keeping mesh outputs byte-identical across versions.
+void tag_topology(harness::BenchReport& rep, const std::string& topology) {
+  if (topology != "mesh") rep.meta.emplace_back("topology", topology);
+}
+
+harness::BenchReport streamit_sweep_report(
+    const SweepSpec& spec, const std::string& topology,
+    const std::vector<InstanceResult>& results) {
+  harness::BenchReport rep;
+  rep.name = spec.name;
+  rep.metric = "normalized_energy";
+  rep.meta = {{"suite", "streamit"},
+              {"grid", std::to_string(spec.rows) + "x" + std::to_string(spec.cols)}};
+  tag_topology(rep, topology);
+  rep.heuristics = heuristic_names();
+  std::size_t k = 0;
+  for (const auto& [label, ccr] : streamit_ccrs()) {
+    for (const auto& info : spg::streamit_table()) {
+      const InstanceResult& r = results[k++];
+      harness::BenchCell cell;
+      cell.labels = {{"ccr", label},
+                     {"app", info.name},
+                     {"app_index", std::to_string(info.index)}};
+      cell.period = r.period;
+      cell.workloads = 1;
+      cell.values.reserve(r.energy.size());
+      cell.failures.reserve(r.energy.size());
+      for (std::size_t h = 0; h < r.energy.size(); ++h) {
+        cell.values.push_back(r.normalized_energy(h));
+        cell.failures.push_back(r.success[h] ? 0 : 1);
+      }
+      rep.cells.push_back(std::move(cell));
+    }
+  }
+  return rep;
+}
+
+harness::BenchReport random_sweep_report(
+    const SweepSpec& spec, const std::string& topology,
+    const std::vector<InstanceResult>& results) {
+  harness::BenchReport rep;
+  rep.name = spec.name;
+  rep.metric = "mean_inverse_energy";
+  rep.meta = {{"suite", "random"},
+              {"n", std::to_string(spec.n)},
+              {"grid", std::to_string(spec.rows) + "x" + std::to_string(spec.cols)},
+              {"apps", std::to_string(spec.apps)},
+              {"seed_base", std::to_string(spec.seed_base)}};
+  tag_topology(rep, topology);
+  rep.heuristics = heuristic_names();
+  std::size_t k = 0;
+  for (const double ccr : random_ccrs()) {
+    for (const int y : spec.elevations) {
+      harness::BenchCell cell;
+      cell.labels = {{"ccr", util::fmt_double(ccr, 3)},
+                     {"elevation", std::to_string(y)}};
+      cell.period = 0.0;
+      cell.workloads = spec.apps;
+      // Mean normalized 1/E over the point's instances, summed in instance
+      // order — the exact arithmetic of SweepEngine::aggregate, so merged
+      // campaigns match one-shot runs bit for bit.
+      if (spec.apps > 0) {
+        const std::size_t H = results[k].energy.size();
+        cell.values.assign(H, 0.0);
+        cell.failures.assign(H, 0);
+        for (std::size_t w = 0; w < spec.apps; ++w) {
+          const InstanceResult& r = results[k + w];
+          for (std::size_t h = 0; h < H; ++h) {
+            if (r.success[h]) {
+              cell.values[h] += r.normalized_inverse_energy(h);
+            } else {
+              ++cell.failures[h];
+            }
+          }
+        }
+        for (std::size_t h = 0; h < H; ++h) {
+          cell.values[h] /= static_cast<double>(spec.apps);
+        }
+        k += spec.apps;
+      }
+      // apps == 0 yields an empty aggregate; keep cells full-width so the
+      // printers and JSON stay well-formed.
+      cell.values.resize(rep.heuristics.size(), 0.0);
+      cell.failures.resize(rep.heuristics.size(), 0);
+      rep.cells.push_back(std::move(cell));
+    }
+  }
+  return rep;
+}
+
+}  // namespace
+
+harness::BenchReport sweep_report(const SweepSpec& spec,
+                                  const std::string& topology,
+                                  const std::vector<InstanceResult>& results) {
+  const std::size_t expected =
+      spec.kind == SweepKind::Streamit
+          ? streamit_ccrs().size() * spg::streamit_table().size()
+          : random_ccrs().size() * spec.elevations.size() * spec.apps;
+  if (results.size() != expected) {
+    throw std::invalid_argument("sweep '" + spec.name + "': have " +
+                                std::to_string(results.size()) + " of " +
+                                std::to_string(expected) + " instance results");
+  }
+  return spec.kind == SweepKind::Streamit
+             ? streamit_sweep_report(spec, topology, results)
+             : random_sweep_report(spec, topology, results);
+}
+
+std::vector<std::size_t> streamit_failure_totals(const harness::BenchReport& report) {
+  std::vector<std::size_t> totals(report.heuristics.size(), 0);
+  for (const auto& cell : report.cells) {
+    for (std::size_t h = 0; h < totals.size(); ++h) totals[h] += cell.failures[h];
+  }
+  return totals;
+}
+
+std::vector<std::vector<std::size_t>> random_failures_by_ccr(
+    const harness::BenchReport& report, std::size_t elevation_count) {
+  std::vector<std::vector<std::size_t>> by_ccr;
+  std::size_t k = 0;
+  for (std::size_t c = 0; c < random_ccrs().size(); ++c) {
+    std::vector<std::size_t> totals(report.heuristics.size(), 0);
+    for (std::size_t e = 0; e < elevation_count; ++e) {
+      const auto& cell = report.cells[k++];
+      for (std::size_t h = 0; h < totals.size(); ++h) totals[h] += cell.failures[h];
+    }
+    by_ccr.push_back(std::move(totals));
+  }
+  return by_ccr;
+}
+
+harness::BenchReport table_report(
+    const TableSpec& spec, const std::vector<const harness::BenchReport*>& sources,
+    const std::vector<const SweepSpec*>& source_specs) {
+  if (sources.size() != spec.from.size() || source_specs.size() != spec.from.size()) {
+    throw std::invalid_argument("table '" + spec.name +
+                                "': source count mismatch");
+  }
+  harness::BenchReport rep;
+  rep.name = spec.name;
+  rep.metric = "failures";
+  rep.heuristics = heuristic_names();
+
+  std::vector<std::string> labels;
+  std::vector<std::vector<std::size_t>> rows;
+  if (spec.kind == TableKind::StreamitFailures) {
+    labels = spec.labels;
+    for (const auto* src : sources) rows.push_back(streamit_failure_totals(*src));
+  } else {
+    rows = random_failures_by_ccr(*sources[0],
+                                  source_specs[0]->elevations.size());
+    for (const double ccr : random_ccrs()) {
+      labels.push_back(util::fmt_double(ccr, 3));
+    }
+  }
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    harness::BenchCell cell;
+    cell.labels = {{spec.key_column, labels[r]}};
+    cell.failures = rows[r];
+    rep.cells.push_back(std::move(cell));
+  }
+  return rep;
+}
+
+}  // namespace spgcmp::campaign

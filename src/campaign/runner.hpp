@@ -1,0 +1,92 @@
+#pragma once
+
+// Sweep expansion and shard execution.
+//
+// A SweepSpec expands into a SweepPlan: a deterministic, ordered list of
+// instance tasks (each carrying its own seed, so which shard or thread runs
+// it is irrelevant) cut into fixed-size shards.  Shards are the unit of
+// scheduling, persistence and resume: the service executes them in order on
+// the harness::SweepEngine thread pool, appends each finished shard to the
+// campaign's JSONL log, and a resumed campaign simply skips shard indices
+// already on disk.
+//
+// Results are carried as InstanceResult — the raw per-heuristic outcome
+// (retained period, energy, success) of one instance.  Raw energies rather
+// than normalized values are persisted because every derived metric
+// (E/Emin, mean 1/E) is recomputed from them with exactly the arithmetic
+// harness::Campaign uses, so a merge over restored doubles is bit-identical
+// to an in-memory one-shot run.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "cmp/cmp.hpp"
+#include "harness/sweep_engine.hpp"
+
+namespace spgcmp::campaign {
+
+/// Per-heuristic names of the paper heuristic set, in report order.
+[[nodiscard]] std::vector<std::string> heuristic_names();
+
+/// Raw outcome of one instance (one period-search campaign).
+struct InstanceResult {
+  double period = 0.0;                ///< retained period bound
+  std::vector<double> energy;         ///< per heuristic; raw J, 0 on failure
+  std::vector<std::uint8_t> success;  ///< per heuristic
+
+  /// Minimum energy among successful heuristics; 0 when all failed.
+  /// Mirrors harness::Campaign::best_energy bit-for-bit.
+  [[nodiscard]] double best_energy() const;
+  [[nodiscard]] double normalized_energy(std::size_t h) const;
+  [[nodiscard]] double normalized_inverse_energy(std::size_t h) const;
+};
+
+/// Compress a finished campaign into its persisted form.
+[[nodiscard]] InstanceResult summarize(const harness::Campaign& c);
+
+/// Deterministic seed of workload `w` of a random sweep, derived from
+/// (n, elevation, ccr bucket, index) so any re-run — at any thread count,
+/// elevation subset or replication count — sees identical workloads.
+[[nodiscard]] std::uint64_t random_workload_seed(std::uint64_t seed_base,
+                                                 std::size_t n, int y, double ccr,
+                                                 std::size_t w);
+
+/// A fully-expanded sweep: platform, ordered instance tasks, shard grid.
+class SweepPlan {
+ public:
+  SweepPlan(SweepSpec spec, const std::string& topology);
+
+  [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& topology() const noexcept { return topology_; }
+  [[nodiscard]] const cmp::Platform& platform() const noexcept { return platform_; }
+
+  [[nodiscard]] std::size_t instance_count() const noexcept { return tasks_.size(); }
+  [[nodiscard]] std::size_t shard_size() const noexcept { return shard_size_; }
+  [[nodiscard]] std::size_t shard_count() const noexcept;
+  /// Instance range [first, last) of one shard.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> shard_range(
+      std::size_t shard) const noexcept;
+
+  /// Execute one shard on the sweep-engine pool; results in instance order.
+  [[nodiscard]] std::vector<InstanceResult> run_shard(std::size_t shard,
+                                                      std::size_t threads) const;
+
+  /// Execute every shard back to back (the one-shot bench path).
+  [[nodiscard]] std::vector<InstanceResult> run_all(std::size_t threads) const;
+
+ private:
+  SweepSpec spec_;
+  std::string topology_;
+  cmp::Platform platform_;
+  std::vector<harness::SweepEngine::GeneratedTask> tasks_;
+  std::size_t shard_size_;
+};
+
+/// Service default shard size (instances per shard).
+inline constexpr std::size_t kDefaultShardSize = 16;
+
+}  // namespace spgcmp::campaign

@@ -1,0 +1,165 @@
+#include "campaign/service.hpp"
+
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+namespace spgcmp::campaign {
+
+std::size_t StatusReport::shards_done() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : sweeps) n += s.shards_done;
+  return n;
+}
+
+std::size_t StatusReport::shards_total() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : sweeps) n += s.shards_total;
+  return n;
+}
+
+CampaignService::CampaignService(CampaignSpec spec, const std::string& dir)
+    : spec_(std::move(spec)), store_(dir) {
+  store_.initialize(spec_);
+}
+
+CampaignService CampaignService::open(const std::string& dir) {
+  CampaignStore store(dir);
+  return CampaignService(store.load_spec(), dir);
+}
+
+std::vector<SweepPlan> CampaignService::plans() const {
+  std::vector<SweepPlan> out;
+  out.reserve(spec_.sweeps.size());
+  for (const auto& s : spec_.sweeps) out.emplace_back(s, spec_.topology);
+  return out;
+}
+
+RunSummary CampaignService::run(const ServiceOptions& opt) {
+  const auto all = plans();
+  const auto done = store_.load_shards();
+
+  RunSummary summary;
+  for (const auto& plan : all) summary.shards_total += plan.shard_count();
+
+  std::size_t completed = done.size();
+  summary.shards_skipped = completed;
+
+  const std::size_t threads = harness::normalize_threads(opt.threads);
+  bool stopped = false;
+  for (const auto& plan : all) {
+    if (stopped) break;
+    for (std::size_t shard = 0; shard < plan.shard_count(); ++shard) {
+      if (done.count({plan.spec().name, shard}) != 0) continue;
+      if (opt.max_shards != 0 && summary.shards_executed >= opt.max_shards) {
+        stopped = true;
+        break;
+      }
+      const auto [first, last] = plan.shard_range(shard);
+      if (opt.log != nullptr) {
+        *opt.log << "[campaign] " << plan.spec().name << " shard " << shard + 1
+                 << "/" << plan.shard_count() << " (instances " << first << ".."
+                 << last - 1 << ", " << threads << " threads)\n";
+        opt.log->flush();
+      }
+      const auto results = plan.run_shard(shard, threads);
+      store_.append_shard(plan.spec().name, shard, results);
+      ++summary.shards_executed;
+      ++completed;
+      if (opt.checkpoint_every != 0 &&
+          summary.shards_executed % opt.checkpoint_every == 0) {
+        store_.write_manifest({spec_.name, summary.shards_total, completed});
+      }
+    }
+  }
+
+  summary.complete = completed == summary.shards_total;
+  store_.write_manifest({spec_.name, summary.shards_total, completed});
+  if (opt.log != nullptr) {
+    *opt.log << "[campaign] " << completed << "/" << summary.shards_total
+             << " shards done (" << summary.shards_executed << " executed, "
+             << summary.shards_skipped << " resumed)\n";
+  }
+  return summary;
+}
+
+StatusReport CampaignService::status() const {
+  const auto done = store_.load_shards();
+  StatusReport rep;
+  rep.campaign = spec_.name;
+  for (const auto& plan : plans()) {
+    SweepStatus s;
+    s.name = plan.spec().name;
+    s.shards_total = plan.shard_count();
+    s.instances_total = plan.instance_count();
+    for (std::size_t shard = 0; shard < plan.shard_count(); ++shard) {
+      if (done.count({s.name, shard}) != 0) ++s.shards_done;
+    }
+    rep.sweeps.push_back(std::move(s));
+  }
+  return rep;
+}
+
+std::vector<harness::BenchReport> CampaignService::merged_reports() const {
+  const auto done = store_.load_shards();
+  std::vector<harness::BenchReport> reports;
+  // Reserve up front: derived tables hold pointers into `reports`, which a
+  // reallocation would invalidate.
+  reports.reserve(spec_.sweeps.size() + spec_.tables.size());
+
+  // Sweep reports first, in spec order; remember them for derived tables.
+  std::vector<const harness::BenchReport*> by_sweep(spec_.sweeps.size(), nullptr);
+  for (std::size_t i = 0; i < spec_.sweeps.size(); ++i) {
+    const SweepPlan plan(spec_.sweeps[i], spec_.topology);
+    std::vector<InstanceResult> results;
+    results.reserve(plan.instance_count());
+    for (std::size_t shard = 0; shard < plan.shard_count(); ++shard) {
+      const auto it = done.find({plan.spec().name, shard});
+      if (it == done.end()) {
+        throw std::runtime_error("campaign incomplete: sweep '" +
+                                 plan.spec().name + "' is missing shard " +
+                                 std::to_string(shard) + " of " +
+                                 std::to_string(plan.shard_count()) +
+                                 " (run or resume it first)");
+      }
+      const auto [first, last] = plan.shard_range(shard);
+      if (it->second.size() != last - first) {
+        throw std::runtime_error("sweep '" + plan.spec().name + "' shard " +
+                                 std::to_string(shard) +
+                                 ": instance count mismatch");
+      }
+      results.insert(results.end(), it->second.begin(), it->second.end());
+    }
+    reports.push_back(sweep_report(spec_.sweeps[i], spec_.topology, results));
+  }
+  for (std::size_t i = 0; i < spec_.sweeps.size(); ++i) by_sweep[i] = &reports[i];
+
+  for (const auto& t : spec_.tables) {
+    std::vector<const harness::BenchReport*> sources;
+    std::vector<const SweepSpec*> source_specs;
+    for (const auto& src : t.from) {
+      for (std::size_t i = 0; i < spec_.sweeps.size(); ++i) {
+        if (spec_.sweeps[i].name == src) {
+          sources.push_back(by_sweep[i]);
+          source_specs.push_back(&spec_.sweeps[i]);
+        }
+      }
+    }
+    reports.push_back(table_report(t, sources, source_specs));
+  }
+  return reports;
+}
+
+std::vector<std::string> CampaignService::merge(const std::string& out_dir) const {
+  // Build everything before writing anything: an incomplete campaign must
+  // not leave a half-merged output directory behind.
+  const auto reports = merged_reports();
+  std::vector<std::string> paths;
+  paths.reserve(reports.size());
+  for (const auto& rep : reports) {
+    paths.push_back(rep.write_json_file(out_dir));
+  }
+  return paths;
+}
+
+}  // namespace spgcmp::campaign

@@ -1,0 +1,94 @@
+#pragma once
+
+// The campaign service: a long-running, resumable sweep driver.
+//
+// run() expands every sweep of the spec into deterministic shards and
+// executes the pending ones in (sweep, shard) order on the sweep-engine
+// thread pool, appending each finished shard to the store's JSONL log and
+// checkpointing a manifest every few shards.  Because shards are
+// deterministic and persisted with full-precision doubles, a campaign
+// killed at any point resumes with zero re-execution of completed shards
+// and merges to byte-identical BENCH_*.json output — at any thread count.
+//
+// merge() folds the shard log back into the BENCH_<name>.json documents the
+// one-shot bench binaries emit, plus the spec's derived failure tables.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/report.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/store.hpp"
+
+namespace spgcmp::campaign {
+
+struct ServiceOptions {
+  std::size_t threads = 0;  ///< sweep threads; 0 = hardware concurrency
+  /// Stop after executing this many *new* shards (0 = no limit).  Used by
+  /// tests and the CI smoke to simulate a killed campaign, and by batch
+  /// schedulers to run a campaign in fixed-size quanta.
+  std::size_t max_shards = 0;
+  /// Manifest refresh cadence in shards; 0 = only the final manifest.
+  std::size_t checkpoint_every = 8;
+  std::ostream* log = nullptr;       ///< optional progress stream
+};
+
+/// What one run() call did.
+struct RunSummary {
+  std::size_t shards_total = 0;
+  std::size_t shards_skipped = 0;   ///< already complete when run() started
+  std::size_t shards_executed = 0;  ///< newly executed by this call
+  bool complete = false;            ///< every shard of the campaign is done
+};
+
+/// Per-sweep progress for status reporting.
+struct SweepStatus {
+  std::string name;
+  std::size_t shards_done = 0;
+  std::size_t shards_total = 0;
+  std::size_t instances_total = 0;
+};
+
+struct StatusReport {
+  std::string campaign;
+  std::vector<SweepStatus> sweeps;
+  [[nodiscard]] std::size_t shards_done() const noexcept;
+  [[nodiscard]] std::size_t shards_total() const noexcept;
+};
+
+class CampaignService {
+ public:
+  /// Bind a spec to a campaign directory, initializing the store (throws
+  /// if the directory already holds a different spec).
+  CampaignService(CampaignSpec spec, const std::string& dir);
+
+  /// Re-open an initialized campaign directory (the resume path: the spec
+  /// comes from the store).
+  [[nodiscard]] static CampaignService open(const std::string& dir);
+
+  [[nodiscard]] const CampaignSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const CampaignStore& store() const noexcept { return store_; }
+
+  /// Execute pending shards in deterministic order; see ServiceOptions.
+  RunSummary run(const ServiceOptions& opt);
+
+  [[nodiscard]] StatusReport status() const;
+
+  /// Merge completed shards into BENCH_*.json files under `out_dir`
+  /// (sweep reports first, then derived tables, in spec order).  Throws if
+  /// any shard is missing, naming the first gap.  Returns written paths.
+  std::vector<std::string> merge(const std::string& out_dir) const;
+
+  /// Build the merged reports in memory (shared by merge and tests).
+  [[nodiscard]] std::vector<harness::BenchReport> merged_reports() const;
+
+ private:
+  [[nodiscard]] std::vector<SweepPlan> plans() const;
+
+  CampaignSpec spec_;
+  CampaignStore store_;
+};
+
+}  // namespace spgcmp::campaign

@@ -1,0 +1,339 @@
+#include "campaign/spec.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cmp/cmp.hpp"
+#include "util/spec.hpp"
+
+namespace spgcmp::campaign {
+
+using util::SpecEntry;
+using util::SpecError;
+using util::SpecSection;
+
+const std::vector<std::pair<std::string, double>>& streamit_ccrs() {
+  static const std::vector<std::pair<std::string, double>> settings = {
+      {"original", 0.0}, {"10", 10.0}, {"1", 1.0}, {"0.1", 0.1}};
+  return settings;
+}
+
+const std::vector<double>& random_ccrs() {
+  static const std::vector<double> ccrs = {10.0, 1.0, 0.1};
+  return ccrs;
+}
+
+std::vector<int> default_elevations(int max_y, int step) {
+  std::vector<int> v{1};
+  for (int y = 2; y <= max_y; y += step) v.push_back(y);
+  if (v.back() != max_y) v.push_back(max_y);
+  return v;
+}
+
+namespace {
+
+[[noreturn]] void unknown_key(const SpecEntry& e, const std::string& where) {
+  throw SpecError(e.line, "unknown " + where + " key '" + e.key + "'");
+}
+
+void check_topology(const SpecEntry& e) {
+  const auto& names = cmp::Topology::names();
+  if (std::find(names.begin(), names.end(), e.value) == names.end()) {
+    std::string expected;
+    for (const auto& n : names) {
+      if (!expected.empty()) expected += ", ";
+      expected += n;
+    }
+    throw SpecError(e.line, "unknown topology '" + e.value + "' (expected " +
+                                expected + ")");
+  }
+}
+
+SweepSpec parse_sweep(const SpecSection& sec) {
+  SweepSpec s;
+  s.name = sec.name;
+  bool have_kind = false;
+  int max_y = 0;
+  int step = 1;
+  bool have_grid_y = false;
+  bool have_elevations = false;
+  for (const auto& e : sec.entries) {
+    if (e.key == "kind") {
+      have_kind = true;
+      if (e.value == "streamit") {
+        s.kind = SweepKind::Streamit;
+      } else if (e.value == "random") {
+        s.kind = SweepKind::Random;
+      } else {
+        throw SpecError(e.line, "unknown sweep kind '" + e.value +
+                                    "' (expected streamit or random)");
+      }
+    } else if (e.key == "rows") {
+      s.rows = static_cast<int>(util::spec_int_in(e, 1, 64));
+    } else if (e.key == "cols") {
+      s.cols = static_cast<int>(util::spec_int_in(e, 1, 64));
+    } else if (e.key == "n") {
+      s.n = static_cast<std::size_t>(util::spec_int_in(e, 1, 100000));
+    } else if (e.key == "max_y") {
+      max_y = static_cast<int>(util::spec_int_in(e, 1, 1000));
+      have_grid_y = true;
+    } else if (e.key == "step") {
+      step = static_cast<int>(util::spec_int_in(e, 1, 1000));
+      have_grid_y = true;
+    } else if (e.key == "elevations") {
+      have_elevations = true;
+      s.elevations.clear();
+      for (const auto& tok : util::spec_list(e)) {
+        SpecEntry item{e.key, tok, e.line};
+        s.elevations.push_back(static_cast<int>(util::spec_int_in(item, 1, 1000)));
+      }
+      if (s.elevations.empty()) {
+        throw SpecError(e.line, "key 'elevations': expected at least one value");
+      }
+    } else if (e.key == "apps") {
+      s.apps = static_cast<std::size_t>(util::spec_int_in(e, 0, 1000000));
+    } else if (e.key == "seed") {
+      s.seed_base = static_cast<std::uint64_t>(util::spec_int(e));
+    } else if (e.key == "shard_size") {
+      s.shard_size = static_cast<std::size_t>(util::spec_int_in(e, 1, 1000000));
+    } else {
+      unknown_key(e, "sweep");
+    }
+  }
+  if (!have_kind) {
+    throw SpecError(sec.line, "sweep '" + sec.name + "': missing 'kind'");
+  }
+  if (s.kind == SweepKind::Random) {
+    if (have_elevations && have_grid_y) {
+      throw SpecError(sec.line, "sweep '" + sec.name +
+                                    "': give either 'elevations' or "
+                                    "'max_y'/'step', not both");
+    }
+    if (!have_elevations) {
+      if (!have_grid_y) {
+        throw SpecError(sec.line, "sweep '" + sec.name +
+                                      "': random sweeps need 'elevations' or "
+                                      "'max_y'");
+      }
+      s.elevations = default_elevations(max_y, step);
+    }
+  } else if (have_elevations || have_grid_y) {
+    throw SpecError(sec.line, "sweep '" + sec.name +
+                                  "': elevation keys apply to random sweeps only");
+  }
+  return s;
+}
+
+TableSpec parse_table(const SpecSection& sec) {
+  TableSpec t;
+  t.name = sec.name;
+  bool have_kind = false;
+  for (const auto& e : sec.entries) {
+    if (e.key == "kind") {
+      have_kind = true;
+      if (e.value == "streamit_failures") {
+        t.kind = TableKind::StreamitFailures;
+      } else if (e.value == "random_failures_by_ccr") {
+        t.kind = TableKind::RandomFailuresByCcr;
+      } else {
+        throw SpecError(e.line, "unknown table kind '" + e.value +
+                                    "' (expected streamit_failures or "
+                                    "random_failures_by_ccr)");
+      }
+    } else if (e.key == "key") {
+      t.key_column = e.value;
+    } else if (e.key == "from") {
+      t.from = util::spec_list(e);
+    } else if (e.key == "labels") {
+      t.labels = util::spec_list(e);
+    } else {
+      unknown_key(e, "table");
+    }
+  }
+  if (!have_kind) {
+    throw SpecError(sec.line, "table '" + sec.name + "': missing 'kind'");
+  }
+  if (t.from.empty()) {
+    throw SpecError(sec.line, "table '" + sec.name + "': missing 'from'");
+  }
+  if (t.key_column.empty()) {
+    throw SpecError(sec.line, "table '" + sec.name + "': missing 'key'");
+  }
+  if (t.kind == TableKind::StreamitFailures) {
+    if (t.labels.size() != t.from.size()) {
+      throw SpecError(sec.line, "table '" + sec.name + "': 'labels' must name " +
+                                    std::to_string(t.from.size()) +
+                                    " rows (one per 'from' sweep)");
+    }
+  } else if (t.from.size() != 1) {
+    throw SpecError(sec.line, "table '" + sec.name +
+                                  "': random_failures_by_ccr derives from "
+                                  "exactly one sweep");
+  }
+  return t;
+}
+
+}  // namespace
+
+CampaignSpec CampaignSpec::parse(std::istream& is) {
+  const util::SpecDocument doc = util::SpecDocument::parse(is);
+  CampaignSpec spec;
+  for (const auto& e : doc.globals) {
+    if (e.key == "campaign") {
+      spec.name = e.value;
+    } else if (e.key == "topology") {
+      check_topology(e);
+      spec.topology = e.value;
+    } else {
+      unknown_key(e, "campaign");
+    }
+  }
+  for (const auto& sec : doc.sections) {
+    if (sec.kind == "sweep") {
+      if (spec.find_sweep(sec.name) != nullptr) {
+        throw SpecError(sec.line, "duplicate sweep name '" + sec.name + "'");
+      }
+      spec.sweeps.push_back(parse_sweep(sec));
+    } else if (sec.kind == "table") {
+      TableSpec t = parse_table(sec);
+      // Tables must follow the sweeps they derive from, so every reference
+      // can be checked right here with a real line number.
+      for (const auto& src : t.from) {
+        const SweepSpec* s = spec.find_sweep(src);
+        if (s == nullptr) {
+          throw SpecError(sec.line, "table '" + t.name +
+                                        "': unknown source sweep '" + src + "'");
+        }
+        if (t.kind == TableKind::RandomFailuresByCcr &&
+            s->kind != SweepKind::Random) {
+          throw SpecError(sec.line, "table '" + t.name + "': source sweep '" +
+                                        src + "' is not a random sweep");
+        }
+      }
+      spec.tables.push_back(std::move(t));
+    } else {
+      throw SpecError(sec.line, "unknown section kind '" + sec.kind +
+                                    "' (expected sweep or table)");
+    }
+  }
+  return spec;
+}
+
+CampaignSpec CampaignSpec::parse_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+void CampaignSpec::serialize(std::ostream& os) const {
+  os << "campaign " << name << "\n";
+  os << "topology " << topology << "\n";
+  for (const auto& s : sweeps) {
+    os << "\n[sweep " << s.name << "]\n";
+    os << "kind " << (s.kind == SweepKind::Streamit ? "streamit" : "random")
+       << "\n";
+    os << "rows " << s.rows << "\n";
+    os << "cols " << s.cols << "\n";
+    if (s.kind == SweepKind::Random) {
+      os << "n " << s.n << "\n";
+      os << "elevations";
+      for (const int y : s.elevations) os << ' ' << y;
+      os << "\n";
+      os << "apps " << s.apps << "\n";
+      os << "seed " << s.seed_base << "\n";
+    }
+    if (s.shard_size != 0) os << "shard_size " << s.shard_size << "\n";
+  }
+  for (const auto& t : tables) {
+    os << "\n[table " << t.name << "]\n";
+    os << "kind "
+       << (t.kind == TableKind::StreamitFailures ? "streamit_failures"
+                                                 : "random_failures_by_ccr")
+       << "\n";
+    os << "key " << t.key_column << "\n";
+    os << "from";
+    for (const auto& f : t.from) os << ' ' << f;
+    os << "\n";
+    if (!t.labels.empty()) {
+      os << "labels";
+      for (const auto& l : t.labels) os << ' ' << l;
+      os << "\n";
+    }
+  }
+}
+
+std::string CampaignSpec::to_text() const {
+  std::ostringstream os;
+  serialize(os);
+  return os.str();
+}
+
+const SweepSpec* CampaignSpec::find_sweep(std::string_view name) const noexcept {
+  for (const auto& s : sweeps) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+CampaignSpec CampaignSpec::paper(std::size_t apps, std::size_t apps150, int step,
+                                 int step150, const std::string& topology) {
+  CampaignSpec spec;
+  spec.name = "paper";
+  spec.topology = topology;
+
+  const auto streamit = [](std::string name, int rows, int cols) {
+    SweepSpec s;
+    s.name = std::move(name);
+    s.kind = SweepKind::Streamit;
+    s.rows = rows;
+    s.cols = cols;
+    return s;
+  };
+  spec.sweeps.push_back(streamit("fig8_streamit_4x4", 4, 4));
+  spec.sweeps.push_back(streamit("fig9_streamit_6x6", 6, 6));
+
+  struct RandomFigure {
+    int fig;
+    std::size_t n;
+    int rows, cols, max_y;
+    std::size_t apps;
+    int step;
+  };
+  const std::vector<RandomFigure> figures = {
+      {10, 50, 4, 4, 20, apps, step},
+      {11, 50, 6, 6, 20, apps, step},
+      {12, 150, 4, 4, 30, apps150, step150},
+      {13, 150, 6, 6, 30, apps150, step150},
+  };
+  for (const auto& f : figures) {
+    SweepSpec s;
+    s.name = "fig" + std::to_string(f.fig) + "_random_n" + std::to_string(f.n) +
+             "_" + std::to_string(f.rows) + "x" + std::to_string(f.cols);
+    s.kind = SweepKind::Random;
+    s.rows = f.rows;
+    s.cols = f.cols;
+    s.n = f.n;
+    s.elevations = default_elevations(f.max_y, f.step);
+    s.apps = f.apps;
+    s.seed_base = 42;
+    spec.sweeps.push_back(std::move(s));
+  }
+
+  TableSpec t2;
+  t2.name = "table2_failures";
+  t2.kind = TableKind::StreamitFailures;
+  t2.key_column = "platform";
+  t2.from = {"fig8_streamit_4x4", "fig9_streamit_6x6"};
+  t2.labels = {"4x4", "6x6"};
+  spec.tables.push_back(std::move(t2));
+
+  TableSpec t3;
+  t3.name = "table3_failures_random";
+  t3.kind = TableKind::RandomFailuresByCcr;
+  t3.key_column = "ccr";
+  t3.from = {"fig10_random_n50_4x4"};
+  spec.tables.push_back(std::move(t3));
+
+  return spec;
+}
+
+}  // namespace spgcmp::campaign

@@ -1,0 +1,136 @@
+#include "campaign/store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/jsonl.hpp"
+
+namespace spgcmp::campaign {
+
+namespace fs = std::filesystem;
+
+CampaignStore::CampaignStore(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) throw std::invalid_argument("campaign directory is empty");
+}
+
+std::string CampaignStore::spec_path() const { return dir_ + "/spec.campaign"; }
+std::string CampaignStore::shards_path() const { return dir_ + "/shards.jsonl"; }
+std::string CampaignStore::manifest_path() const { return dir_ + "/MANIFEST.json"; }
+
+bool CampaignStore::initialized() const { return fs::exists(spec_path()); }
+
+void CampaignStore::initialize(const CampaignSpec& spec) {
+  fs::create_directories(dir_);
+  const std::string text = spec.to_text();
+  if (initialized()) {
+    std::ifstream is(spec_path());
+    std::ostringstream existing;
+    existing << is.rdbuf();
+    if (existing.str() != text) {
+      throw std::runtime_error(dir_ +
+                               ": already holds a different campaign spec; "
+                               "use a fresh directory or resume without --spec");
+    }
+    return;  // same spec: idempotent init, keep completed shards
+  }
+  std::ofstream os(spec_path());
+  if (!os) throw std::runtime_error("cannot write " + spec_path());
+  os << text;
+}
+
+CampaignSpec CampaignStore::load_spec() const {
+  std::ifstream is(spec_path());
+  if (!is) {
+    throw std::runtime_error(dir_ + ": not an initialized campaign directory (" +
+                             spec_path() + " missing)");
+  }
+  return CampaignSpec::parse(is);
+}
+
+CampaignStore::ShardMap CampaignStore::load_shards() const {
+  ShardMap shards;
+  for (const auto& rec : util::read_jsonl(shards_path())) {
+    const std::string& sweep = rec.at("sweep").as_string("shard record 'sweep'");
+    const auto shard =
+        static_cast<std::size_t>(rec.at("shard").as_number("shard record 'shard'"));
+    std::vector<InstanceResult> results;
+    for (const auto& inst : rec.at("instances").as_array("shard record 'instances'")) {
+      InstanceResult r;
+      r.period = inst.at("period").as_number("instance 'period'");
+      for (const auto& e : inst.at("energy").as_array("instance 'energy'")) {
+        r.energy.push_back(e.as_number("instance 'energy' entry"));
+      }
+      for (const auto& s : inst.at("success").as_array("instance 'success'")) {
+        r.success.push_back(s.as_number("instance 'success' entry") != 0.0);
+      }
+      if (r.success.size() != r.energy.size()) {
+        throw std::runtime_error(shards_path() + ": instance arity mismatch in '" +
+                                 sweep + "' shard " + std::to_string(shard));
+      }
+      results.push_back(std::move(r));
+    }
+    shards.emplace(std::make_pair(sweep, shard), std::move(results));
+  }
+  return shards;
+}
+
+void CampaignStore::append_shard(const std::string& sweep, std::size_t shard,
+                                 const std::vector<InstanceResult>& results) {
+  util::JsonlWriter log(shards_path());
+  log.append([&](util::JsonWriter& w) {
+    w.begin_object();
+    w.kv("sweep", sweep);
+    w.kv("shard", static_cast<std::uint64_t>(shard));
+    w.key("instances");
+    w.begin_array();
+    for (const auto& r : results) {
+      w.begin_object();
+      w.kv("period", r.period);
+      w.key("energy");
+      w.value(r.energy);
+      w.key("success");
+      {
+        std::vector<std::size_t> flags(r.success.begin(), r.success.end());
+        w.value(flags);
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  });
+}
+
+void CampaignStore::write_manifest(const Manifest& m) const {
+  const std::string tmp = manifest_path() + ".tmp";
+  {
+    std::ofstream os(tmp);
+    if (!os) throw std::runtime_error("cannot write " + tmp);
+    util::JsonWriter w(os);
+    w.begin_object();
+    w.kv("campaign", m.campaign);
+    w.kv("shards_total", static_cast<std::uint64_t>(m.shards_total));
+    w.kv("shards_done", static_cast<std::uint64_t>(m.shards_done));
+    w.end_object();
+  }
+  fs::rename(tmp, manifest_path());
+}
+
+std::optional<CampaignStore::Manifest> CampaignStore::read_manifest() const {
+  std::ifstream is(manifest_path());
+  if (!is) return std::nullopt;
+  std::ostringstream text;
+  text << is.rdbuf();
+  const util::JsonValue doc = util::parse_json(text.str());
+  Manifest m;
+  m.campaign = doc.at("campaign").as_string("manifest 'campaign'");
+  m.shards_total = static_cast<std::size_t>(
+      doc.at("shards_total").as_number("manifest 'shards_total'"));
+  m.shards_done = static_cast<std::size_t>(
+      doc.at("shards_done").as_number("manifest 'shards_done'"));
+  return m;
+}
+
+}  // namespace spgcmp::campaign

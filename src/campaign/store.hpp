@@ -1,0 +1,74 @@
+#pragma once
+
+// On-disk state of one campaign directory.
+//
+//   <dir>/spec.campaign   the campaign spec (written once at init; resume
+//                         re-parses it and refuses a mismatching --spec)
+//   <dir>/shards.jsonl    append-only log: one compact JSON record per
+//                         completed shard, flushed per record
+//   <dir>/MANIFEST.json   periodic checkpoint summary (progress counters);
+//                         advisory — the JSONL log is the source of truth,
+//                         so a stale manifest after a kill is harmless
+//
+// The store knows nothing about scheduling; it only persists and restores
+// (sweep, shard) -> results records and the spec text.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace spgcmp::campaign {
+
+class CampaignStore {
+ public:
+  explicit CampaignStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string spec_path() const;
+  [[nodiscard]] std::string shards_path() const;
+  [[nodiscard]] std::string manifest_path() const;
+
+  /// True when the directory holds an initialized campaign (spec present).
+  [[nodiscard]] bool initialized() const;
+
+  /// Create the directory and write the spec.  Throws if a different spec
+  /// is already present (a campaign directory is bound to one spec).
+  void initialize(const CampaignSpec& spec);
+
+  /// Re-parse the stored spec.
+  [[nodiscard]] CampaignSpec load_spec() const;
+
+  /// Results of completed shards, keyed by (sweep name, shard index).
+  /// Tolerates a truncated final JSONL record (mid-write kill); a record
+  /// for the same shard appearing twice keeps the first (both are
+  /// deterministic replays of the same instances).
+  using ShardMap = std::map<std::pair<std::string, std::size_t>,
+                            std::vector<InstanceResult>>;
+  [[nodiscard]] ShardMap load_shards() const;
+
+  /// Append one completed shard and flush.
+  void append_shard(const std::string& sweep, std::size_t shard,
+                    const std::vector<InstanceResult>& results);
+
+  /// Checkpoint manifest.
+  struct Manifest {
+    std::string campaign;
+    std::size_t shards_total = 0;
+    std::size_t shards_done = 0;
+  };
+  /// Written atomically (temp file + rename) so readers never see a torn
+  /// manifest.
+  void write_manifest(const Manifest& m) const;
+  [[nodiscard]] std::optional<Manifest> read_manifest() const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace spgcmp::campaign

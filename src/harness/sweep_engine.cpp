@@ -1,8 +1,11 @@
 #include "harness/sweep_engine.hpp"
 
+#include <algorithm>
+#include <cassert>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <thread>
 
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -36,19 +39,31 @@ std::vector<Campaign> SweepEngine::run_generated(
   return campaigns;
 }
 
+std::size_t normalize_threads(std::size_t threads) noexcept {
+  if (threads != 0) return threads;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
 std::vector<Campaign> SweepEngine::run_tasks(
     const std::vector<GeneratedTask>& tasks, const cmp::Platform& p,
     const HeuristicFactory& make_heuristics) const {
-  std::vector<Campaign> campaigns(tasks.size());
+  return run_task_slice(tasks, 0, tasks.size(), p, make_heuristics);
+}
+
+std::vector<Campaign> SweepEngine::run_task_slice(
+    const std::vector<GeneratedTask>& tasks, std::size_t begin, std::size_t end,
+    const cmp::Platform& p, const HeuristicFactory& make_heuristics) const {
+  assert(begin <= end && end <= tasks.size());
+  std::vector<Campaign> campaigns(end - begin);
   util::parallel_for(
-      0, tasks.size(),
+      begin, end,
       [&](std::size_t t) {
         util::Rng rng(tasks[t].seed);
         const spg::Spg g = tasks[t].make(rng);
         const HeuristicSet hs = make_heuristics();
-        campaigns[t] = run_campaign(g, p, hs, opt_.period);
+        campaigns[t - begin] = run_campaign(g, p, hs, opt_.period);
       },
-      opt_.threads);
+      normalize_threads(opt_.threads));
   return campaigns;
 }
 

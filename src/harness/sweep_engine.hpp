@@ -40,6 +40,12 @@ struct SweepEngineOptions {
 [[nodiscard]] std::uint64_t instance_seed(std::uint64_t base,
                                           std::uint64_t index) noexcept;
 
+/// The number of worker threads a sweep will actually run on: `threads`
+/// itself when positive, hardware concurrency (at least 1) when 0.  This is
+/// the single normalization point for every `--threads` flag — shard
+/// runners and bench binaries call it instead of each re-interpreting 0.
+[[nodiscard]] std::size_t normalize_threads(std::size_t threads) noexcept;
+
 class SweepEngine {
  public:
   explicit SweepEngine(SweepEngineOptions opt = {}) : opt_(opt) {}
@@ -75,6 +81,15 @@ class SweepEngine {
   [[nodiscard]] std::vector<Campaign> run_tasks(
       const std::vector<GeneratedTask>& tasks, const cmp::Platform& p,
       const HeuristicFactory& make_heuristics) const;
+
+  /// Shard-granular entry point: run only tasks [begin, end) of a larger
+  /// batch, returning their campaigns in task order (result[0] is task
+  /// `begin`).  Results are independent of the thread count and of how the
+  /// batch is cut into slices, which is what lets a resumed campaign skip
+  /// completed shards and still merge byte-identically.
+  [[nodiscard]] std::vector<Campaign> run_task_slice(
+      const std::vector<GeneratedTask>& tasks, std::size_t begin, std::size_t end,
+      const cmp::Platform& p, const HeuristicFactory& make_heuristics) const;
 
   /// Fold a batch of campaigns into the figure aggregate (mean normalized
   /// 1/E and failure counts per heuristic), in index order.  The pointer

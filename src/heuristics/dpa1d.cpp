@@ -26,10 +26,16 @@ struct Dpa1dSolver {
 
   std::size_t n;
   std::size_t r;             // cores on the line
-  double weight_cap;         // T * s_max: max cluster work
+  double weight_cap;         // T * s_max * max scale: enumeration pruning cap
   double cut_cap;            // T * BW: max cut volume
   std::vector<int> topo_idx; // stage -> position in a fixed topological order
   std::vector<spg::StageId> by_topo;
+  // Speed scale of the core at each snake position: cluster k runs on snake
+  // core k, so its weight cap and energy depend on that core's scale (1.0
+  // everywhere except on heterogeneous fabrics).
+  std::vector<double> pos_scale;
+  double max_scale = 1.0;
+  bool heterogeneous = false;
 
   // dp[ideal][k] = min energy to run `ideal` on exactly k+1 leading cores.
   std::unordered_map<DynBitset, std::vector<double>, DynBitsetHash> dp;
@@ -40,7 +46,6 @@ struct Dpa1dSolver {
                        Dpa1dHeuristic::Options options)
       : g(graph), p(plat), T(period), opt(options), n(graph.size()),
         r(static_cast<std::size_t>(plat.grid().core_count())),
-        weight_cap(period * plat.speeds.max_speed()),
         cut_cap(period * plat.grid().bandwidth()) {
     const auto order = g.topological_order();
     topo_idx.assign(n, 0);
@@ -49,12 +54,33 @@ struct Dpa1dSolver {
       topo_idx[order[pos]] = static_cast<int>(pos);
     }
     r = std::min(r, n);  // never more clusters than stages
+    heterogeneous = p.topology.heterogeneous();
+    pos_scale.resize(r);
+    max_scale = 0.0;
+    for (std::size_t k = 0; k < r; ++k) {
+      pos_scale[k] = p.topology.core_speed_scale(
+          p.grid().core_index(p.grid().snake_core(static_cast<int>(k))));
+      max_scale = std::max(max_scale, pos_scale[k]);
+    }
+    // The enumeration prunes at the loosest per-position cap; a cluster too
+    // heavy for its *specific* position is rejected by cluster_energy_at.
+    weight_cap = period * plat.speeds.max_speed() * max_scale;
   }
 
-  [[nodiscard]] double cluster_energy(double work) const {
-    const std::size_t k = p.speeds.slowest_feasible(work, T);
+  /// Energy of a cluster of `work` cycles on a core of speed scale `scale`:
+  /// the slowest feasible scaled mode (exactly the evaluator's downgrade
+  /// rule), infinity when even the fastest mode is too slow there.
+  [[nodiscard]] double cluster_energy(double work, double scale = 1.0) const {
+    const std::size_t k = p.speeds.slowest_feasible(work / scale, T);
     if (k == p.speeds.mode_count()) return kInf;
-    return p.speeds.core_energy(work, k, T);
+    return p.speeds.core_energy(work / scale, k, T);
+  }
+
+  /// Cluster energy at snake position `pos` (homogeneous fast path keeps
+  /// the division out of the paper-exact mesh runs).
+  [[nodiscard]] double cluster_energy_at(double work, std::size_t pos) const {
+    return heterogeneous ? cluster_energy(work, pos_scale[pos])
+                         : cluster_energy(work);
   }
 
   /// Bytes crossing the cut after ideal `G` (edges G -> complement).
@@ -148,9 +174,9 @@ struct Dpa1dSolver {
     const DynBitset empty(n);
 
     // Seed: first cluster (no incoming cut); with an empty base ideal the
-    // union *is* the cluster.
+    // union *is* the cluster, and it runs on snake core 0.
     for_each_cluster_with_union(empty, [&](const DynBitset& H, double w) {
-      const double e = cluster_energy(w);
+      const double e = cluster_energy_at(w, 0);
       if (!std::isfinite(e)) return;
       auto [it, inserted] = dp.try_emplace(H, std::vector<double>(r, kInf));
       if (inserted) buckets[H.count()].push_back(H);
@@ -169,8 +195,11 @@ struct Dpa1dSolver {
         const double cut_energy = cut * comm_e;
 
         for_each_cluster_with_union(G, [&](const DynBitset& G2, double w) {
-          const double e_cluster = cluster_energy(w);
-          if (!std::isfinite(e_cluster)) return;
+          // Gate on the loosest per-position cap; the exact energy of the
+          // new cluster depends on which snake position k+1 it lands on and
+          // is re-derived per transition on heterogeneous fabrics.
+          const double e_loose = cluster_energy(w, max_scale);
+          if (!std::isfinite(e_loose)) return;
           auto [it, inserted] = dp.try_emplace(G2, std::vector<double>(r, kInf));
           if (inserted) {
             if (dp.size() > opt.max_states) {
@@ -182,6 +211,11 @@ struct Dpa1dSolver {
           auto& row2 = it->second;
           for (std::size_t k = 0; k + 1 < r; ++k) {
             if (!std::isfinite(row[k])) continue;
+            const double e_cluster =
+                heterogeneous && pos_scale[k + 1] != max_scale
+                    ? cluster_energy(w, pos_scale[k + 1])
+                    : e_loose;
+            if (!std::isfinite(e_cluster)) continue;
             const double cand = row[k] + cut_energy + e_cluster;
             if (cand < row2[k + 1]) row2[k + 1] = cand;
           }
@@ -223,7 +257,8 @@ struct Dpa1dSolver {
       bool found = false;
       for_each_tail_cluster(cur, [&](const DynBitset& H, double w) {
         if (found) return;
-        const double e_cluster = cluster_energy(w);
+        // The peeled cluster is the one at snake position k.
+        const double e_cluster = cluster_energy_at(w, k);
         if (!std::isfinite(e_cluster)) return;
         const DynBitset G = cur - H;
         const auto pit = dp.find(G);

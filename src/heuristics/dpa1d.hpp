@@ -14,6 +14,10 @@
 // budgets on distinct states and on cluster enumerations; exceeding either
 // reports failure — exactly the regime where the paper's DPA1D "fails to
 // return a solution because there are too many possible splits to explore".
+//
+// On heterogeneous fabrics the cluster sizing is scale-aware: cluster k
+// runs on snake core k, so its weight cap and energy use that core's
+// core_speed_scale instead of assuming homogeneous full-speed cores.
 
 #include <cstddef>
 

@@ -39,6 +39,11 @@ struct Dpa2dSolver {
   int X, Y;  // SPG label extents (xmax, ymax)
   int P, Q;  // platform extents
   double cut_cap;
+  /// Speed scale of the physical core behind virtual core (row, col),
+  /// row-major P x Q; empty = homogeneous (all 1.0).  Keeps the cluster
+  /// sizing honest on heterogeneous fabrics instead of relying on the
+  /// evaluator to reject misfits.
+  std::vector<double> core_scale;
 
   std::vector<int> col_of, row_of;           // per stage, 0-based labels
   std::vector<std::vector<spg::StageId>> stages_in_col;
@@ -58,8 +63,10 @@ struct Dpa2dSolver {
   std::map<std::pair<int, int>, std::vector<char>> bad_boxes;
 
   Dpa2dSolver(const spg::Spg& graph, const cmp::Grid& virt,
-              const cmp::SpeedModel& sm, const cmp::CommModel& cm, double period)
-      : g(graph), grid(virt), speeds(sm), comm(cm), T(period) {
+              const cmp::SpeedModel& sm, const cmp::CommModel& cm, double period,
+              std::vector<double> scales = {})
+      : g(graph), grid(virt), speeds(sm), comm(cm), T(period),
+        core_scale(std::move(scales)) {
     X = g.xmax();
     Y = g.ymax();
     P = grid.rows();
@@ -91,6 +98,13 @@ struct Dpa2dSolver {
     }
 
     compute_escape_pairs();
+  }
+
+  /// Speed scale of virtual core (row, col); 1.0 when homogeneous.
+  [[nodiscard]] double scale_at(int row, int col) const noexcept {
+    return core_scale.empty()
+               ? 1.0
+               : core_scale[static_cast<std::size_t>(row * Q + col)];
   }
 
   [[nodiscard]] double box_work(int m1, int m2, int y1, int y2) const {
@@ -180,10 +194,12 @@ struct Dpa2dSolver {
     return bad_boxes.emplace(key, std::move(bad)).first->second;
   }
 
-  /// Solve one column block [m1, m2] given incoming distribution `din`.
-  /// Returns energy = computation energy of the column's clusters plus the
-  /// vertical link energy inside the column, or infinity when infeasible.
-  ColumnSolution solve_column(int m1, int m2, const Distribution& din) {
+  /// Solve one column block [m1, m2] given incoming distribution `din`,
+  /// destined for CMP column `vcol` (0-based; decides the per-row speed
+  /// scales on heterogeneous fabrics).  Returns energy = computation energy
+  /// of the column's clusters plus the vertical link energy inside the
+  /// column, or infinity when infeasible.
+  ColumnSolution solve_column(int m1, int m2, const Distribution& din, int vcol) {
     ColumnSolution sol;
     const auto& bad = bad_table(m1, m2);
 
@@ -286,9 +302,12 @@ struct Dpa2dSolver {
             const double w = box_work(m1, m2, g1, g2 - 1);
             if (w > 0.0) {
               if (bad[static_cast<std::size_t>(g1 * Y + (g2 - 1))]) continue;
-              const std::size_t k = speeds.slowest_feasible(w, T);
+              // Rows [g1, g2) run on core (u, vcol); its speed scale caps
+              // the cluster weight and prices its energy.
+              const double scale = scale_at(u, vcol);
+              const std::size_t k = speeds.slowest_feasible(w / scale, T);
               if (k == speeds.mode_count()) continue;
-              cal = speeds.core_energy(w, k, T);
+              cal = speeds.core_energy(w / scale, k, T);
             }
           }
           const double cand = base + link_energy + cal;
@@ -372,7 +391,7 @@ struct Dpa2dSolver {
           if (!std::isfinite(prev.energy)) continue;
           const double cross = (v == 1) ? 0.0 : crossing_energy(prev.dist);
           if (!std::isfinite(cross)) continue;
-          ColumnSolution col = solve_column(mp, m - 1, prev.dist);
+          ColumnSolution col = solve_column(mp, m - 1, prev.dist, v - 1);
           if (!std::isfinite(col.energy)) continue;
           const double cand = prev.energy + cross + col.energy;
           auto& cur = dp[static_cast<std::size_t>(m)][static_cast<std::size_t>(v)];
@@ -411,7 +430,7 @@ struct Dpa2dSolver {
     for (int v = 0; v + 1 < static_cast<int>(bounds.size()); ++v) {
       const int m1 = bounds[static_cast<std::size_t>(v)];
       const int m2 = bounds[static_cast<std::size_t>(v + 1)] - 1;
-      ColumnSolution col = solve_column(m1, m2, din);
+      ColumnSolution col = solve_column(m1, m2, din, v);
       if (!std::isfinite(col.energy)) return std::nullopt;  // defensive
       for (int c = m1; c <= m2; ++c) {
         for (spg::StageId i : stages_in_col[static_cast<std::size_t>(c)]) {
@@ -428,8 +447,20 @@ struct Dpa2dSolver {
 }  // namespace
 
 Result Dpa2dHeuristic::run(const spg::Spg& g, const cmp::Platform& p, double T) const {
+  // Per-virtual-core speed scales: virtual (row, col) is physical (row,
+  // col) in Grid2D mode and snake core `col` in Line1D mode.  Homogeneous
+  // platforms pass an empty table (scale 1.0 everywhere, the paper path).
+  const bool hetero = p.topology.heterogeneous();
+
   if (mode_ == Mode::Grid2D) {
-    Dpa2dSolver solver(g, p.grid(), p.speeds, p.comm, T);
+    std::vector<double> scales;
+    if (hetero) {
+      scales.resize(static_cast<std::size_t>(p.grid().core_count()));
+      for (int c = 0; c < p.grid().core_count(); ++c) {
+        scales[static_cast<std::size_t>(c)] = p.topology.core_speed_scale(c);
+      }
+    }
+    Dpa2dSolver solver(g, p.grid(), p.speeds, p.comm, T, std::move(scales));
     auto cores = solver.solve();
     if (!cores) return Result::fail("DPA2D: no feasible column partition");
     mapping::Mapping m;
@@ -443,7 +474,15 @@ Result Dpa2dHeuristic::run(const spg::Spg& g, const cmp::Platform& p, double T) 
   // DPA2D1D: virtual 1 x (p*q) line, then embed along the snake.
   const int r = p.grid().core_count();
   const cmp::Grid line(1, r, p.grid().bandwidth());
-  Dpa2dSolver solver(g, line, p.speeds, p.comm, T);
+  std::vector<double> scales;
+  if (hetero) {
+    scales.resize(static_cast<std::size_t>(r));
+    for (int k = 0; k < r; ++k) {
+      scales[static_cast<std::size_t>(k)] =
+          p.topology.core_speed_scale(p.grid().core_index(p.grid().snake_core(k)));
+    }
+  }
+  Dpa2dSolver solver(g, line, p.speeds, p.comm, T, std::move(scales));
   auto cores = solver.solve();
   if (!cores) return Result::fail("DPA2D1D: no feasible line partition");
 

@@ -102,27 +102,134 @@ Result ExactSolver::run(const spg::Spg& g, const cmp::Platform& p, double T) con
   }
   const int cores = p.grid().core_count();
   std::size_t fuel = options_.max_candidates;
-  // One evaluator reused across the whole enumeration (candidate counts run
-  // into the tens of thousands; per-candidate workspace allocation would
-  // dominate).
-  mapping::Evaluator evaluator(g, p, T);
+  // Two evaluators reused across the whole enumeration (candidate counts
+  // run into the tens of thousands; per-candidate workspace allocation
+  // would dominate).  `delta` holds the bound state of the incremental
+  // protocol; `full` serves the YX variant and the non-incremental path,
+  // whose evaluate_full calls must not clobber the bound state.
+  mapping::Evaluator delta(g, p, T);
+  mapping::Evaluator full(g, p, T);
 
   Result best = Result::fail(options_.require_dag_partition
                                  ? "Exact: no feasible DAG-partition mapping"
                                  : "Exact: no feasible general mapping");
   bool budget_hit = false;
 
+  // Accept `ev` (the scored candidate with mapping `take`) if it beats the
+  // incumbent: DAG-partition mode demands full validity, general mode only
+  // structural soundness and the period (the quotient may be cyclic).
+  const auto consider = [&](const mapping::Evaluation& ev,
+                            const mapping::Mapping& take) {
+    const bool ok = options_.require_dag_partition
+                        ? ev.valid()
+                        : ev.error.empty() && ev.meets_period;
+    if (ok && (!best.success || ev.energy < best.eval.energy)) {
+      best.success = true;
+      best.failure.clear();
+      best.mapping = take;
+      best.eval = ev;
+    }
+  };
+
   const auto try_partition = [&](const std::vector<int>& cluster_of) {
     const int k = 1 + *std::max_element(cluster_of.begin(), cluster_of.end());
-    // Injective placement: permutations of `k` cores out of `cores`.
-    std::vector<int> perm(static_cast<std::size_t>(cores));
-    for (int c = 0; c < cores; ++c) perm[static_cast<std::size_t>(c)] = c;
-    std::sort(perm.begin(), perm.end());
-    // Enumerate ordered k-subsets via next_permutation over all cores and
-    // deduplicate by taking only the first k entries; to avoid repeats we
-    // iterate combinations x permutations explicitly.
+    // Stages per cluster, for the per-cluster move batches below.
+    std::vector<std::vector<spg::StageId>> members(static_cast<std::size_t>(k));
+    for (spg::StageId i = 0; i < g.size(); ++i) {
+      members[static_cast<std::size_t>(cluster_of[i])].push_back(i);
+    }
+
+    // Injective placements: DFS over ordered k-subsets of the cores.
     std::vector<int> choice(static_cast<std::size_t>(k));
     std::vector<char> used(static_cast<std::size_t>(cores), 0);
+    // Delta-path state: the placement the evaluator is currently bound to.
+    // Consecutive leaves of the DFS differ in a suffix of `choice`, so most
+    // candidates are scored by moving one cluster's stages.
+    bool have_bound = false;
+    std::vector<int> bound_choice(static_cast<std::size_t>(k), -1);
+
+    // Full evaluation of the current `choice` under topology default routes
+    // (variant 0) or manual YX paths (variant 1), via the `full` evaluator.
+    const auto evaluate_variant = [&](int variant) {
+      mapping::Mapping cand;
+      cand.core_of.resize(g.size());
+      for (spg::StageId i = 0; i < g.size(); ++i) {
+        cand.core_of[i] = choice[static_cast<std::size_t>(cluster_of[i])];
+      }
+      if (variant == 0) {
+        mapping::attach_routes(g, p.topology, cand);
+      } else {
+        // YX: route vertically first — equivalent to XY on the transposed
+        // pair; build manually.  Can relieve a saturated link on square
+        // grids.
+        cand.edge_paths.assign(g.edge_count(), {});
+        for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
+          const auto& edge = g.edge(e);
+          cmp::CoreId a = p.grid().core_at(cand.core_of[edge.src]);
+          const cmp::CoreId b = p.grid().core_at(cand.core_of[edge.dst]);
+          if (a == b) continue;
+          auto& path = cand.edge_paths[e];
+          while (a.row != b.row) {
+            const cmp::Dir d = a.row < b.row ? cmp::Dir::South : cmp::Dir::North;
+            path.push_back(cmp::LinkId{a, d});
+            a = p.grid().neighbor(a, d);
+          }
+          while (a.col != b.col) {
+            const cmp::Dir d = a.col < b.col ? cmp::Dir::East : cmp::Dir::West;
+            path.push_back(cmp::LinkId{a, d});
+            a = p.grid().neighbor(a, d);
+          }
+        }
+      }
+      if (!mapping::assign_slowest_modes(g, p, T, cand)) return;
+      const auto& ev = full.evaluate_full(cand);
+      consider(ev, cand);
+    };
+
+    // Score the current `choice` through the delta path: transform the
+    // bound placement into it cluster by cluster as one batch of moves,
+    // then aggregate once.
+    const auto evaluate_delta = [&]() {
+      if (have_bound) {
+        for (int c = 0; c < k; ++c) {
+          const int to = choice[static_cast<std::size_t>(c)];
+          if (to == bound_choice[static_cast<std::size_t>(c)]) continue;
+          for (const spg::StageId s : members[static_cast<std::size_t>(c)]) {
+            delta.apply_move(s, to);
+          }
+          bound_choice[static_cast<std::size_t>(c)] = to;
+        }
+        consider(delta.refresh(), delta.mapping());
+        return;
+      }
+      // First leaf of this partition: bind a fresh mapping with default
+      // routes and per-core downgraded modes (the same clamp rule the
+      // incremental protocol maintains, so later moves stay consistent).
+      mapping::Mapping m;
+      m.core_of.resize(g.size());
+      for (spg::StageId i = 0; i < g.size(); ++i) {
+        m.core_of[i] = choice[static_cast<std::size_t>(cluster_of[i])];
+      }
+      mapping::attach_routes(g, p.topology, m);
+      std::vector<double> work(static_cast<std::size_t>(cores), 0.0);
+      for (spg::StageId i = 0; i < g.size(); ++i) {
+        work[static_cast<std::size_t>(m.core_of[i])] += g.stage(i).work;
+      }
+      m.mode_of_core.assign(static_cast<std::size_t>(cores), 0);
+      for (int c = 0; c < cores; ++c) {
+        const double w = work[static_cast<std::size_t>(c)];
+        if (w <= 0.0) continue;
+        const double scale = p.topology.core_speed_scale(c);
+        const std::size_t mode = p.speeds.slowest_feasible(w / scale, T);
+        m.mode_of_core[static_cast<std::size_t>(c)] =
+            mode == p.speeds.mode_count() ? mode - 1 : mode;
+      }
+      const auto& ev = delta.bind(m);
+      have_bound = ev.error.empty();
+      if (have_bound) bound_choice = choice;
+      consider(ev, m);
+    };
+
     auto place = [&](auto&& self, int depth) -> void {
       if (fuel == 0) {
         budget_hit = true;
@@ -130,58 +237,12 @@ Result ExactSolver::run(const spg::Spg& g, const cmp::Platform& p, double T) con
       }
       if (depth == k) {
         --fuel;
-        mapping::Mapping m;
-        m.core_of.resize(g.size());
-        for (spg::StageId i = 0; i < g.size(); ++i) {
-          m.core_of[i] = choice[static_cast<std::size_t>(cluster_of[i])];
+        if (options_.use_incremental) {
+          evaluate_delta();
+        } else {
+          evaluate_variant(0);
         }
-        // Topology default routes (and the YX variant when enabled, which
-        // can relieve a saturated link on square grids).
-        for (int variant = 0; variant < (options_.try_yx_routes ? 2 : 1); ++variant) {
-          mapping::Mapping cand = m;
-          if (variant == 0) {
-            mapping::attach_routes(g, p.topology, cand);
-          } else {
-            // YX: route vertically first — equivalent to XY on the
-            // transposed pair; build manually.
-            cand.edge_paths.assign(g.edge_count(), {});
-            for (spg::EdgeId e = 0; e < g.edge_count(); ++e) {
-              const auto& edge = g.edge(e);
-              cmp::CoreId a = p.grid().core_at(cand.core_of[edge.src]);
-              const cmp::CoreId b = p.grid().core_at(cand.core_of[edge.dst]);
-              if (a == b) continue;
-              auto& path = cand.edge_paths[e];
-              while (a.row != b.row) {
-                const cmp::Dir d = a.row < b.row ? cmp::Dir::South : cmp::Dir::North;
-                path.push_back(cmp::LinkId{a, d});
-                a = p.grid().neighbor(a, d);
-              }
-              while (a.col != b.col) {
-                const cmp::Dir d = a.col < b.col ? cmp::Dir::East : cmp::Dir::West;
-                path.push_back(cmp::LinkId{a, d});
-                a = p.grid().neighbor(a, d);
-              }
-            }
-          }
-          Result r;
-          if (options_.require_dag_partition) {
-            r = finalize_with_paths(g, p, T, std::move(cand), /*downgrade=*/true,
-                                    evaluator);
-          } else {
-            // General mappings: accept structurally sound, period-feasible
-            // mappings even when the cluster quotient is cyclic.
-            if (!mapping::assign_slowest_modes(g, p, T, cand)) continue;
-            const auto& ev = evaluator.evaluate_full(cand);
-            if (ev.error.empty() && ev.meets_period) {
-              r.success = true;
-              r.mapping = std::move(cand);
-              r.eval = ev;
-            }
-          }
-          if (r.success && (!best.success || r.eval.energy < best.eval.energy)) {
-            best = std::move(r);
-          }
-        }
+        if (options_.try_yx_routes) evaluate_variant(1);
         return;
       }
       for (int c = 0; c < cores; ++c) {
@@ -203,6 +264,9 @@ Result ExactSolver::run(const spg::Spg& g, const cmp::Platform& p, double T) con
     enumerate_set_partitions(g.size(), cores, &fuel, try_partition);
   }
 
+  if (options_.evaluated_out != nullptr) {
+    *options_.evaluated_out = options_.max_candidates - fuel;
+  }
   if (!best.success && budget_hit) {
     return Result::fail("Exact: enumeration budget exceeded");
   }

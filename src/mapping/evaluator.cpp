@@ -273,6 +273,52 @@ void Evaluator::touch_link(int index) {
   }
 }
 
+void Evaluator::drop_edge_path(spg::EdgeId e, bool journal) {
+  const double bytes = g_->edge(e).bytes;
+  for (const auto& link : m_.edge_paths[e]) {
+    const auto idx = static_cast<std::size_t>(dense_link(p_->grid(), link));
+    if (journal) touch_link(static_cast<int>(idx));
+    ev_.link_load[idx] -= bytes;
+    // A link whose path count drains to zero is reset to exactly 0.0 bytes
+    // — (x + b) - b leaves floating-point residue, and an idle link must
+    // not retain phantom load.
+    if (--link_paths_[idx] == 0) ev_.link_load[idx] = 0.0;
+  }
+}
+
+void Evaluator::add_edge_route(int a, int b, double bytes, bool journal) {
+  for (const int i : p_->topology.route_links(a, b)) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (journal) touch_link(i);
+    ev_.link_load[idx] += bytes;
+    ++link_paths_[idx];
+  }
+}
+
+void Evaluator::materialize_default_routes(spg::StageId s, int to) {
+  const auto& topo = p_->topology;
+  for (const spg::EdgeId e : g_->in_edges(s)) {
+    const int uc = m_.core_of[g_->edge(e).src];
+    auto& path = m_.edge_paths[e];
+    if (uc == to) {
+      path.clear();
+    } else {
+      const auto r = topo.route(uc, to);
+      path.assign(r.begin(), r.end());
+    }
+  }
+  for (const spg::EdgeId e : g_->out_edges(s)) {
+    const int vc = m_.core_of[g_->edge(e).dst];
+    auto& path = m_.edge_paths[e];
+    if (vc == to) {
+      path.clear();
+    } else {
+      const auto r = topo.route(to, vc);
+      path.assign(r.begin(), r.end());
+    }
+  }
+}
+
 const Evaluation& Evaluator::evaluate_move(spg::StageId s, int to) {
   if (!bound_) throw std::logic_error("Evaluator: evaluate_move without bind");
   if (to < 0 || to >= p_->grid().core_count()) {
@@ -283,8 +329,6 @@ const Evaluation& Evaluator::evaluate_move(spg::StageId s, int to) {
     throw std::invalid_argument("Evaluator: stage already on the target core");
   }
 
-  const auto& grid = p_->grid();
-  const auto& topo = p_->topology;
   have_pending_ = false;
   journal_links_.clear();
   pending_links_.clear();
@@ -294,37 +338,19 @@ const Evaluation& Evaluator::evaluate_move(spg::StageId s, int to) {
   }
 
   // Link deltas: the moved stage's incident edges lose their bound paths
-  // and gain topology default routes.  A link whose path count drains to
-  // zero is reset to exactly 0.0 bytes — (x + b) - b leaves floating-point
-  // residue, and an idle link must not retain phantom load.
-  const auto drop_path = [&](spg::EdgeId e) {
-    const double bytes = g_->edge(e).bytes;
-    for (const auto& link : m_.edge_paths[e]) {
-      const auto idx = static_cast<std::size_t>(dense_link(grid, link));
-      touch_link(static_cast<int>(idx));
-      ev_.link_load[idx] -= bytes;
-      if (--link_paths_[idx] == 0) ev_.link_load[idx] = 0.0;
-    }
-  };
-  const auto add_route = [&](int a, int b, double bytes) {
-    for (const int i : topo.route_links(a, b)) {
-      const auto idx = static_cast<std::size_t>(i);
-      touch_link(i);
-      ev_.link_load[idx] += bytes;
-      ++link_paths_[idx];
-    }
-  };
+  // and gain topology default routes, with every touched link journaled
+  // for the rollback below.
   for (const spg::EdgeId e : g_->in_edges(s)) {
     const auto& edge = g_->edge(e);
     const int uc = m_.core_of[edge.src];
-    if (uc != from) drop_path(e);
-    if (uc != to) add_route(uc, to, edge.bytes);
+    if (uc != from) drop_edge_path(e, /*journal=*/true);
+    if (uc != to) add_edge_route(uc, to, edge.bytes, /*journal=*/true);
   }
   for (const spg::EdgeId e : g_->out_edges(s)) {
     const auto& edge = g_->edge(e);
     const int vc = m_.core_of[edge.dst];
-    if (vc != from) drop_path(e);
-    if (vc != to) add_route(to, vc, edge.bytes);
+    if (vc != from) drop_edge_path(e, /*journal=*/true);
+    if (vc != to) add_edge_route(to, vc, edge.bytes, /*journal=*/true);
   }
 
   // Core work, stage counts and re-downgraded modes of the touched cores.
@@ -375,7 +401,6 @@ const Evaluation& Evaluator::evaluate_move(spg::StageId s, int to) {
 
 const Evaluation& Evaluator::commit_move() {
   if (!have_pending_) throw std::logic_error("Evaluator: commit without evaluate_move");
-  const auto& topo = p_->topology;
   const spg::StageId s = pending_stage_;
   const int from = pending_from_;
   const int to = pending_to_;
@@ -407,30 +432,56 @@ const Evaluation& Evaluator::commit_move() {
   m_.mode_of_core[static_cast<std::size_t>(to)] = pending_mode_to_;
 
   // Materialize the default routes the move was scored with.
-  for (const spg::EdgeId e : g_->in_edges(s)) {
-    const int uc = m_.core_of[g_->edge(e).src];
-    auto& path = m_.edge_paths[e];
-    if (uc == to) {
-      path.clear();
-    } else {
-      const auto r = topo.route(uc, to);
-      path.assign(r.begin(), r.end());
-    }
-  }
-  for (const spg::EdgeId e : g_->out_edges(s)) {
-    const int vc = m_.core_of[g_->edge(e).dst];
-    auto& path = m_.edge_paths[e];
-    if (vc == to) {
-      path.clear();
-    } else {
-      const auto r = topo.route(to, vc);
-      path.assign(r.begin(), r.end());
-    }
-  }
+  materialize_default_routes(s, to);
 
   copy_scalars(ev_, move_ev_);
   have_pending_ = false;
   return ev_;
+}
+
+void Evaluator::apply_move(spg::StageId s, int to) {
+  if (!bound_) throw std::logic_error("Evaluator: apply_move without bind");
+  if (to < 0 || to >= p_->grid().core_count()) {
+    throw std::out_of_range("Evaluator: move target outside the grid");
+  }
+  const int from = m_.core_of[s];
+  if (to == from) {
+    throw std::invalid_argument("Evaluator: stage already on the target core");
+  }
+  have_pending_ = false;  // a pending evaluate_move is invalidated
+
+  // No journaling: the change is permanent, there is nothing to roll back.
+  for (const spg::EdgeId e : g_->in_edges(s)) {
+    const auto& edge = g_->edge(e);
+    const int uc = m_.core_of[edge.src];
+    if (uc != from) drop_edge_path(e, /*journal=*/false);
+    if (uc != to) add_edge_route(uc, to, edge.bytes, /*journal=*/false);
+  }
+  for (const spg::EdgeId e : g_->out_edges(s)) {
+    const auto& edge = g_->edge(e);
+    const int vc = m_.core_of[edge.dst];
+    if (vc != from) drop_edge_path(e, /*journal=*/false);
+    if (vc != to) add_edge_route(to, vc, edge.bytes, /*journal=*/false);
+  }
+
+  --stage_count_[static_cast<std::size_t>(from)];
+  ++stage_count_[static_cast<std::size_t>(to)];
+  m_.core_of[s] = to;
+
+  materialize_default_routes(s, to);
+}
+
+const Evaluation& Evaluator::refresh() {
+  if (!bound_) throw std::logic_error("Evaluator: refresh without bind");
+  have_pending_ = false;
+  accumulate_work(m_.core_of);
+  const int cores = p_->grid().core_count();
+  for (int c = 0; c < cores; ++c) {
+    m_.mode_of_core[static_cast<std::size_t>(c)] =
+        downgraded_mode(ev_.core_work[static_cast<std::size_t>(c)], c);
+  }
+  reset_scalars(ev_);
+  return finish_scalars(ev_, m_.core_of, m_.mode_of_core);
 }
 
 Evaluation evaluate(const spg::Spg& g, const cmp::Platform& p, const Mapping& m,

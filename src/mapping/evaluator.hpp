@@ -84,12 +84,42 @@ class Evaluator {
   /// evaluate_move.
   const Evaluation& commit_move();
 
+  // --- batched move protocol --------------------------------------------
+  //
+  // Moving a whole cluster one stage at a time through evaluate_move /
+  // commit_move pays one scalar re-aggregation per stage, with every
+  // intermediate result discarded.  A batch applies each move to the
+  // arenas and routes only, then aggregates once:
+  //
+  //   ev.apply_move(s0, c); ev.apply_move(s1, c); ...; ev.refresh();
+
+  /// Apply a single-stage move to the bound state without re-aggregating:
+  /// link loads, routes, stage counts and the placement are updated, but
+  /// scalars, per-core work and modes stay stale until refresh().  Between
+  /// apply_move and refresh only further apply_move calls are allowed
+  /// (evaluate_move needs refreshed work/mode state).
+  void apply_move(spg::StageId s, int to);
+
+  /// Re-aggregate the bound state after a batch of apply_move calls:
+  /// recomputes per-core work, re-downgrades *every* core to its slowest
+  /// feasible mode (the invariant the move protocol maintains), and
+  /// rebuilds the scalar evaluation.
+  const Evaluation& refresh();
+
  private:
   const Evaluation& finish_scalars(Evaluation& out, const std::vector<int>& core_of,
                                    const std::vector<std::size_t>& mode_of_core);
   void accumulate_work(const std::vector<int>& core_of);
   void touch_link(int index);
   [[nodiscard]] std::size_t downgraded_mode(double work, int core) const;
+  // Shared link accounting of the move protocols.  `journal` records the
+  // pre-change state for evaluate_move's rollback; apply_move changes the
+  // bound state permanently and passes false.
+  void drop_edge_path(spg::EdgeId e, bool journal);
+  void add_edge_route(int a, int b, double bytes, bool journal);
+  /// Rewrite the moved stage's incident edge paths to the topology default
+  /// routes its links were charged with (m_.core_of[s] must already be `to`).
+  void materialize_default_routes(spg::StageId s, int to);
 
   const spg::Spg* g_;
   const cmp::Platform* p_;

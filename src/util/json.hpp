@@ -12,8 +12,10 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace spgcmp::util {
@@ -32,6 +34,9 @@ namespace spgcmp::util {
 ///   w.key("bench"); w.value("fig8");
 ///   w.key("cells"); w.begin_array(); ... w.end_array();
 ///   w.end_object();
+///
+/// `indent < 0` selects compact single-line emission (no newlines or
+/// indentation), the format used for JSONL records.
 class JsonWriter {
  public:
   explicit JsonWriter(std::ostream& os, int indent = 2);
@@ -74,5 +79,51 @@ class JsonWriter {
   std::vector<bool> has_elements_;
   bool pending_key_ = false;
 };
+
+// ------------------------------------------------------------------------
+// Minimal JSON parser — the read side of the campaign JSONL protocol.
+//
+// Numbers are parsed with strtod, so any double emitted through
+// json_number() (shortest round-trip decimal) parses back to the exact
+// same bits; that property is what lets merged campaign aggregates be
+// byte-identical to one-shot runs.
+
+/// Parse failure with the byte offset where it occurred.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::size_t offset, const std::string& what);
+  [[nodiscard]] std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// An owned JSON document tree.  Object member order is preserved.
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Checked accessors: throw std::runtime_error naming `what` when the
+  /// value has the wrong type (for diagnostics like "shard record: ...").
+  [[nodiscard]] double as_number(std::string_view what) const;
+  [[nodiscard]] const std::string& as_string(std::string_view what) const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array(std::string_view what) const;
+
+  /// Required object member of a given shape; throws naming the key.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+};
+
+/// Parse one JSON document; trailing non-whitespace is an error.
+/// Throws JsonParseError on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
 
 }  // namespace spgcmp::util

@@ -1,0 +1,94 @@
+#include "util/jsonl.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+namespace spgcmp::util {
+
+namespace {
+
+/// Drop a torn trailing record (no final newline — the signature of a
+/// writer killed mid-append) so the next append starts on a fresh line
+/// instead of concatenating onto the fragment and corrupting both records.
+/// The reader would have ignored the fragment anyway, so no data is lost.
+void truncate_torn_tail(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return;  // absent or empty: nothing to repair
+
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return;
+  is.seekg(-1, std::ios::end);
+  char last = '\n';
+  is.get(last);
+  if (last == '\n') return;
+
+  // Scan for the last newline; keep everything up to and including it.
+  std::string content(size, '\0');
+  is.seekg(0);
+  is.read(content.data(), static_cast<std::streamsize>(size));
+  const auto cut = content.rfind('\n');
+  is.close();
+  std::filesystem::resize_file(path,
+                               cut == std::string::npos ? 0 : cut + 1, ec);
+  if (ec) {
+    throw std::runtime_error("cannot repair torn record in " + path + ": " +
+                             ec.message());
+  }
+}
+
+}  // namespace
+
+JsonlWriter::JsonlWriter(const std::string& path)
+    : path_(path) {
+  truncate_torn_tail(path);
+  os_.open(path, std::ios::app);
+  if (!os_) throw std::runtime_error("cannot open " + path + " for appending");
+}
+
+void JsonlWriter::append(const std::function<void(JsonWriter&)>& fill) {
+  std::ostringstream line;
+  {
+    JsonWriter w(line, /*indent=*/-1);
+    fill(w);
+  }
+  os_ << line.str() << '\n';
+  os_.flush();
+  if (!os_) throw std::runtime_error("write failed on " + path_);
+  ++records_;
+}
+
+std::vector<JsonValue> read_jsonl(const std::string& path) {
+  std::vector<JsonValue> records;
+  std::ifstream is(path);
+  if (!is) return records;  // no file yet: nothing completed
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool pending_error = false;
+  std::string pending_what;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // A bad line is only fatal if another line follows it: the final line
+    // of an append-only log may legitimately be a truncated record.
+    if (pending_error) {
+      throw std::runtime_error(path + ":" + std::to_string(line_no - 1) + ": " +
+                               pending_what);
+    }
+    if (line.empty()) {
+      pending_error = true;
+      pending_what = "empty record";
+      continue;
+    }
+    try {
+      records.push_back(parse_json(line));
+    } catch (const JsonParseError& e) {
+      pending_error = true;
+      pending_what = e.what();
+    }
+  }
+  return records;
+}
+
+}  // namespace spgcmp::util

@@ -1,0 +1,50 @@
+#pragma once
+
+// Append-only JSON Lines (JSONL) persistence for long-running campaigns.
+//
+// A campaign emits one compact JSON record per completed shard.  The file
+// is opened in append mode and flushed after every record, so a killed
+// process loses at most the record it was writing; the reader tolerates a
+// truncated final line (the signature of a mid-write kill) but treats a
+// malformed line anywhere else as real corruption and refuses to guess.
+
+#include <cstddef>
+#include <functional>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace spgcmp::util {
+
+/// Appends compact one-line JSON records to a file.
+class JsonlWriter {
+ public:
+  /// Opens `path` for appending (creating it if absent); throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit JsonlWriter(const std::string& path);
+
+  /// Append one record: `fill` receives a compact JsonWriter and must emit
+  /// exactly one JSON value (normally begin_object()...end_object()).  The
+  /// record is built in memory first, then written and flushed as a single
+  /// line, so concurrent readers never observe a torn record through the
+  /// stream buffer.
+  void append(const std::function<void(JsonWriter&)>& fill);
+
+  [[nodiscard]] std::size_t records_written() const noexcept { return records_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream os_;
+  std::size_t records_ = 0;
+};
+
+/// Read every record of a JSONL file.  A final line that is empty or fails
+/// to parse is dropped (a killed writer's partial record); a malformed line
+/// before the last one throws std::runtime_error naming the line number.
+/// A missing file yields an empty vector.
+[[nodiscard]] std::vector<JsonValue> read_jsonl(const std::string& path);
+
+}  // namespace spgcmp::util

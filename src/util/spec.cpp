@@ -1,0 +1,116 @@
+#include "util/spec.hpp"
+
+#include <istream>
+#include <sstream>
+
+namespace spgcmp::util {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+SpecError::SpecError(int line, const std::string& what)
+    : std::runtime_error("line " + std::to_string(line) + ": " + what),
+      line_(line) {}
+
+const SpecEntry* SpecSection::find(std::string_view key) const noexcept {
+  for (const auto& e : entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+SpecDocument SpecDocument::parse(std::istream& is) {
+  SpecDocument doc;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    std::string_view line{raw};
+    if (const auto hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        throw SpecError(line_no, "section header missing closing ']'");
+      }
+      const std::string_view inner = trim(line.substr(1, line.size() - 2));
+      const auto space = inner.find_first_of(" \t");
+      if (inner.empty() || space == std::string_view::npos) {
+        throw SpecError(line_no,
+                        "section header must be '[<kind> <name>]', got '[" +
+                            std::string(inner) + "]'");
+      }
+      SpecSection s;
+      s.kind = std::string(trim(inner.substr(0, space)));
+      s.name = std::string(trim(inner.substr(space + 1)));
+      s.line = line_no;
+      doc.sections.push_back(std::move(s));
+      continue;
+    }
+
+    SpecEntry e;
+    const auto space = line.find_first_of(" \t");
+    if (space == std::string_view::npos) {
+      e.key = std::string(line);
+    } else {
+      e.key = std::string(line.substr(0, space));
+      e.value = std::string(trim(line.substr(space + 1)));
+    }
+    e.line = line_no;
+    if (doc.sections.empty()) {
+      doc.globals.push_back(std::move(e));
+    } else {
+      doc.sections.back().entries.push_back(std::move(e));
+    }
+  }
+  return doc;
+}
+
+SpecDocument SpecDocument::parse_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+std::int64_t spec_int(const SpecEntry& e) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(e.value, &used);
+    if (used == e.value.size()) return v;
+  } catch (const std::exception&) {
+    // fall through to the uniform diagnostic
+  }
+  throw SpecError(e.line, "key '" + e.key + "': expected an integer, got '" +
+                              e.value + "'");
+}
+
+std::int64_t spec_int_in(const SpecEntry& e, std::int64_t lo, std::int64_t hi) {
+  const std::int64_t v = spec_int(e);
+  if (v < lo || v > hi) {
+    throw SpecError(e.line, "key '" + e.key + "': value " + std::to_string(v) +
+                                " out of range [" + std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+std::vector<std::string> spec_list(const SpecEntry& e) {
+  std::vector<std::string> out;
+  std::istringstream is(e.value);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+}  // namespace spgcmp::util

@@ -1,0 +1,75 @@
+#pragma once
+
+// Sectioned key-value spec documents — the surface syntax of campaign
+// specs (src/campaign/spec.*).
+//
+// The format is deliberately line-oriented so specs diff well and errors
+// can always name a line:
+//
+//   # comment
+//   campaign paper            <- global entry: key, then value (rest of line)
+//   [sweep fig8_streamit_4x4] <- section header: [kind name]
+//   kind streamit
+//   rows 4
+//
+// This layer is pure syntax; semantic validation (known keys, integer
+// ranges, cross-references) belongs to the consumer, which uses the line
+// numbers recorded on every entry for its own diagnostics.
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spgcmp::util {
+
+/// Syntax or value error, always carrying the 1-based source line.
+class SpecError : public std::runtime_error {
+ public:
+  SpecError(int line, const std::string& what);
+  [[nodiscard]] int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+/// One `key value` line.
+struct SpecEntry {
+  std::string key;
+  std::string value;  ///< rest of the line, trimmed; may be empty
+  int line = 0;
+};
+
+/// One `[kind name]` section and its entries.
+struct SpecSection {
+  std::string kind;
+  std::string name;
+  int line = 0;
+  std::vector<SpecEntry> entries;
+
+  [[nodiscard]] const SpecEntry* find(std::string_view key) const noexcept;
+};
+
+/// A parsed spec document: entries before the first section header are
+/// globals, the rest belong to their section, in file order.
+struct SpecDocument {
+  std::vector<SpecEntry> globals;
+  std::vector<SpecSection> sections;
+
+  /// Parse; throws SpecError on malformed lines (bad section headers,
+  /// stray characters after a header).
+  [[nodiscard]] static SpecDocument parse(std::istream& is);
+  [[nodiscard]] static SpecDocument parse_string(const std::string& text);
+};
+
+/// Typed value helpers used by spec consumers; all throw SpecError naming
+/// the entry's key and line on malformed values.
+[[nodiscard]] std::int64_t spec_int(const SpecEntry& e);
+[[nodiscard]] std::int64_t spec_int_in(const SpecEntry& e, std::int64_t lo,
+                                       std::int64_t hi);
+/// Whitespace-separated list.
+[[nodiscard]] std::vector<std::string> spec_list(const SpecEntry& e);
+
+}  // namespace spgcmp::util

@@ -1,0 +1,351 @@
+// Tests for the campaign subsystem: spec parsing (round trip and golden
+// error messages), deterministic sharding, the resumable service (killed
+// campaigns resume with zero re-execution) and byte-identical merged
+// BENCH output across thread counts, interruption and the one-shot bench
+// path.  Also covers the util JSON parser / JSONL reader and the single
+// --threads normalization point.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "../bench/bench_common.hpp"
+#include "campaign/service.hpp"
+#include "harness/sweep_engine.hpp"
+#include "util/json.hpp"
+#include "util/jsonl.hpp"
+#include "util/spec.hpp"
+
+namespace {
+
+using namespace spgcmp;
+namespace fs = std::filesystem;
+
+// ----------------------------------------------------------------- util --
+
+TEST(NormalizeThreads, ZeroMeansHardwareConcurrencyAtLeastOne) {
+  const std::size_t hw = harness::normalize_threads(0);
+  EXPECT_GE(hw, 1u);
+  EXPECT_EQ(hw, std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  EXPECT_EQ(harness::normalize_threads(1), 1u);
+  EXPECT_EQ(harness::normalize_threads(7), 7u);
+}
+
+TEST(JsonParser, RoundTripsWriterOutput) {
+  const auto v = util::parse_json(
+      R"({"a": 1.5, "b": [1, 2, 3], "s": "x\n\"y\"", "t": true, "n": null})");
+  EXPECT_EQ(v.at("a").as_number("a"), 1.5);
+  EXPECT_EQ(v.at("b").as_array("b").size(), 3u);
+  EXPECT_EQ(v.at("s").as_string("s"), "x\n\"y\"");
+  EXPECT_TRUE(v.at("t").boolean);
+  EXPECT_EQ(v.at("n").type, util::JsonValue::Type::Null);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParser, ExactDoubleRoundTripThroughJsonNumber) {
+  // The byte-identity of merged campaigns rests on this property.
+  for (const double x : {1.0 / 3.0, 6e-12 * 8.0, 1.23456789012345e300, 0.1}) {
+    const std::string s = util::json_number(x);
+    EXPECT_EQ(util::parse_json(s).as_number("x"), x) << s;
+  }
+}
+
+TEST(JsonParser, RejectsMalformedInput) {
+  EXPECT_THROW((void)util::parse_json("{"), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json("[1, ]"), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json("1 2"), util::JsonParseError);
+  EXPECT_THROW((void)util::parse_json("nul"), util::JsonParseError);
+}
+
+TEST(Jsonl, ReaderToleratesTruncatedFinalRecordOnly) {
+  const fs::path path = fs::temp_directory_path() / "spgcmp_jsonl_test.jsonl";
+  {
+    std::ofstream os(path);
+    os << R"({"a": 1})" << "\n" << R"({"a": 2})" << "\n" << R"({"a": )";
+  }
+  const auto records = util::read_jsonl(path.string());
+  ASSERT_EQ(records.size(), 2u);  // the torn tail is dropped
+  EXPECT_EQ(records[1].at("a").as_number("a"), 2.0);
+
+  {
+    std::ofstream os(path);
+    os << R"({"a": )" << "\n" << R"({"a": 2})" << "\n";
+  }
+  EXPECT_THROW((void)util::read_jsonl(path.string()), std::runtime_error);
+  fs::remove(path);
+}
+
+// ----------------------------------------------------------------- spec --
+
+TEST(CampaignSpec, PaperRoundTripsThroughTextExactly) {
+  const auto spec = campaign::CampaignSpec::paper(5, 3, 3, 5, "mesh");
+  const std::string text = spec.to_text();
+  const auto reparsed = campaign::CampaignSpec::parse_string(text);
+  EXPECT_EQ(reparsed.to_text(), text);
+  EXPECT_EQ(reparsed.name, "paper");
+  EXPECT_EQ(reparsed.sweeps.size(), 6u);
+  EXPECT_EQ(reparsed.tables.size(), 2u);
+  ASSERT_NE(reparsed.find_sweep("fig10_random_n50_4x4"), nullptr);
+  EXPECT_EQ(reparsed.find_sweep("fig10_random_n50_4x4")->apps, 5u);
+  EXPECT_EQ(reparsed.find_sweep("nope"), nullptr);
+}
+
+/// Expect parse_string(text) to throw with exactly `message`.
+void expect_spec_error(const std::string& text, const std::string& message) {
+  try {
+    (void)campaign::CampaignSpec::parse_string(text);
+    FAIL() << "expected an error: " << message;
+  } catch (const util::SpecError& e) {
+    EXPECT_STREQ(e.what(), message.c_str());
+  }
+}
+
+TEST(CampaignSpec, GoldenParseErrors) {
+  expect_spec_error("flavor cherry\n", "line 1: unknown campaign key 'flavor'");
+  expect_spec_error("topology klein-bottle\n",
+                    "line 1: unknown topology 'klein-bottle' (expected mesh, "
+                    "snake, torus, hetero)");
+  expect_spec_error("[sweep s1]\nkind streamish\n",
+                    "line 2: unknown sweep kind 'streamish' (expected streamit "
+                    "or random)");
+  expect_spec_error("[sweep s1]\nrows 2\n", "line 1: sweep 's1': missing 'kind'");
+  expect_spec_error("[sweep s1]\nkind random\napps many\nmax_y 4\n",
+                    "line 3: key 'apps': expected an integer, got 'many'");
+  expect_spec_error("[sweep s1]\nkind random\nmax_y 4\nrows 0\n",
+                    "line 4: key 'rows': value 0 out of range [1, 64]");
+  expect_spec_error(
+      "[sweep s1]\nkind streamit\n[sweep s1]\nkind streamit\n",
+      "line 3: duplicate sweep name 's1'");
+  expect_spec_error("[sweep s1]\nkind streamit\nelevations 1 2\n",
+                    "line 1: sweep 's1': elevation keys apply to random sweeps "
+                    "only");
+  expect_spec_error("[sweep s1]\nkind random\n",
+                    "line 1: sweep 's1': random sweeps need 'elevations' or "
+                    "'max_y'");
+  expect_spec_error(
+      "[table t1]\nkind random_failures_by_ccr\nkey ccr\nfrom ghost\n",
+      "line 1: table 't1': unknown source sweep 'ghost'");
+  expect_spec_error(
+      "[sweep s1]\nkind streamit\n"
+      "[table t1]\nkind random_failures_by_ccr\nkey ccr\nfrom s1\n",
+      "line 3: table 't1': source sweep 's1' is not a random sweep");
+  expect_spec_error("[bucket b1]\nkind streamit\n",
+                    "line 1: unknown section kind 'bucket' (expected sweep or "
+                    "table)");
+  expect_spec_error("[sweep missing-close\n",
+                    "line 1: section header missing closing ']'");
+}
+
+// --------------------------------------------------------------- shards --
+
+TEST(SweepPlan, ShardGridCoversAllInstancesExactlyOnce) {
+  campaign::SweepSpec spec;
+  spec.name = "probe";
+  spec.kind = campaign::SweepKind::Random;
+  spec.n = 10;
+  spec.rows = 2;
+  spec.cols = 2;
+  spec.elevations = {1, 2};
+  spec.apps = 3;
+  spec.shard_size = 4;
+  const campaign::SweepPlan plan(spec, "mesh");
+  // 3 CCRs x 2 elevations x 3 apps = 18 instances in shards of 4.
+  EXPECT_EQ(plan.instance_count(), 18u);
+  EXPECT_EQ(plan.shard_count(), 5u);
+  std::size_t covered = 0;
+  for (std::size_t s = 0; s < plan.shard_count(); ++s) {
+    const auto [first, last] = plan.shard_range(s);
+    EXPECT_EQ(first, covered);
+    EXPECT_GT(last, first);
+    covered = last;
+  }
+  EXPECT_EQ(covered, plan.instance_count());
+  EXPECT_THROW((void)plan.run_shard(5, 1), std::out_of_range);
+}
+
+// -------------------------------------------------------------- service --
+
+/// A tiny two-sweep campaign (random + derived table) that runs in well
+/// under a second per full pass.
+const char* tiny_spec_text() {
+  return R"(campaign tiny
+topology mesh
+
+[sweep tiny_random]
+kind random
+n 10
+rows 2
+cols 2
+elevations 1 2
+apps 2
+seed 7
+shard_size 4
+
+[table tiny_failures]
+kind random_failures_by_ccr
+key ccr
+from tiny_random
+)";
+}
+
+/// Fresh scratch directory under the system temp dir.
+class CampaignDir {
+ public:
+  explicit CampaignDir(const std::string& tag)
+      : path_(fs::temp_directory_path() /
+              ("spgcmp_campaign_" + tag + "_" +
+               std::to_string(::testing::UnitTest::GetInstance()->random_seed()))) {
+    fs::remove_all(path_);
+  }
+  ~CampaignDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+/// All merged reports of a campaign rendered to one string.
+std::string merged_bytes(const campaign::CampaignService& service) {
+  std::ostringstream os;
+  for (const auto& rep : service.merged_reports()) {
+    os << "=== " << rep.name << " ===\n";
+    rep.write_json(os);
+  }
+  return os.str();
+}
+
+TEST(CampaignService, InterruptedCampaignResumesWithZeroReexecution) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+
+  // Reference: uninterrupted at 1 thread.
+  CampaignDir ref_dir("ref");
+  campaign::CampaignService ref(spec, ref_dir.str());
+  campaign::ServiceOptions opt;
+  opt.threads = 1;
+  const auto ref_summary = ref.run(opt);
+  EXPECT_TRUE(ref_summary.complete);
+  EXPECT_EQ(ref_summary.shards_total, 3u);
+  EXPECT_EQ(ref_summary.shards_executed, 3u);
+  const std::string ref_bytes = merged_bytes(ref);
+
+  // Killed after one shard (shard-limit injection), resumed at 8 threads.
+  CampaignDir cut_dir("cut");
+  {
+    campaign::CampaignService cut(spec, cut_dir.str());
+    campaign::ServiceOptions first;
+    first.threads = 1;
+    first.max_shards = 1;
+    const auto s1 = cut.run(first);
+    EXPECT_FALSE(s1.complete);
+    EXPECT_EQ(s1.shards_executed, 1u);
+    EXPECT_THROW((void)cut.merged_reports(), std::runtime_error);
+  }
+  {
+    // Re-open from disk, as `spgcmp_campaign resume` does.
+    auto resumed = campaign::CampaignService::open(cut_dir.str());
+    campaign::ServiceOptions rest;
+    rest.threads = 8;
+    const auto s2 = resumed.run(rest);
+    EXPECT_TRUE(s2.complete);
+    EXPECT_EQ(s2.shards_skipped, 1u);   // nothing re-executed...
+    EXPECT_EQ(s2.shards_executed, 2u);  // ...only the pending shards ran
+    EXPECT_EQ(merged_bytes(resumed), ref_bytes);
+
+    // A further resume is a no-op.
+    const auto s3 = resumed.run(rest);
+    EXPECT_TRUE(s3.complete);
+    EXPECT_EQ(s3.shards_executed, 0u);
+    EXPECT_EQ(s3.shards_skipped, 3u);
+  }
+
+  // Uninterrupted 8-thread run: byte-identical too.
+  CampaignDir par_dir("par");
+  campaign::CampaignService par(spec, par_dir.str());
+  campaign::ServiceOptions wide;
+  wide.threads = 8;
+  EXPECT_TRUE(par.run(wide).complete);
+  EXPECT_EQ(merged_bytes(par), ref_bytes);
+}
+
+TEST(CampaignService, MergeMatchesOneShotBenchReportByteForByte) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+  CampaignDir dir("oneshot");
+  campaign::CampaignService service(spec, dir.str());
+  campaign::ServiceOptions opt;
+  opt.threads = 2;
+  ASSERT_TRUE(service.run(opt).complete);
+  const auto reports = service.merged_reports();
+  ASSERT_EQ(reports.size(), 2u);
+
+  // The one-shot bench path over the identical sweep parameters.
+  const auto oneshot = bench::random_report("tiny_random", 10, 2, 2, {1, 2}, 2,
+                                            /*threads=*/1, /*seed_base=*/7);
+  std::ostringstream a, b;
+  reports[0].write_json(a);
+  oneshot.write_json(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CampaignService, TruncatedShardLogTailIsReexecutedCleanly) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+  CampaignDir dir("torn");
+  campaign::CampaignService service(spec, dir.str());
+  campaign::ServiceOptions opt;
+  opt.threads = 1;
+  opt.max_shards = 2;
+  EXPECT_EQ(service.run(opt).shards_executed, 2u);
+
+  // Simulate a kill mid-append: a torn record for the third shard, with no
+  // trailing newline (exactly what an interrupted write leaves behind).
+  {
+    std::ofstream os(service.store().shards_path(), std::ios::app);
+    os << R"({"sweep": "tiny_random", "shard": 2, "instances": [{"per)";
+  }
+  auto reopened = campaign::CampaignService::open(dir.str());
+  EXPECT_EQ(reopened.status().shards_done(), 2u);  // torn tail ignored
+  campaign::ServiceOptions rest;
+  rest.threads = 1;
+  const auto s = reopened.run(rest);
+  EXPECT_TRUE(s.complete);
+  EXPECT_EQ(s.shards_executed, 1u);  // exactly the torn shard re-ran
+
+  // The re-appended record must start on a fresh line (the writer truncates
+  // the torn fragment), so the log stays fully readable afterwards: merge
+  // works and a fresh open sees all three shards, none malformed.
+  EXPECT_EQ(reopened.merged_reports().size(), 2u);
+  auto again = campaign::CampaignService::open(dir.str());
+  EXPECT_EQ(again.status().shards_done(), 3u);
+  EXPECT_EQ(again.run(rest).shards_executed, 0u);
+}
+
+TEST(CampaignService, RejectsDirectoryBoundToDifferentSpec) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+  CampaignDir dir("clash");
+  campaign::CampaignService service(spec, dir.str());
+  auto other = spec;
+  other.sweeps[0].apps = 3;
+  EXPECT_THROW(campaign::CampaignService(other, dir.str()), std::runtime_error);
+  // The original spec re-binds fine (idempotent init).
+  EXPECT_NO_THROW(campaign::CampaignService(spec, dir.str()));
+}
+
+TEST(CampaignService, ManifestCheckpointsProgress) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+  CampaignDir dir("manifest");
+  campaign::CampaignService service(spec, dir.str());
+  campaign::ServiceOptions opt;
+  opt.threads = 1;
+  opt.checkpoint_every = 1;
+  ASSERT_TRUE(service.run(opt).complete);
+  const auto manifest = service.store().read_manifest();
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->campaign, "tiny");
+  EXPECT_EQ(manifest->shards_total, 3u);
+  EXPECT_EQ(manifest->shards_done, 3u);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// spgcmp_campaign — sharded, resumable sweep campaign daemon.
+//
+//   spgcmp_campaign run    --spec=FILE|paper --dir=DIR [--threads=N]
+//                          [--max-shards=K]
+//   spgcmp_campaign resume --dir=DIR [--threads=N] [--max-shards=K]
+//   spgcmp_campaign status --dir=DIR
+//   spgcmp_campaign merge  --dir=DIR [--out=DIR]
+//
+// `run` binds a campaign spec to a directory and executes its shards in
+// deterministic order, appending each finished shard to <dir>/shards.jsonl
+// and checkpointing <dir>/MANIFEST.json.  A killed campaign (or one
+// stopped early with --max-shards=K) is continued by `resume`, which
+// re-executes nothing that already completed.  `merge` folds the shard log
+// into the same BENCH_<name>.json documents bench/run_all writes —
+// byte-identically, at any thread count, interrupted or not.
+//
+// `--spec=paper` selects the built-in paper reproduction grid (figs 8-13,
+// tables 2-3); it honours the run_all knobs --apps/--apps150/--step/
+// --step150/--topology (and their REPRO_* environment fallbacks).
+//
+// Exit codes: 0 = requested work done, 1 = error, 2 = usage,
+// 3 = run/resume stopped early with shards still pending (--max-shards).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "campaign/service.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace spgcmp;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spgcmp_campaign <run|resume|status|merge> [--key=value ...]\n"
+               "  run    --spec=FILE|paper --dir=DIR [--threads=N] [--max-shards=K]\n"
+               "  resume --dir=DIR [--threads=N] [--max-shards=K]\n"
+               "  status --dir=DIR\n"
+               "  merge  --dir=DIR [--out=DIR]\n"
+               "see the header of tools/spgcmp_campaign.cpp for details\n");
+  return 2;
+}
+
+std::string dir_arg(const util::Args& args) {
+  const auto dir = args.get("dir");
+  if (!dir || dir->empty()) throw std::runtime_error("missing --dir=<directory>");
+  return *dir;
+}
+
+campaign::ServiceOptions service_options(const util::Args& args) {
+  campaign::ServiceOptions opt;
+  opt.threads =
+      static_cast<std::size_t>(args.get_int("threads", "REPRO_THREADS", 0));
+  opt.max_shards = static_cast<std::size_t>(args.get_int("max-shards", "", 0));
+  opt.log = &std::cout;
+  return opt;
+}
+
+campaign::CampaignSpec load_spec(const util::Args& args) {
+  const auto spec = args.get("spec");
+  if (!spec || spec->empty()) {
+    throw std::runtime_error("missing --spec=<file> (or --spec=paper)");
+  }
+  if (*spec == "paper") {
+    const auto apps = static_cast<std::size_t>(args.get_int("apps", "REPRO_APPS", 5));
+    const auto apps150 =
+        static_cast<std::size_t>(args.get_int("apps150", "REPRO_APPS150", 3));
+    const int step = static_cast<int>(args.get_int("step", "REPRO_STEP", 3));
+    const int step150 =
+        static_cast<int>(args.get_int("step150", "REPRO_STEP150", 5));
+    const std::string topology =
+        args.get_string("topology", "REPRO_TOPOLOGY", "mesh");
+    return campaign::CampaignSpec::paper(apps, apps150, step, step150, topology);
+  }
+  std::ifstream is(*spec);
+  if (!is) throw std::runtime_error("cannot open spec file " + *spec);
+  return campaign::CampaignSpec::parse(is);
+}
+
+int finish_run(const campaign::RunSummary& summary) {
+  if (summary.complete) {
+    std::printf("campaign complete: %zu shards\n", summary.shards_total);
+    return 0;
+  }
+  std::printf("campaign stopped with %zu/%zu shards done; resume to continue\n",
+              summary.shards_skipped + summary.shards_executed,
+              summary.shards_total);
+  return 3;
+}
+
+int cmd_run(const util::Args& args) {
+  campaign::CampaignService service(load_spec(args), dir_arg(args));
+  return finish_run(service.run(service_options(args)));
+}
+
+int cmd_resume(const util::Args& args) {
+  auto service = campaign::CampaignService::open(dir_arg(args));
+  return finish_run(service.run(service_options(args)));
+}
+
+int cmd_status(const util::Args& args) {
+  const auto service = campaign::CampaignService::open(dir_arg(args));
+  const auto rep = service.status();
+  std::printf("campaign: %s\n", rep.campaign.c_str());
+  util::Table t({"sweep", "shards", "instances", "state"});
+  for (const auto& s : rep.sweeps) {
+    t.add_row({s.name, std::to_string(s.shards_done) + "/" +
+                           std::to_string(s.shards_total),
+               std::to_string(s.instances_total),
+               s.shards_done == s.shards_total ? "done" : "pending"});
+  }
+  t.print(std::cout);
+  std::printf("total: %zu/%zu shards\n", rep.shards_done(), rep.shards_total());
+  return 0;
+}
+
+int cmd_merge(const util::Args& args) {
+  const auto service = campaign::CampaignService::open(dir_arg(args));
+  const std::string out = args.get_string("out", "REPRO_OUT", ".");
+  for (const auto& path : service.merge(out)) {
+    std::printf("[json] %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const util::Args args(argc, argv);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "resume") return cmd_resume(args);
+    if (cmd == "status") return cmd_status(args);
+    if (cmd == "merge") return cmd_merge(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spgcmp_campaign: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
