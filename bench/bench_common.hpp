@@ -29,6 +29,7 @@
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
 #include "harness/sweep_engine.hpp"
+#include "solve/registry.hpp"
 #include "spg/generator.hpp"
 #include "spg/streamit.hpp"
 #include "util/cli.hpp"
@@ -46,15 +47,18 @@ inline const std::vector<std::pair<std::string, double>>& ccr_settings() {
 /// The CCRs swept by the random-SPG figures.
 inline const std::vector<double>& random_ccrs() { return campaign::random_ccrs(); }
 
-/// Heuristic names in paper order.
-inline std::vector<std::string> heuristic_names() {
-  return campaign::heuristic_names();
-}
-
-/// Common bench flags: sweep thread count, JSON output directory and the
-/// platform topology to map onto (mesh|snake|torus|hetero).
+/// Common bench flags: sweep thread count, JSON output directory, the
+/// platform topology to map onto (mesh|snake|torus|hetero) and the solver
+/// subset to run (--heuristics=dpa2d1d,exact(cap=9); empty = paper set).
 [[nodiscard]] inline std::size_t threads_arg(const util::Args& args) {
   return static_cast<std::size_t>(args.get_int("threads", "REPRO_THREADS", 0));
+}
+[[nodiscard]] inline std::vector<std::string> solvers_arg(const util::Args& args) {
+  const std::string csv = args.get_string("heuristics", "REPRO_HEURISTICS", "");
+  if (csv.empty()) return {};
+  // Parse through SolverSet so a bad spec fails here, with the registry
+  // listing, instead of inside the first sweep shard.
+  return solve::SolverSet::parse(csv).specs();
 }
 [[nodiscard]] inline std::string json_dir_arg(const util::Args& args) {
   return args.get_string("json", "REPRO_JSON", "");
@@ -87,14 +91,16 @@ inline void maybe_write_json(const harness::BenchReport& rep,
 /// Run the full StreamIt campaign on one grid: all (CCR, application)
 /// cells batched through the sweep engine.  Cell order is CCR-major in
 /// `ccr_settings()` order, application-minor in suite order.
-inline harness::BenchReport streamit_report(std::string name, int rows, int cols,
-                                            std::size_t threads,
-                                            const std::string& topology = "mesh") {
+inline harness::BenchReport streamit_report(
+    std::string name, int rows, int cols, std::size_t threads,
+    const std::string& topology = "mesh",
+    const std::vector<std::string>& solvers = {}) {
   campaign::SweepSpec spec;
   spec.name = std::move(name);
   spec.kind = campaign::SweepKind::Streamit;
   spec.rows = rows;
   spec.cols = cols;
+  spec.solvers = solvers;
   const campaign::SweepPlan plan(spec, topology);
   return campaign::sweep_report(plan.spec(), topology, plan.run_all(threads));
 }
@@ -151,7 +157,8 @@ inline harness::BenchReport random_report(std::string name, std::size_t n, int r
                                           int cols, const std::vector<int>& elevations,
                                           std::size_t apps, std::size_t threads,
                                           std::uint64_t seed_base = 42,
-                                          const std::string& topology = "mesh") {
+                                          const std::string& topology = "mesh",
+                                          const std::vector<std::string>& solvers = {}) {
   campaign::SweepSpec spec;
   spec.name = std::move(name);
   spec.kind = campaign::SweepKind::Random;
@@ -161,6 +168,7 @@ inline harness::BenchReport random_report(std::string name, std::size_t n, int r
   spec.elevations = elevations;
   spec.apps = apps;
   spec.seed_base = seed_base;
+  spec.solvers = solvers;
   const campaign::SweepPlan plan(spec, topology);
   return campaign::sweep_report(plan.spec(), topology, plan.run_all(threads));
 }
@@ -217,12 +225,13 @@ inline std::vector<int> default_elevations(int max_y, int step) {
   return t;
 }
 
-/// Render Table 2 / Table 3-style failure tables.
+/// Render Table 2 / Table 3-style failure tables for `names` columns.
 inline void print_failure_table(const std::vector<std::string>& row_labels,
                                 const std::vector<std::vector<std::size_t>>& rows,
-                                const std::string& key_column, std::ostream& os) {
+                                const std::string& key_column,
+                                const std::vector<std::string>& names,
+                                std::ostream& os) {
   std::vector<std::string> header = {key_column};
-  const auto names = heuristic_names();
   header.insert(header.end(), names.begin(), names.end());
   util::Table t(header);
   for (std::size_t r = 0; r < rows.size(); ++r) {

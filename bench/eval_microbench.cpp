@@ -13,6 +13,11 @@
 // bind/evaluate_move/commit_move delta path, over the identical candidate
 // sequence; both sides must agree on the optimal energy.
 //
+// BENCH_eval.json additionally carries one "solver" cell per registry
+// solver — the SolveReport wall time, evaluator call count and fast-path
+// share of a single n=50 / 4x4 solve — giving perf work a per-solver
+// trajectory across commits for free.
+//
 // Flags: --moves=N probe count per scenario (default 2000)   [REPRO_MOVES]
 //        --seed=S  workload seed (default 42)
 //        --json=DIR  BENCH_eval.json directory (default ".") [REPRO_JSON]
@@ -26,6 +31,7 @@
 #include "bench_common.hpp"
 #include "heuristics/exact.hpp"
 #include "mapping/evaluator.hpp"
+#include "solve/solve.hpp"
 
 namespace {
 
@@ -240,9 +246,48 @@ int main(int argc, char** argv) try {
     rep.cells.push_back(std::move(cell));
   }
 
+  // Per-solver SolveReport trajectories on the n=50 / 4x4 scenario: one
+  // cell per registry solver with (wall_us, evaluator_calls,
+  // incremental_hit_rate), so perf PRs can chart each solver's evaluator
+  // traffic over time without re-instrumenting anything.
+  util::Table solver_table(
+      {"solver", "status", "wall (us)", "evaluator calls", "fast-path share"});
+  {
+    rep.meta.emplace_back("solver_cells",
+                          "wall_us, evaluator_calls, incremental_hit_rate");
+    util::Rng rng(harness::instance_seed(seed, 50 * 100 + 4));
+    spg::Spg g = spg::random_spg(50, 6, rng);
+    g.rescale_ccr(1.0);
+    const auto p = cmp::Platform::reference(4, 4);
+    solve::SolveRequest req;
+    req.spg = &g;
+    req.platform = &p;
+    req.period = find_seed(g, p).T;
+    req.seed = seed;
+    for (const auto& name : solve::SolverRegistry::instance().names()) {
+      const auto solved = solve::run(name, req);
+      const double wall_us = solved.stats.wall_seconds * 1e6;
+      const auto calls = static_cast<double>(solved.stats.evaluator_calls());
+      const double hit = solved.stats.incremental_hit_rate();
+      solver_table.add_row({name, solved.result.success ? "ok" : "fail",
+                            util::fmt_double(wall_us, 1), util::fmt_double(calls, 0),
+                            util::fmt_double(hit, 3)});
+      harness::BenchCell cell;
+      cell.labels = {{"scenario", "solver"}, {"solver", name}};
+      cell.period = req.period;
+      cell.values = {wall_us, calls, hit};
+      cell.failures = {solved.result.success ? std::size_t{0} : std::size_t{1}, 0, 0};
+      cell.workloads = 1;
+      rep.cells.push_back(std::move(cell));
+      if (solved.result.success) sink += solved.result.eval.energy;
+    }
+  }
+
   std::cout << "Evaluator microbenchmark: full vs incremental re-evaluation ("
             << moves << " probes per scenario)\n";
   table.print(std::cout);
+  std::cout << "\nPer-solver SolveReport trajectories (n=50, 4x4 mesh)\n";
+  solver_table.print(std::cout);
   bench::maybe_write_json(rep, json, std::cout);
   if (!std::isfinite(sink)) std::cout << "";  // defeat dead-code elimination
   return 0;

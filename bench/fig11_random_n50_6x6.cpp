@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   const auto rep = bench::random_report("fig11_random_n50_6x6", 50,
                                         6, 6, elevations, apps,
                                         bench::threads_arg(args), 42,
-                                        bench::topology_arg(args));
+                                        bench::topology_arg(args),
+                                        bench::solvers_arg(args));
   bench::print_random_report(rep, std::cout, 50, 6, 6, elevations.size());
   bench::maybe_write_json(rep, bench::json_dir_arg(args), std::cout);
   return 0;

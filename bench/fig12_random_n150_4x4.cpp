@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   const auto rep = bench::random_report("fig12_random_n150_4x4", 150,
                                         4, 4, elevations, apps,
                                         bench::threads_arg(args), 42,
-                                        bench::topology_arg(args));
+                                        bench::topology_arg(args),
+                                        bench::solvers_arg(args));
   bench::print_random_report(rep, std::cout, 150, 4, 4, elevations.size());
   bench::maybe_write_json(rep, bench::json_dir_arg(args), std::cout);
   return 0;

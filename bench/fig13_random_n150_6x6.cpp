@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   const auto rep = bench::random_report("fig13_random_n150_6x6", 150,
                                         6, 6, elevations, apps,
                                         bench::threads_arg(args), 42,
-                                        bench::topology_arg(args));
+                                        bench::topology_arg(args),
+                                        bench::solvers_arg(args));
   bench::print_random_report(rep, std::cout, 150, 6, 6, elevations.size());
   bench::maybe_write_json(rep, bench::json_dir_arg(args), std::cout);
   return 0;

@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   std::cout << "Figure 8: normalized energy, StreamIt suite, 4x4 CMP\n";
   const auto rep =
       bench::streamit_report("fig8_streamit_4x4", 4, 4, bench::threads_arg(args),
-                             bench::topology_arg(args));
+                             bench::topology_arg(args),
+                             bench::solvers_arg(args));
   bench::print_streamit_report(rep, std::cout);
   bench::maybe_write_json(rep, bench::json_dir_arg(args), std::cout);
   return 0;

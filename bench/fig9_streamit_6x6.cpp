@@ -12,7 +12,8 @@ int main(int argc, char** argv) {
   std::cout << "Figure 9: normalized energy, StreamIt suite, 6x6 CMP\n";
   const auto rep =
       bench::streamit_report("fig9_streamit_6x6", 6, 6, bench::threads_arg(args),
-                             bench::topology_arg(args));
+                             bench::topology_arg(args),
+                             bench::solvers_arg(args));
   bench::print_streamit_report(rep, std::cout);
   bench::maybe_write_json(rep, bench::json_dir_arg(args), std::cout);
   return 0;

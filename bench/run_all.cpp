@@ -17,6 +17,9 @@
 //   --step150=N   elevation step, n=150 figures              [REPRO_STEP150]
 //   --out=DIR     directory for BENCH_*.json ("" disables)   [REPRO_OUT]
 //   --topology=T  mesh|snake|torus|hetero platform fabric    [REPRO_TOPOLOGY]
+//   --heuristics=L  solver subset, e.g. random,dpa2d1d,exact(cap=9)
+//                 (registry spec strings; default: the paper's five)
+//                                                            [REPRO_HEURISTICS]
 //
 // Paper-exact replication: --apps=100 --apps150=100 --step=1 --step150=1.
 
@@ -34,11 +37,12 @@ using namespace spgcmp;
 /// Wrap per-grid / per-CCR failure totals as a BENCH_*.json report.
 harness::BenchReport failure_report(std::string name, std::string key,
                                     const std::vector<std::string>& labels,
-                                    const std::vector<std::vector<std::size_t>>& rows) {
+                                    const std::vector<std::vector<std::size_t>>& rows,
+                                    std::vector<std::string> heuristics) {
   harness::BenchReport rep;
   rep.name = std::move(name);
   rep.metric = "failures";
-  rep.heuristics = bench::heuristic_names();
+  rep.heuristics = std::move(heuristics);
   for (std::size_t r = 0; r < rows.size(); ++r) {
     harness::BenchCell cell;
     cell.labels = {{key, labels[r]}};
@@ -65,11 +69,14 @@ int main(int argc, char** argv) try {
   const int step150 = static_cast<int>(args.get_int("step150", "REPRO_STEP150", 5));
   const std::string out = args.get_string("out", "REPRO_OUT", ".");
   const std::string topology = bench::topology_arg(args);
+  const auto solvers = bench::solvers_arg(args);
 
   // The whole run is one declarative campaign; this driver only schedules
   // it in-process and renders the console tables.
-  const auto spec =
+  auto spec =
       campaign::CampaignSpec::paper(apps, apps150, step, step150, topology);
+  for (auto& sweep : spec.sweeps) sweep.solvers = solvers;
+  const auto names = campaign::sweep_solver_names(spec.sweeps.front());
 
   std::ostream& os = std::cout;
   os << "spgcmp reproduction run: Figures 8-13, Tables 1-3\n";
@@ -102,9 +109,10 @@ int main(int argc, char** argv) try {
       if (streamit_failures.size() == 2) {
         os << "\n== Table 2: failures out of 48 StreamIt instances per grid ==\n";
         bench::print_failure_table(streamit_labels, streamit_failures, "platform",
-                                   os);
+                                   names, os);
         bench::maybe_write_json(failure_report("table2_failures", "platform",
-                                               streamit_labels, streamit_failures),
+                                               streamit_labels, streamit_failures,
+                                               names),
                                 out, os);
       }
     } else {
@@ -131,9 +139,9 @@ int main(int argc, char** argv) try {
   for (const double ccr : bench::random_ccrs()) {
     ccr_labels.push_back(util::fmt_double(ccr, 3));
   }
-  bench::print_failure_table(ccr_labels, by_ccr, "CCR", os);
+  bench::print_failure_table(ccr_labels, by_ccr, "CCR", names, os);
   bench::maybe_write_json(failure_report("table3_failures_random", "ccr", ccr_labels,
-                                         by_ccr),
+                                         by_ccr, names),
                           out, os);
 
   os << "\ndone.\n";

@@ -16,13 +16,17 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto threads = bench::threads_arg(args);
   const auto topology = bench::topology_arg(args);
+  const auto solvers = bench::solvers_arg(args);
   std::ostringstream sink;  // the per-app tables are Figure 8/9's output
-  const auto f44 = bench::print_streamit_report(
-      bench::streamit_report("fig8_streamit_4x4", 4, 4, threads, topology), sink);
+  const auto rep44 =
+      bench::streamit_report("fig8_streamit_4x4", 4, 4, threads, topology, solvers);
+  const auto f44 = bench::print_streamit_report(rep44, sink);
   const auto f66 = bench::print_streamit_report(
-      bench::streamit_report("fig9_streamit_6x6", 6, 6, threads, topology), sink);
+      bench::streamit_report("fig9_streamit_6x6", 6, 6, threads, topology, solvers),
+      sink);
 
   std::cout << "Table 2: failures out of 48 instances per CMP grid size\n";
-  bench::print_failure_table({"4x4", "6x6"}, {f44, f66}, "platform", std::cout);
+  bench::print_failure_table({"4x4", "6x6"}, {f44, f66}, "platform",
+                             rep44.heuristics, std::cout);
   return 0;
 }

@@ -23,13 +23,14 @@ int main(int argc, char** argv) {
 
   const auto rep = bench::random_report("table3_random_n50_4x4", 50, 4, 4,
                                         elevations, apps, bench::threads_arg(args),
-                                        42, bench::topology_arg(args));
+                                        42, bench::topology_arg(args),
+                                        bench::solvers_arg(args));
   const auto by_ccr = bench::report_failures_by_ccr(rep, elevations.size());
 
   std::cout << "Table 3: failures out of " << total
             << " random instances per CCR (n=50, 4x4 CMP)\n";
   std::vector<std::string> labels;
   for (const double ccr : bench::random_ccrs()) labels.push_back(util::fmt_double(ccr, 3));
-  bench::print_failure_table(labels, by_ccr, "CCR", std::cout);
+  bench::print_failure_table(labels, by_ccr, "CCR", rep.heuristics, std::cout);
   return 0;
 }

@@ -25,7 +25,7 @@ harness::BenchReport streamit_sweep_report(
   rep.meta = {{"suite", "streamit"},
               {"grid", std::to_string(spec.rows) + "x" + std::to_string(spec.cols)}};
   tag_topology(rep, topology);
-  rep.heuristics = heuristic_names();
+  rep.heuristics = sweep_solver_names(spec);
   std::size_t k = 0;
   for (const auto& [label, ccr] : streamit_ccrs()) {
     for (const auto& info : spg::streamit_table()) {
@@ -60,7 +60,7 @@ harness::BenchReport random_sweep_report(
               {"apps", std::to_string(spec.apps)},
               {"seed_base", std::to_string(spec.seed_base)}};
   tag_topology(rep, topology);
-  rep.heuristics = heuristic_names();
+  rep.heuristics = sweep_solver_names(spec);
   std::size_t k = 0;
   for (const double ccr : random_ccrs()) {
     for (const int y : spec.elevations) {
@@ -153,7 +153,17 @@ harness::BenchReport table_report(
   harness::BenchReport rep;
   rep.name = spec.name;
   rep.metric = "failures";
-  rep.heuristics = heuristic_names();
+  // Failure columns are per solver, so every source sweep must run the
+  // same solver line-up for the rows to be comparable.
+  rep.heuristics = sweep_solver_names(*source_specs[0]);
+  for (std::size_t i = 1; i < source_specs.size(); ++i) {
+    if (sweep_solver_names(*source_specs[i]) != rep.heuristics) {
+      throw std::invalid_argument("table '" + spec.name + "': source sweep '" +
+                                  source_specs[i]->name +
+                                  "' runs a different solver set than '" +
+                                  source_specs[0]->name + "'");
+    }
+  }
 
   std::vector<std::string> labels;
   std::vector<std::vector<std::size_t>> rows;

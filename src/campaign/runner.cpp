@@ -6,16 +6,23 @@
 #include <limits>
 #include <stdexcept>
 
-#include "heuristics/heuristic.hpp"
 #include "spg/generator.hpp"
 #include "spg/streamit.hpp"
 
 namespace spgcmp::campaign {
 
-std::vector<std::string> heuristic_names() {
-  std::vector<std::string> v;
-  for (const auto& h : heuristics::make_paper_heuristics()) v.push_back(h->name());
-  return v;
+solve::SolverSet sweep_solvers(const SweepSpec& spec) {
+  if (spec.solvers.empty()) return solve::SolverSet::paper();
+  std::string csv;
+  for (const auto& s : spec.solvers) {
+    if (!csv.empty()) csv += ',';
+    csv += s;
+  }
+  return solve::SolverSet::parse(csv);
+}
+
+std::vector<std::string> sweep_solver_names(const SweepSpec& spec) {
+  return sweep_solvers(spec).names();
 }
 
 double InstanceResult::best_energy() const {
@@ -64,6 +71,7 @@ SweepPlan::SweepPlan(SweepSpec spec, const std::string& topology)
     : spec_(std::move(spec)),
       topology_(topology),
       platform_(cmp::Platform::reference(topology, spec_.rows, spec_.cols)),
+      solvers_(sweep_solvers(spec_)),
       shard_size_(spec_.shard_size != 0 ? spec_.shard_size : kDefaultShardSize) {
   if (spec_.kind == SweepKind::Streamit) {
     // CCR-major, application-minor — the cell order of Figures 8/9.
@@ -115,9 +123,8 @@ std::vector<InstanceResult> SweepPlan::run_shard(std::size_t shard,
   harness::SweepEngineOptions opt;
   opt.threads = harness::normalize_threads(threads);
   const harness::SweepEngine engine(opt);
-  const auto campaigns = engine.run_task_slice(
-      tasks_, first, last, platform_,
-      [] { return heuristics::make_paper_heuristics(); });
+  const auto campaigns =
+      engine.run_task_slice(tasks_, first, last, platform_, solvers_);
   std::vector<InstanceResult> results;
   results.reserve(campaigns.size());
   for (const auto& c : campaigns) results.push_back(summarize(c));
@@ -132,9 +139,8 @@ std::vector<InstanceResult> SweepPlan::run_all(std::size_t threads) const {
   harness::SweepEngineOptions opt;
   opt.threads = harness::normalize_threads(threads);
   const harness::SweepEngine engine(opt);
-  const auto campaigns = engine.run_task_slice(
-      tasks_, 0, tasks_.size(), platform_,
-      [] { return heuristics::make_paper_heuristics(); });
+  const auto campaigns =
+      engine.run_task_slice(tasks_, 0, tasks_.size(), platform_, solvers_);
   std::vector<InstanceResult> results;
   results.reserve(campaigns.size());
   for (const auto& c : campaigns) results.push_back(summarize(c));

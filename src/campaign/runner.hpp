@@ -26,11 +26,16 @@
 #include "campaign/spec.hpp"
 #include "cmp/cmp.hpp"
 #include "harness/sweep_engine.hpp"
+#include "solve/registry.hpp"
 
 namespace spgcmp::campaign {
 
-/// Per-heuristic names of the paper heuristic set, in report order.
-[[nodiscard]] std::vector<std::string> heuristic_names();
+/// The solver set a sweep runs: its `heuristics` subset when given, the
+/// paper set otherwise.  Throws solve::SolverError on invalid specs.
+[[nodiscard]] solve::SolverSet sweep_solvers(const SweepSpec& spec);
+
+/// Display names of sweep_solvers(spec), in report order.
+[[nodiscard]] std::vector<std::string> sweep_solver_names(const SweepSpec& spec);
 
 /// Raw outcome of one instance (one period-search campaign).
 struct InstanceResult {
@@ -63,6 +68,10 @@ class SweepPlan {
   [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const std::string& topology() const noexcept { return topology_; }
   [[nodiscard]] const cmp::Platform& platform() const noexcept { return platform_; }
+  /// The resolved solver set every shard of this plan runs.
+  [[nodiscard]] const solve::SolverSet& solvers() const noexcept {
+    return solvers_;
+  }
 
   [[nodiscard]] std::size_t instance_count() const noexcept { return tasks_.size(); }
   [[nodiscard]] std::size_t shard_size() const noexcept { return shard_size_; }
@@ -82,6 +91,7 @@ class SweepPlan {
   SweepSpec spec_;
   std::string topology_;
   cmp::Platform platform_;
+  solve::SolverSet solvers_;
   std::vector<harness::SweepEngine::GeneratedTask> tasks_;
   std::size_t shard_size_;
 };

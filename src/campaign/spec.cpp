@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "cmp/cmp.hpp"
+#include "solve/registry.hpp"
 #include "util/spec.hpp"
 
 namespace spgcmp::campaign {
@@ -94,6 +95,15 @@ SweepSpec parse_sweep(const SpecSection& sec) {
       s.apps = static_cast<std::size_t>(util::spec_int_in(e, 0, 1000000));
     } else if (e.key == "seed") {
       s.seed_base = static_cast<std::uint64_t>(util::spec_int(e));
+    } else if (e.key == "heuristics") {
+      // Validate eagerly through the registry so a bad solver spec names
+      // this line, not a worker thread deep inside the first shard.
+      try {
+        const auto set = solve::SolverSet::parse(e.value);
+        s.solvers = set.specs();
+      } catch (const solve::SolverError& err) {
+        throw SpecError(e.line, err.what());
+      }
     } else if (e.key == "shard_size") {
       s.shard_size = static_cast<std::size_t>(util::spec_int_in(e, 1, 1000000));
     } else {
@@ -196,6 +206,18 @@ CampaignSpec CampaignSpec::parse(std::istream& is) {
       spec.sweeps.push_back(parse_sweep(sec));
     } else if (sec.kind == "table") {
       TableSpec t = parse_table(sec);
+      // Report names become BENCH_<name>.json files, so a duplicate —
+      // table-vs-table or table-vs-sweep — would silently overwrite output
+      // at merge time.
+      for (const auto& other : spec.tables) {
+        if (other.name == t.name) {
+          throw SpecError(sec.line, "duplicate table name '" + t.name + "'");
+        }
+      }
+      if (spec.find_sweep(t.name) != nullptr) {
+        throw SpecError(sec.line, "table '" + t.name +
+                                      "' collides with a sweep of the same name");
+      }
       // Tables must follow the sweeps they derive from, so every reference
       // can be checked right here with a real line number.
       for (const auto& src : t.from) {
@@ -240,6 +262,13 @@ void CampaignSpec::serialize(std::ostream& os) const {
       os << "\n";
       os << "apps " << s.apps << "\n";
       os << "seed " << s.seed_base << "\n";
+    }
+    if (!s.solvers.empty()) {
+      os << "heuristics";
+      for (std::size_t i = 0; i < s.solvers.size(); ++i) {
+        os << (i == 0 ? " " : ",") << s.solvers[i];
+      }
+      os << "\n";
     }
     if (s.shard_size != 0) os << "shard_size " << s.shard_size << "\n";
   }

@@ -31,6 +31,7 @@
 //   elevations 1 2 5 8 11 14 17 20     # or: max_y 20 / step 3
 //   apps 5
 //   seed 42
+//   heuristics dpa2d1d,exact(cap=9)    # solver subset; default: paper set
 //
 //   [table table2_failures]
 //   kind streamit_failures
@@ -71,6 +72,10 @@ struct SweepSpec {
   SweepKind kind = SweepKind::Streamit;
   int rows = 4;
   int cols = 4;
+  /// Solver subset for this sweep as registry spec strings (`heuristics`
+  /// key, e.g. "dpa2d1d,exact(cap=9)"); empty selects the paper set, and
+  /// is what every pre-existing spec and output stays byte-identical on.
+  std::vector<std::string> solvers;
   // Random sweeps only:
   std::size_t n = 50;
   std::vector<int> elevations;  ///< x axis; empty only for streamit sweeps

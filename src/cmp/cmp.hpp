@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -143,6 +144,13 @@ struct CommModel {
 /// Which fabric a Topology models on top of the rectangular core layout.
 enum class TopologyKind : std::uint8_t { Mesh, Snake, Torus, HeteroMesh };
 
+/// Unknown topology name passed to Topology::make.  Typed so CLI layers can
+/// answer it with the topology listing and a consistent exit code.
+class TopologyError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
 /// Pluggable interconnect topology over a p x q core layout.
 ///
 /// The Grid stays a pure geometry helper (coordinates, mesh neighbors, the
@@ -171,7 +179,7 @@ class Topology {
   [[nodiscard]] static Topology hetero_mesh(int rows, int cols, double bandwidth,
                                             double slow_scale = 0.75);
   /// Factory by name: "mesh", "snake", "torus" or "hetero"; throws
-  /// std::invalid_argument on anything else.
+  /// TopologyError on anything else.
   [[nodiscard]] static Topology make(const std::string& name, int rows, int cols,
                                      double bandwidth);
   /// The names `make` accepts, in presentation order.

@@ -59,8 +59,8 @@ Topology Topology::make(const std::string& name, int rows, int cols,
   if (name == "snake") return snake(rows, cols, bandwidth);
   if (name == "torus") return torus(rows, cols, bandwidth);
   if (name == "hetero") return hetero_mesh(rows, cols, bandwidth);
-  throw std::invalid_argument("Topology::make: unknown topology '" + name +
-                              "' (expected mesh|snake|torus|hetero)");
+  throw TopologyError("unknown topology '" + name +
+                      "' (expected mesh, snake, torus, hetero)");
 }
 
 const std::vector<std::string>& Topology::names() {

@@ -41,11 +41,29 @@ Campaign run_at_period(const spg::Spg& g, const cmp::Platform& p,
   c.period = T;
   c.names.reserve(hs.size());
   c.results.reserve(hs.size());
+  c.stats.reserve(hs.size());
+  solve::SolveRequest req;
+  req.spg = &g;
+  req.platform = &p;
+  req.period = T;
   for (const auto& h : hs) {
     c.names.push_back(h->name());
-    c.results.push_back(h->run(g, p, T));
+    auto report = solve::run(*h, req);
+    c.results.push_back(std::move(report.result));
+    c.stats.push_back(report.stats);
   }
   return c;
+}
+
+Campaign run_at_period(const spg::Spg& g, const cmp::Platform& p,
+                       const solve::SolverSet& solvers, double T) {
+  return run_at_period(g, p, solvers.instantiate(), T);
+}
+
+Campaign run_campaign(const spg::Spg& g, const cmp::Platform& p,
+                      const solve::SolverSet& solvers,
+                      const PeriodSearchOptions& opt) {
+  return run_campaign(g, p, solvers.instantiate(), opt);
 }
 
 Campaign run_campaign(const spg::Spg& g, const cmp::Platform& p,

@@ -17,10 +17,14 @@
 
 #include "cmp/cmp.hpp"
 #include "heuristics/heuristic.hpp"
+#include "solve/solve.hpp"
 #include "spg/spg.hpp"
 
 namespace spgcmp::harness {
 
+/// An instantiated solver line-up.  Prefer carrying a solve::SolverSet
+/// (names + options, thread-safe to re-instantiate) and materializing one
+/// of these per worker.
 using HeuristicSet = std::vector<std::unique_ptr<heuristics::Heuristic>>;
 
 /// Outcome of one workload at the retained period bound.
@@ -28,6 +32,7 @@ struct Campaign {
   double period = 0.0;                       ///< retained T
   std::vector<std::string> names;            ///< heuristic names, in order
   std::vector<heuristics::Result> results;   ///< one per heuristic
+  std::vector<solve::SolveStats> stats;      ///< per heuristic, at retained T
 
   /// Minimum energy among successful heuristics; 0 when all failed.
   [[nodiscard]] double best_energy() const;
@@ -53,6 +58,13 @@ struct PeriodSearchOptions {
 /// Run all heuristics at a fixed period bound.
 [[nodiscard]] Campaign run_at_period(const spg::Spg& g, const cmp::Platform& p,
                                      const HeuristicSet& hs, double T);
+
+/// SolverSet conveniences: instantiate the set once and run it.
+[[nodiscard]] Campaign run_campaign(const spg::Spg& g, const cmp::Platform& p,
+                                    const solve::SolverSet& solvers,
+                                    const PeriodSearchOptions& opt = {});
+[[nodiscard]] Campaign run_at_period(const spg::Spg& g, const cmp::Platform& p,
+                                     const solve::SolverSet& solvers, double T);
 
 /// Averaged sweep cell used by the random-SPG figures: for each heuristic,
 /// the mean normalized 1/E over a batch of workloads plus failure counts.

@@ -13,6 +13,11 @@
 
 namespace spgcmp::harness {
 
+HeuristicFactory solver_factory(const solve::SolverSet& solvers) {
+  // By-value capture: the factory outlives the caller's SolverSet.
+  return [solvers] { return solvers.instantiate(); };
+}
+
 std::uint64_t instance_seed(std::uint64_t base, std::uint64_t index) noexcept {
   // Two splitmix64 steps over a combined state: both inputs avalanche, so
   // (base, 0), (base, 1), ... are decorrelated streams and distinct bases

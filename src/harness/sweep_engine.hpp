@@ -28,7 +28,12 @@
 
 namespace spgcmp::harness {
 
+/// Mints a fresh HeuristicSet per sweep instance, so every worker thread
+/// owns its solvers.  solver_factory() adapts a solve::SolverSet; the
+/// function form remains for callers with hand-built sets.
 using HeuristicFactory = std::function<HeuristicSet()>;
+
+[[nodiscard]] HeuristicFactory solver_factory(const solve::SolverSet& solvers);
 
 struct SweepEngineOptions {
   std::size_t threads = 0;          ///< 0 = hardware concurrency
@@ -62,12 +67,22 @@ class SweepEngine {
   [[nodiscard]] std::vector<Campaign> run_generated(
       std::size_t count, std::uint64_t seed_base, const WorkloadFactory& make,
       const cmp::Platform& p, const HeuristicFactory& make_heuristics) const;
+  [[nodiscard]] std::vector<Campaign> run_generated(
+      std::size_t count, std::uint64_t seed_base, const WorkloadFactory& make,
+      const cmp::Platform& p, const solve::SolverSet& solvers) const {
+    return run_generated(count, seed_base, make, p, solver_factory(solvers));
+  }
 
   /// Run a campaign for each fixed workload (e.g. the StreamIt suite at a
   /// given CCR).  Returns one Campaign per workload, in input order.
   [[nodiscard]] std::vector<Campaign> run_fixed(
       const std::vector<spg::Spg>& workloads, const cmp::Platform& p,
       const HeuristicFactory& make_heuristics) const;
+  [[nodiscard]] std::vector<Campaign> run_fixed(
+      const std::vector<spg::Spg>& workloads, const cmp::Platform& p,
+      const solve::SolverSet& solvers) const {
+    return run_fixed(workloads, p, solver_factory(solvers));
+  }
 
   /// One explicitly-seeded generation task for structured sweeps (e.g. the
   /// flattened (ccr, elevation, workload) batches behind Figures 10-13,
@@ -81,6 +96,11 @@ class SweepEngine {
   [[nodiscard]] std::vector<Campaign> run_tasks(
       const std::vector<GeneratedTask>& tasks, const cmp::Platform& p,
       const HeuristicFactory& make_heuristics) const;
+  [[nodiscard]] std::vector<Campaign> run_tasks(
+      const std::vector<GeneratedTask>& tasks, const cmp::Platform& p,
+      const solve::SolverSet& solvers) const {
+    return run_tasks(tasks, p, solver_factory(solvers));
+  }
 
   /// Shard-granular entry point: run only tasks [begin, end) of a larger
   /// batch, returning their campaigns in task order (result[0] is task
@@ -90,6 +110,11 @@ class SweepEngine {
   [[nodiscard]] std::vector<Campaign> run_task_slice(
       const std::vector<GeneratedTask>& tasks, std::size_t begin, std::size_t end,
       const cmp::Platform& p, const HeuristicFactory& make_heuristics) const;
+  [[nodiscard]] std::vector<Campaign> run_task_slice(
+      const std::vector<GeneratedTask>& tasks, std::size_t begin, std::size_t end,
+      const cmp::Platform& p, const solve::SolverSet& solvers) const {
+    return run_task_slice(tasks, begin, end, p, solver_factory(solvers));
+  }
 
   /// Fold a batch of campaigns into the figure aggregate (mean normalized
   /// 1/E and failure counts per heuristic), in index order.  The pointer

@@ -1,9 +1,6 @@
 #include "heuristics/heuristic.hpp"
 
-#include "heuristics/dpa1d.hpp"
-#include "heuristics/dpa2d.hpp"
-#include "heuristics/greedy.hpp"
-#include "heuristics/random_heuristic.hpp"
+#include "solve/registry.hpp"
 
 namespace spgcmp::heuristics {
 
@@ -42,13 +39,7 @@ Result finalize_with_routes(const spg::Spg& g, const cmp::Platform& p, double T,
 }
 
 std::vector<std::unique_ptr<Heuristic>> make_paper_heuristics(std::uint64_t seed) {
-  std::vector<std::unique_ptr<Heuristic>> hs;
-  hs.push_back(std::make_unique<RandomHeuristic>(seed));
-  hs.push_back(std::make_unique<GreedyHeuristic>());
-  hs.push_back(std::make_unique<Dpa2dHeuristic>(Dpa2dHeuristic::Mode::Grid2D));
-  hs.push_back(std::make_unique<Dpa1dHeuristic>());
-  hs.push_back(std::make_unique<Dpa2dHeuristic>(Dpa2dHeuristic::Mode::Line1D));
-  return hs;
+  return solve::SolverSet::paper(seed).instantiate();
 }
 
 }  // namespace spgcmp::heuristics

@@ -64,6 +64,10 @@ class Heuristic {
 
 /// The five heuristics evaluated in Section 6, in paper order:
 /// Random, Greedy, DPA2D, DPA1D, DPA2D1D.
+///
+/// Deprecated shim kept for one release: it now resolves the paper set
+/// through the solver registry, so the two paths cannot drift.  New code
+/// should use solve::SolverSet::paper() (or parse a solver list) instead.
 [[nodiscard]] std::vector<std::unique_ptr<Heuristic>> make_paper_heuristics(
     std::uint64_t seed = 42);
 

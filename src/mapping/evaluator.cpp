@@ -54,6 +54,11 @@ void copy_scalars(Evaluation& dst, const Evaluation& src) {
 
 }  // namespace
 
+EvalCounters& eval_counters() noexcept {
+  thread_local EvalCounters counters;
+  return counters;
+}
+
 Evaluator::Evaluator(const spg::Spg& g, const cmp::Platform& p, double T)
     : g_(&g), p_(&p), T_(T) {
   const auto cores = static_cast<std::size_t>(p.grid().core_count());
@@ -131,6 +136,7 @@ const Evaluation& Evaluator::finish_scalars(Evaluation& out,
 }
 
 const Evaluation& Evaluator::evaluate_full(const Mapping& m) {
+  ++eval_counters().full;
   bound_ = false;
   have_pending_ = false;
   reset_scalars(ev_);
@@ -210,6 +216,7 @@ const Evaluation& Evaluator::evaluate_full(const Mapping& m) {
 
 const Evaluation& Evaluator::evaluate_placement(
     const std::vector<int>& core_of, const std::vector<std::size_t>& mode_of_core) {
+  ++eval_counters().placement;
   bound_ = false;
   have_pending_ = false;
   reset_scalars(ev_);
@@ -321,6 +328,7 @@ void Evaluator::materialize_default_routes(spg::StageId s, int to) {
 
 const Evaluation& Evaluator::evaluate_move(spg::StageId s, int to) {
   if (!bound_) throw std::logic_error("Evaluator: evaluate_move without bind");
+  ++eval_counters().incremental;
   if (to < 0 || to >= p_->grid().core_count()) {
     throw std::out_of_range("Evaluator: move target outside the grid");
   }
@@ -473,6 +481,7 @@ void Evaluator::apply_move(spg::StageId s, int to) {
 
 const Evaluation& Evaluator::refresh() {
   if (!bound_) throw std::logic_error("Evaluator: refresh without bind");
+  ++eval_counters().incremental;
   have_pending_ = false;
   accumulate_work(m_.core_of);
   const int cores = p_->grid().core_count();

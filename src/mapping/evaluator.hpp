@@ -44,6 +44,20 @@
 
 namespace spgcmp::mapping {
 
+/// Per-thread evaluator call counters, incremented by every Evaluator on
+/// the thread (and by the free mapping::evaluate()).  The solve layer
+/// snapshots them around Heuristic::run to report per-solver evaluator
+/// traffic; heuristics are synchronous, so a before/after delta on the
+/// calling thread is exact.
+struct EvalCounters {
+  std::uint64_t full = 0;         ///< evaluate_full / bind / free evaluate()
+  std::uint64_t placement = 0;    ///< evaluate_placement
+  std::uint64_t incremental = 0;  ///< evaluate_move / refresh
+};
+
+/// The calling thread's counters (mutable; callers only ever read deltas).
+[[nodiscard]] EvalCounters& eval_counters() noexcept;
+
 class Evaluator {
  public:
   /// Evaluate against period bound `T`; `g` and `p` must outlive the

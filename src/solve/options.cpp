@@ -1,0 +1,173 @@
+#include "solve/options.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace spgcmp::solve {
+
+namespace detail {
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> split_depth0(std::string_view text, char sep,
+                                           const std::string& what) {
+  std::vector<std::string_view> parts;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      if (--depth < 0) throw SolverError(what + ": unbalanced ')'");
+    } else if (c == sep && depth == 0) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (depth != 0) throw SolverError(what + ": missing ')'");
+  parts.push_back(text.substr(start));
+  return parts;
+}
+
+}  // namespace detail
+
+using detail::split_depth0;
+using detail::trim;
+
+SolverOptions SolverOptions::parse(std::string owner, std::string_view text) {
+  SolverOptions opts;
+  opts.owner_ = std::move(owner);
+  const std::string where = "solver '" + opts.owner_ + "'";
+  for (const auto part : split_depth0(text, ',', where)) {
+    const std::string_view item = trim(part);
+    if (item.empty()) continue;
+    // The key never contains parens, so the first '=' is the separator even
+    // when the value holds a nested spec with its own '='.
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      throw SolverError(where + ": option '" + std::string(item) +
+                        "' is missing '=value'");
+    }
+    const std::string key{trim(item.substr(0, eq))};
+    const std::string value{trim(item.substr(eq + 1))};
+    if (key.empty()) {
+      throw SolverError(where + ": option with empty key in '" +
+                        std::string(item) + "'");
+    }
+    for (const auto& [k, v] : opts.kv_) {
+      if (k == key) {
+        throw SolverError(where + ": duplicate option '" + key + "'");
+      }
+    }
+    opts.kv_.emplace_back(key, value);
+  }
+  return opts;
+}
+
+const std::string* SolverOptions::find(std::string_view key) const noexcept {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool SolverOptions::has(std::string_view key) const noexcept {
+  return find(key) != nullptr;
+}
+
+void SolverOptions::bad_value(std::string_view key, const std::string& value,
+                              const std::string& expected) const {
+  throw SolverError("solver '" + owner_ + "': option '" + std::string(key) +
+                    "': expected " + expected + ", got '" + value + "'");
+}
+
+std::string SolverOptions::get_string(std::string_view key,
+                                      std::string fallback) const {
+  const std::string* v = find(key);
+  return v != nullptr ? *v : std::move(fallback);
+}
+
+std::int64_t SolverOptions::get_int(std::string_view key,
+                                    std::int64_t fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
+  if (ec != std::errc() || ptr != v->data() + v->size()) {
+    bad_value(key, *v, "an integer");
+  }
+  return out;
+}
+
+std::int64_t SolverOptions::get_int_in(std::string_view key,
+                                       std::int64_t fallback, std::int64_t lo,
+                                       std::int64_t hi) const {
+  const std::int64_t v = get_int(key, fallback);
+  if (v < lo || v > hi) {
+    throw SolverError("solver '" + owner_ + "': option '" + std::string(key) +
+                      "': value " + std::to_string(v) + " out of range [" +
+                      std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+double SolverOptions::get_double(std::string_view key, double fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(*v, &pos);
+    if (pos != v->size()) bad_value(key, *v, "a number");
+    return out;
+  } catch (const SolverError&) {
+    throw;
+  } catch (const std::exception&) {
+    bad_value(key, *v, "a number");
+  }
+}
+
+bool SolverOptions::get_bool(std::string_view key, bool fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  if (*v == "true" || *v == "1" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "off") return false;
+  bad_value(key, *v, "a boolean (true/false/1/0/on/off)");
+}
+
+void SolverOptions::check_known(const std::vector<OptionDesc>& allowed) const {
+  for (const auto& [key, value] : kv_) {
+    const bool known =
+        std::any_of(allowed.begin(), allowed.end(),
+                    [&](const OptionDesc& d) { return d.name == key; });
+    if (known) continue;
+    std::string expected;
+    for (const auto& d : allowed) {
+      if (!expected.empty()) expected += ", ";
+      expected += d.name;
+    }
+    throw SolverError("solver '" + owner_ + "': unknown option '" + key + "'" +
+                      (expected.empty() ? " (solver takes no options)"
+                                        : " (expected " + expected + ")"));
+  }
+}
+
+std::vector<std::string> split_solver_list(std::string_view csv) {
+  std::vector<std::string> out;
+  for (const auto part : split_depth0(csv, ',', "solver list")) {
+    const std::string_view item = trim(part);
+    if (!item.empty()) out.emplace_back(item);
+  }
+  return out;
+}
+
+}  // namespace spgcmp::solve

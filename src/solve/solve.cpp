@@ -1,0 +1,45 @@
+#include "solve/solve.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "mapping/evaluator.hpp"
+
+namespace spgcmp::solve {
+
+SolveStats& SolveStats::operator+=(const SolveStats& o) noexcept {
+  wall_seconds += o.wall_seconds;
+  full_evals += o.full_evals;
+  placement_evals += o.placement_evals;
+  incremental_evals += o.incremental_evals;
+  return *this;
+}
+
+SolveReport run(const heuristics::Heuristic& solver,
+                const SolveRequest& request) {
+  if (request.spg == nullptr || request.platform == nullptr) {
+    throw std::invalid_argument("solve::run: request needs spg and platform");
+  }
+  const mapping::EvalCounters before = mapping::eval_counters();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  SolveReport report;
+  report.result = solver.run(*request.spg, *request.platform, request.period);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  const mapping::EvalCounters after = mapping::eval_counters();
+  report.stats.wall_seconds =
+      std::chrono::duration<double>(t1 - t0).count();
+  report.stats.full_evals = after.full - before.full;
+  report.stats.placement_evals = after.placement - before.placement;
+  report.stats.incremental_evals = after.incremental - before.incremental;
+  return report;
+}
+
+SolveReport run(std::string_view spec, const SolveRequest& request) {
+  const auto solver =
+      SolverRegistry::instance().make(spec, SolveContext{request.seed});
+  return run(*solver, request);
+}
+
+}  // namespace spgcmp::solve

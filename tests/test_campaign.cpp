@@ -104,6 +104,46 @@ void expect_spec_error(const std::string& text, const std::string& message) {
   }
 }
 
+TEST(CampaignSpec, HeuristicsKeyRoundTripsAndResolvesNames) {
+  const char* text =
+      "campaign subset\n"
+      "topology mesh\n"
+      "\n"
+      "[sweep s1]\n"
+      "kind streamit\n"
+      "rows 4\n"
+      "cols 4\n"
+      "heuristics random,dpa2d1d,exact(cap=9)\n";
+  const auto spec = campaign::CampaignSpec::parse_string(text);
+  ASSERT_EQ(spec.sweeps.size(), 1u);
+  EXPECT_EQ(spec.sweeps[0].solvers,
+            (std::vector<std::string>{"random", "dpa2d1d", "exact(cap=9)"}));
+  EXPECT_EQ(campaign::sweep_solver_names(spec.sweeps[0]),
+            (std::vector<std::string>{"Random", "DPA2D1D", "Exact"}));
+  // Round trip through the text format exactly (resume depends on this).
+  EXPECT_EQ(campaign::CampaignSpec::parse_string(spec.to_text()).to_text(),
+            spec.to_text());
+  // No heuristics key -> the paper set, so pre-existing specs and their
+  // merged outputs are untouched.
+  campaign::SweepSpec plain;
+  EXPECT_EQ(campaign::sweep_solver_names(plain),
+            (std::vector<std::string>{"Random", "Greedy", "DPA2D", "DPA1D",
+                                      "DPA2D1D"}));
+}
+
+TEST(CampaignSpec, GoldenSolverErrors) {
+  expect_spec_error(
+      "[sweep s1]\nkind streamit\nheuristics frobnicate\n",
+      "line 3: unknown solver 'frobnicate' (expected random, greedy, dpa2d, "
+      "dpa1d, dpa2d1d, exact, ilp, refine)");
+  expect_spec_error(
+      "[sweep s1]\nkind streamit\nheuristics exact(cap=banana)\n",
+      "line 3: solver 'exact': option 'cap': expected an integer, got "
+      "'banana'");
+  expect_spec_error("[sweep s1]\nkind streamit\nheuristics ,\n",
+                    "line 3: empty solver list");
+}
+
 TEST(CampaignSpec, GoldenParseErrors) {
   expect_spec_error("flavor cherry\n", "line 1: unknown campaign key 'flavor'");
   expect_spec_error("topology klein-bottle\n",
@@ -120,6 +160,15 @@ TEST(CampaignSpec, GoldenParseErrors) {
   expect_spec_error(
       "[sweep s1]\nkind streamit\n[sweep s1]\nkind streamit\n",
       "line 3: duplicate sweep name 's1'");
+  expect_spec_error(
+      "[sweep s1]\nkind streamit\n"
+      "[table t1]\nkind streamit_failures\nkey platform\nfrom s1\nlabels a\n"
+      "[table t1]\nkind streamit_failures\nkey platform\nfrom s1\nlabels a\n",
+      "line 8: duplicate table name 't1'");
+  expect_spec_error(
+      "[sweep s1]\nkind streamit\n"
+      "[table s1]\nkind streamit_failures\nkey platform\nfrom s1\nlabels a\n",
+      "line 3: table 's1' collides with a sweep of the same name");
   expect_spec_error("[sweep s1]\nkind streamit\nelevations 1 2\n",
                     "line 1: sweep 's1': elevation keys apply to random sweeps "
                     "only");
@@ -320,6 +369,104 @@ TEST(CampaignService, TruncatedShardLogTailIsReexecutedCleanly) {
   auto again = campaign::CampaignService::open(dir.str());
   EXPECT_EQ(again.status().shards_done(), 3u);
   EXPECT_EQ(again.run(rest).shards_executed, 0u);
+}
+
+/// tiny_spec_text() restricted to a two-solver subset via the
+/// `heuristics` key (same grid, same shard geometry).
+const char* tiny_subset_spec_text() {
+  return R"(campaign tiny_subset
+topology mesh
+
+[sweep tiny_random]
+kind random
+n 10
+rows 2
+cols 2
+elevations 1 2
+apps 2
+seed 7
+heuristics random,dpa2d1d
+shard_size 4
+
+[table tiny_failures]
+kind random_failures_by_ccr
+key ccr
+from tiny_random
+)";
+}
+
+TEST(CampaignService, SolverSubsetShardsResumeAndMergeByteIdentically) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_subset_spec_text());
+
+  // Shard-count golden: the subset changes result width, not the instance
+  // grid — 3 CCRs x 2 elevations x 2 apps = 12 instances in shards of 4.
+  const campaign::SweepPlan plan(spec.sweeps[0], spec.topology);
+  EXPECT_EQ(plan.instance_count(), 12u);
+  EXPECT_EQ(plan.shard_count(), 3u);
+  EXPECT_EQ(plan.solvers().names(),
+            (std::vector<std::string>{"Random", "DPA2D1D"}));
+
+  // Reference: uninterrupted single-threaded run.
+  CampaignDir ref_dir("subset_ref");
+  campaign::CampaignService ref(spec, ref_dir.str());
+  campaign::ServiceOptions opt;
+  opt.threads = 1;
+  ASSERT_TRUE(ref.run(opt).complete);
+  const std::string ref_bytes = merged_bytes(ref);
+
+  // Interrupted after one shard, resumed wide: byte-identical merge.
+  CampaignDir cut_dir("subset_cut");
+  {
+    campaign::CampaignService cut(spec, cut_dir.str());
+    campaign::ServiceOptions first;
+    first.threads = 1;
+    first.max_shards = 1;
+    EXPECT_FALSE(cut.run(first).complete);
+  }
+  auto resumed = campaign::CampaignService::open(cut_dir.str());
+  campaign::ServiceOptions rest;
+  rest.threads = 8;
+  const auto s = resumed.run(rest);
+  EXPECT_TRUE(s.complete);
+  EXPECT_EQ(s.shards_skipped, 1u);
+  EXPECT_EQ(s.shards_executed, 2u);
+  EXPECT_EQ(merged_bytes(resumed), ref_bytes);
+
+  // Every record is two solvers wide, and the reports carry their names.
+  const auto reports = resumed.merged_reports();
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& rep : reports) {
+    EXPECT_EQ(rep.heuristics,
+              (std::vector<std::string>{"Random", "DPA2D1D"}));
+    for (const auto& cell : rep.cells) EXPECT_EQ(cell.failures.size(), 2u);
+  }
+
+  // Parity with the one-shot bench path over the same subset.
+  const auto oneshot =
+      bench::random_report("tiny_random", 10, 2, 2, {1, 2}, 2, /*threads=*/1,
+                           /*seed_base=*/7, "mesh", {"random", "dpa2d1d"});
+  std::ostringstream a, b;
+  reports[0].write_json(a);
+  oneshot.write_json(b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(CampaignService, SubsetColumnsMatchThePaperSetSlice) {
+  // The subset's per-solver values must equal the paper-set run's values
+  // for the same solvers whenever the subset contains the per-instance
+  // best solver (normalization divides by the set's best energy, and on
+  // these instances Random or DPA2D1D is the paper-set winner too); the
+  // failure *counts* are normalization-free and must always match.
+  const auto subset = bench::random_report("probe", 10, 2, 2, {1, 2}, 2,
+                                           /*threads=*/1, /*seed_base=*/7,
+                                           "mesh", {"random", "dpa2d1d"});
+  const auto full = bench::random_report("probe", 10, 2, 2, {1, 2}, 2,
+                                         /*threads=*/1, /*seed_base=*/7);
+  ASSERT_EQ(subset.cells.size(), full.cells.size());
+  for (std::size_t c = 0; c < subset.cells.size(); ++c) {
+    EXPECT_EQ(subset.cells[c].failures[0], full.cells[c].failures[0]);  // Random
+    EXPECT_EQ(subset.cells[c].failures[1], full.cells[c].failures[4]);  // DPA2D1D
+  }
 }
 
 TEST(CampaignService, RejectsDirectoryBoundToDifferentSpec) {

@@ -17,8 +17,12 @@
 // `--spec=paper` selects the built-in paper reproduction grid (figs 8-13,
 // tables 2-3); it honours the run_all knobs --apps/--apps150/--step/
 // --step150/--topology (and their REPRO_* environment fallbacks).
+// `--heuristics=L` (a solver-registry list, e.g. random,dpa2d1d) overrides
+// every sweep's solver subset at `run` time; `--list-solvers` prints the
+// registry.
 //
-// Exit codes: 0 = requested work done, 1 = error, 2 = usage,
+// Exit codes: 0 = requested work done, 1 = error, 2 = usage or unknown
+// solver/topology/spec key (with the matching listing; see tool_common.hpp),
 // 3 = run/resume stopped early with shards still pending (--max-shards).
 
 #include <cstdio>
@@ -27,6 +31,7 @@
 #include <string>
 
 #include "campaign/service.hpp"
+#include "tool_common.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -38,9 +43,11 @@ int usage() {
   std::fprintf(stderr,
                "usage: spgcmp_campaign <run|resume|status|merge> [--key=value ...]\n"
                "  run    --spec=FILE|paper --dir=DIR [--threads=N] [--max-shards=K]\n"
+               "         [--heuristics=random,dpa2d1d,...]\n"
                "  resume --dir=DIR [--threads=N] [--max-shards=K]\n"
                "  status --dir=DIR\n"
                "  merge  --dir=DIR [--out=DIR]\n"
+               "  --list-solvers lists the solver registry\n"
                "see the header of tools/spgcmp_campaign.cpp for details\n");
   return 2;
 }
@@ -81,6 +88,15 @@ campaign::CampaignSpec load_spec(const util::Args& args) {
   return campaign::CampaignSpec::parse(is);
 }
 
+/// Apply a --heuristics=L override to every sweep of the spec (validated
+/// through the registry before any shard runs).
+void apply_solver_override(const util::Args& args, campaign::CampaignSpec& spec) {
+  const std::string csv = args.get_string("heuristics", "REPRO_HEURISTICS", "");
+  if (csv.empty()) return;
+  const auto solvers = solve::SolverSet::parse(csv).specs();
+  for (auto& sweep : spec.sweeps) sweep.solvers = solvers;
+}
+
 int finish_run(const campaign::RunSummary& summary) {
   if (summary.complete) {
     std::printf("campaign complete: %zu shards\n", summary.shards_total);
@@ -93,7 +109,9 @@ int finish_run(const campaign::RunSummary& summary) {
 }
 
 int cmd_run(const util::Args& args) {
-  campaign::CampaignService service(load_spec(args), dir_arg(args));
+  auto spec = load_spec(args);
+  apply_solver_override(args, spec);
+  campaign::CampaignService service(std::move(spec), dir_arg(args));
   return finish_run(service.run(service_options(args)));
 }
 
@@ -133,14 +151,12 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const util::Args args(argc, argv);
   const std::string cmd = argv[1];
-  try {
+  return tools::run_tool("spgcmp_campaign", [&]() -> int {
+    if (tools::handle_list_solvers(args)) return 0;
     if (cmd == "run") return cmd_run(args);
     if (cmd == "resume") return cmd_resume(args);
     if (cmd == "status") return cmd_status(args);
     if (cmd == "merge") return cmd_merge(args);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "spgcmp_campaign: %s\n", e.what());
-    return 1;
-  }
-  return usage();
+    return usage();
+  });
 }

@@ -2,17 +2,22 @@
 //
 //   spgcmp gen  --n=50 --ymax=6 --ccr=10 --seed=1 --out=app.spg
 //   spgcmp info --in=app.spg
-//   spgcmp map  --in=app.spg --rows=4 --cols=4 [--period=0.05] [--heuristic=Greedy]
+//   spgcmp map  --in=app.spg --rows=4 --cols=4 [--period=0.05]
+//               [--heuristics=dpa2d1d,exact(cap=9)]
 //   spgcmp sim  --in=app.spg --rows=4 --cols=4 --period=0.05 [--datasets=500]
 //   spgcmp ilp  --in=app.spg --rows=2 --cols=2 --period=0.05 --out=model.lp
+//   spgcmp --list-solvers
 //
 // `gen` writes the text serialization of a random SPG; `map` runs the
-// period search (or a fixed --period) and prints the heuristic comparison;
+// period search (or a fixed --period) and prints the solver comparison;
 // `sim` maps with the best heuristic and streams data sets through it;
 // `ilp` emits the Section 4.4 integer linear program in LP format.
 //
-// `map` and `sim` accept --topology=mesh|snake|torus|hetero (REPRO_TOPOLOGY)
-// to select the platform interconnect; the default is the paper's 2D mesh.
+// `map` and `sim` take --heuristics=<solver list> (registry spec strings;
+// default: the paper's five) and --topology=mesh|snake|torus|hetero
+// (REPRO_TOPOLOGY) to select the platform interconnect.  --list-solvers
+// prints the solver registry.  Unknown solvers or topologies exit 2 with
+// the matching listing (the shared tools contract; see tool_common.hpp).
 
 #include <cstdio>
 #include <cstring>
@@ -25,6 +30,7 @@
 #include "sim/simulator.hpp"
 #include "spg/generator.hpp"
 #include "spg/sp_tree.hpp"
+#include "tool_common.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -36,6 +42,7 @@ using namespace spgcmp;
 int usage() {
   std::fprintf(stderr,
                "usage: spgcmp <gen|info|map|sim|ilp> [--key=value ...]\n"
+               "       spgcmp --list-solvers\n"
                "see the header of tools/spgcmp_cli.cpp for details\n");
   return 2;
 }
@@ -108,30 +115,35 @@ int cmd_info(const util::Args& args) {
 }
 
 int cmd_map(const util::Args& args) {
-  const spg::Spg g = load(args);
+  // Configuration first, I/O second: a bad solver or topology spec is
+  // diagnosed (exit 2 + listing) even when --in doesn't resolve.
+  const auto solvers = tools::solvers_of(
+      args, static_cast<std::uint64_t>(args.get_int("seed", "", 42)));
   const auto p = platform_of(args);
-  const auto hs = heuristics::make_paper_heuristics(
-      static_cast<std::uint64_t>(args.get_int("seed", "", 42)));
+  const spg::Spg g = load(args);
   harness::Campaign c;
   if (args.has("period")) {
-    c = harness::run_at_period(g, p, hs, args.get_double("period", "", 1.0));
+    c = harness::run_at_period(g, p, solvers, args.get_double("period", "", 1.0));
   } else {
-    c = harness::run_campaign(g, p, hs);
+    c = harness::run_campaign(g, p, solvers);
   }
   std::printf("period bound: %g s\n", c.period);
   if (p.topology.kind() != cmp::TopologyKind::Mesh) {
     std::printf("topology: %s\n", p.topology.name().c_str());
   }
-  util::Table t({"heuristic", "status", "energy (mJ)", "E/Emin", "cores"});
+  util::Table t({"solver", "status", "energy (mJ)", "E/Emin", "cores", "ms",
+                 "evals"});
   for (std::size_t h = 0; h < c.results.size(); ++h) {
     const auto& r = c.results[h];
+    const std::string ms = util::fmt_double(c.stats[h].wall_seconds * 1e3, 2);
+    const std::string evals = std::to_string(c.stats[h].evaluator_calls());
     if (!r.success) {
-      t.add_row({c.names[h], "FAIL: " + r.failure, "-", "-", "-"});
+      t.add_row({c.names[h], "FAIL: " + r.failure, "-", "-", "-", ms, evals});
       continue;
     }
     t.add_row({c.names[h], "ok", util::fmt_double(r.eval.energy * 1e3),
                util::fmt_double(c.normalized_energy(h), 4),
-               std::to_string(r.eval.active_cores)});
+               std::to_string(r.eval.active_cores), ms, evals});
   }
   t.print(std::cout);
 
@@ -150,12 +162,12 @@ int cmd_map(const util::Args& args) {
 }
 
 int cmd_sim(const util::Args& args) {
-  const spg::Spg g = load(args);
+  const auto solvers = tools::solvers_of(args, 42);
   const auto p = platform_of(args);
+  const spg::Spg g = load(args);
   const double T = args.get_double("period", "", 0.0);
-  const auto hs = heuristics::make_paper_heuristics();
-  const auto c = T > 0 ? harness::run_at_period(g, p, hs, T)
-                       : harness::run_campaign(g, p, hs);
+  const auto c = T > 0 ? harness::run_at_period(g, p, solvers, T)
+                       : harness::run_campaign(g, p, solvers);
   const heuristics::Result* best = nullptr;
   std::string best_name;
   for (std::size_t h = 0; h < c.results.size(); ++h) {
@@ -213,15 +225,13 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const util::Args args(argc, argv);
   const std::string cmd = argv[1];
-  try {
+  return tools::run_tool("spgcmp", [&]() -> int {
+    if (tools::handle_list_solvers(args)) return 0;
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "map") return cmd_map(args);
     if (cmd == "sim") return cmd_sim(args);
     if (cmd == "ilp") return cmd_ilp(args);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
-  return usage();
+    return usage();
+  });
 }
