@@ -1,0 +1,150 @@
+#include "heuristics/anneal.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "mapping/evaluator.hpp"
+#include "util/rng.hpp"
+
+namespace spgcmp::heuristics {
+
+namespace {
+
+/// Metropolis rule on relative energy: downhill (or sideways) always,
+/// uphill with probability exp(-(dE / e0) / temp).  Invalid candidates are
+/// filtered by the caller.
+bool accept(double cand_energy, double cur_energy, double temp, double e0,
+            util::Rng& rng) {
+  if (cand_energy <= cur_energy) return true;
+  const double delta = (cand_energy - cur_energy) / e0;
+  return rng.canonical() < std::exp(-delta / temp);
+}
+
+}  // namespace
+
+AnnealHeuristic::AnnealHeuristic(std::unique_ptr<Heuristic> init,
+                                 std::uint64_t seed, AnnealOptions options)
+    : init_(std::move(init)), seed_(seed), opt_(options) {}
+
+Result AnnealHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
+                            double T) const {
+  Result seed_r = init_->run(g, p, T);
+  if (!seed_r.success) {
+    return Result::fail("anneal: seed solver failed: " + seed_r.failure);
+  }
+
+  const std::size_t n = g.size();
+  const int cores = p.grid().core_count();
+  if (n < 2 || cores < 2) return seed_r;  // no non-trivial neighbors
+
+  // The chain operates on topology default routes (the move protocol's
+  // representation); a seed that only works with bespoke paths is returned
+  // unchanged rather than failed — anneal never worsens a valid input.
+  mapping::Mapping start = seed_r.mapping;
+  mapping::attach_routes(g, p.topology, start);
+  if (!mapping::assign_slowest_modes(g, p, T, start)) return seed_r;
+
+  mapping::Evaluator evaluator(g, p, T);
+  const auto& bound = evaluator.bind(start);
+  if (!bound.valid()) return seed_r;
+
+  // Deterministic per-problem stream, same idiom as RandomHeuristic: the
+  // same instance and problem always walk the same chain.
+  std::uint64_t sig = seed_;
+  sig ^= util::splitmix64(sig) + n * 0x9e37ULL + g.edge_count();
+  std::uint64_t tbits;
+  static_assert(sizeof tbits == sizeof T);
+  __builtin_memcpy(&tbits, &T, sizeof tbits);
+  sig ^= tbits;
+  util::Rng rng(sig);
+
+  const double e0 = bound.energy;  // Metropolis energy scale (> 0: leakage)
+  double cur_energy = bound.energy;
+  mapping::Mapping best = evaluator.mapping();
+  double best_energy = cur_energy;
+
+  for (std::size_t chain = 0; chain < opt_.restarts; ++chain) {
+    if (chain > 0) {
+      // Restart from the incumbent with the temperature reset: a fresh
+      // high-temperature walk out of the current basin.
+      const auto& rebound = evaluator.bind(best);
+      if (!rebound.valid()) break;  // defensive; best was valid when stored
+      cur_energy = rebound.energy;
+    }
+    double temp = opt_.t0;
+    for (std::size_t it = 0; it < opt_.iters; ++it, temp *= opt_.cooling) {
+      const bool swap_move =
+          opt_.move_swap && (!opt_.move_migrate || (rng.next() & 1U) != 0);
+
+      if (!swap_move) {
+        // Migrate: one stage to a random other core, scored incrementally
+        // with rollback built in (evaluate_move leaves the state bound).
+        const auto s = static_cast<spg::StageId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const int home = evaluator.mapping().core_of[s];
+        int to = static_cast<int>(rng.uniform_int(0, cores - 2));
+        if (to >= home) ++to;
+        const auto& ev = evaluator.evaluate_move(s, to);
+        if (ev.valid() && accept(ev.energy, cur_energy, temp, e0, rng)) {
+          cur_energy = evaluator.commit_move().energy;
+        }
+      } else {
+        // Swap: exchange the cores of two stages as an
+        // apply_move/apply_move/refresh batch; rejection re-applies the
+        // inverse batch.  refresh() re-derives core work and modes exactly,
+        // but link loads stay incremental, so a rejected swap can leave
+        // ulp-level residue on links shared with untouched paths — the
+        // periodic re-bind below squashes it before it can accumulate.
+        const auto s1 = static_cast<spg::StageId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const auto s2 = static_cast<spg::StageId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const int c1 = evaluator.mapping().core_of[s1];
+        const int c2 = evaluator.mapping().core_of[s2];
+        if (s1 == s2 || c1 == c2) continue;  // degenerate proposal
+        evaluator.apply_move(s1, c2);
+        evaluator.apply_move(s2, c1);
+        const auto& ev = evaluator.refresh();
+        if (ev.valid() && accept(ev.energy, cur_energy, temp, e0, rng)) {
+          cur_energy = ev.energy;
+        } else {
+          evaluator.apply_move(s1, c1);
+          evaluator.apply_move(s2, c2);
+          cur_energy = evaluator.refresh().energy;
+        }
+      }
+
+      if (cur_energy < best_energy) {
+        best_energy = cur_energy;
+        best = evaluator.mapping();
+      }
+
+      // Drift control: every 512 proposals re-bind the bound mapping, which
+      // re-derives all link loads from its explicit paths.  Incremental
+      // add/subtract rounding from rejected swaps is therefore bounded to a
+      // 512-proposal window instead of compounding across the whole chain.
+      if (opt_.move_swap && (it % 512) == 511) {
+        const auto& rebound = evaluator.bind(evaluator.mapping());
+        if (!rebound.valid()) break;  // drift crossed the period hairline
+        cur_energy = rebound.energy;
+      }
+    }
+  }
+
+  // Authoritative re-evaluation from scratch, exactly like refine: the
+  // chain's incremental scores are exact value replacements, but the
+  // returned evaluation must match a fresh evaluate() of the mapping.
+  Result out;
+  out.success = true;
+  out.mapping = std::move(best);
+  out.eval = mapping::evaluate(g, p, out.mapping, T);
+  if (!out.eval.valid() || out.eval.energy > seed_r.eval.energy) {
+    // Hairline period-bound disagreement, or a chain that never improved on
+    // the seed: fall back to the seed result, which is already validated.
+    return seed_r;
+  }
+  return out;
+}
+
+}  // namespace spgcmp::heuristics

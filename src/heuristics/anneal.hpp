@@ -1,0 +1,55 @@
+#pragma once
+
+// Simulated annealing over the evaluator's incremental move protocol.
+//
+// A stochastic local search in the spirit of the NoC-mapping annealing
+// literature (see PAPERS.md): start from the mapping of a configurable seed
+// solver, re-route it onto topology default routes, and explore the
+// neighborhood of single-stage migrations (scored on the
+// bind/evaluate_move/commit_move delta path) and pairwise stage swaps
+// (scored as an apply_move/apply_move/refresh batch) under a Metropolis
+// acceptance rule with geometric cooling.  Invalid neighbors (period
+// violations, quotient cycles) are always rejected; speeds follow the move
+// protocol's slowest-feasible-mode invariant, so the search space is
+// exactly the placements the refine post-pass walks — but with uphill moves
+// that let it escape refine's local minima.
+//
+// Determinism: all randomness derives from the configured seed and the
+// problem signature (stage/edge counts and the period bound), never from
+// global state, so sweeps are byte-identical at any thread count and the
+// solver composes with `+refine` like any other registry solver.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "heuristics/heuristic.hpp"
+
+namespace spgcmp::heuristics {
+
+struct AnnealOptions {
+  std::size_t iters = 6000;   ///< move proposals per chain
+  double t0 = 0.05;           ///< initial temperature, relative to seed energy
+  double cooling = 0.999;     ///< geometric factor applied per proposal
+  std::size_t restarts = 1;   ///< chains; each restarts from the incumbent
+  bool move_swap = true;      ///< propose pairwise stage swaps
+  bool move_migrate = true;   ///< propose single-stage migrations
+};
+
+class AnnealHeuristic final : public Heuristic {
+ public:
+  /// `init` produces the starting mapping (its failures pass through).
+  AnnealHeuristic(std::unique_ptr<Heuristic> init, std::uint64_t seed,
+                  AnnealOptions options);
+
+  [[nodiscard]] std::string name() const override { return "Anneal"; }
+  [[nodiscard]] Result run(const spg::Spg& g, const cmp::Platform& p,
+                           double T) const override;
+
+ private:
+  std::unique_ptr<Heuristic> init_;
+  std::uint64_t seed_;
+  AnnealOptions opt_;
+};
+
+}  // namespace spgcmp::heuristics

@@ -1,0 +1,211 @@
+#include "heuristics/peft.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "mapping/evaluator.hpp"
+
+namespace spgcmp::heuristics {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+PeftHeuristic::PeftHeuristic(PeftOptions options) : opt_(options) {}
+
+Result PeftHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
+                          double T) const {
+  const std::size_t n = g.size();
+  const auto cores = static_cast<std::size_t>(p.grid().core_count());
+  const auto& topo = p.topology;
+  const double ebyte = p.comm.energy_per_byte;
+
+  // Optimistic per-stage computation energy on each core: the dynamic
+  // energy of the stage alone at its slowest feasible mode there (scale-
+  // aware on heterogeneous fabrics).  Leakage is deliberately excluded —
+  // it depends on how stages pack onto cores, which the table cannot know.
+  const auto at = [cores](std::size_t s, std::size_t c) { return s * cores + c; };
+  std::vector<double> comp(n * cores, kInf);
+  for (std::size_t s = 0; s < n; ++s) {
+    const double work = g.stage(s).work;
+    for (std::size_t c = 0; c < cores; ++c) {
+      const double scale = topo.core_speed_scale(static_cast<int>(c));
+      const std::size_t k = p.speeds.slowest_feasible(work / scale, T);
+      if (k == p.speeds.mode_count()) continue;  // infeasible even alone
+      comp[at(s, c)] =
+          (work / (p.speeds.speed(k) * scale)) * p.speeds.dynamic_power(k);
+    }
+  }
+
+  // Backward pass: oct[s][c] = max over successors t of the cheapest
+  // (oct + comp + comm) placement of t, given s sits on c.  The max over
+  // successors mirrors PEFT's critical-path semantics: the lookahead is
+  // bounded by the most expensive downstream branch, not their sum, which
+  // keeps the table optimistic.
+  std::vector<double> oct(n * cores, 0.0);
+  const auto order = g.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const spg::StageId s = *it;
+    for (std::size_t c = 0; c < cores; ++c) {
+      double worst = 0.0;
+      for (const spg::EdgeId e : g.out_edges(s)) {
+        const spg::StageId t = g.edge(e).dst;
+        const double bytes = g.edge(e).bytes;
+        double best = kInf;
+        for (std::size_t c2 = 0; c2 < cores; ++c2) {
+          const double step = comp[at(t, c2)];
+          if (step == kInf) continue;
+          double cand = oct[at(t, c2)] + step;
+          if (opt_.comm) {
+            cand += bytes * ebyte *
+                    topo.distance(static_cast<int>(c), static_cast<int>(c2));
+          }
+          best = std::min(best, cand);
+        }
+        worst = std::max(worst, best);
+      }
+      oct[at(s, c)] = worst;
+    }
+  }
+
+  // Rank: mean OCT over the cores where the stage itself is feasible.  The
+  // two infeasibility modes are reported apart: a stage may be fine on its
+  // own while its lookahead is infinite because some *descendant* fits
+  // nowhere — blaming the stage itself would send users debugging the
+  // wrong node.
+  std::vector<double> rank(n, 0.0);
+  for (std::size_t s = 0; s < n; ++s) {
+    double sum = 0.0;
+    std::size_t self_feasible = 0;
+    std::size_t feasible = 0;
+    for (std::size_t c = 0; c < cores; ++c) {
+      if (comp[at(s, c)] == kInf) continue;
+      ++self_feasible;
+      if (oct[at(s, c)] == kInf) continue;
+      sum += oct[at(s, c)];
+      ++feasible;
+    }
+    if (self_feasible == 0) {
+      return Result::fail("peft: stage " + std::to_string(s) +
+                          " cannot meet the period on any core");
+    }
+    if (feasible == 0) {
+      return Result::fail("peft: some successor of stage " + std::to_string(s) +
+                          " cannot meet the period on any core");
+    }
+    rank[s] = sum / static_cast<double>(feasible);
+  }
+
+  // Marginal energy of raising a core's load from `load` to `load + work`:
+  // both states priced at their slowest feasible modes (the downgrade
+  // invariant), an idle core pays its leakage on activation.  This is what
+  // the forward pass minimizes — it prices mode upgrades caused by packing,
+  // which a flat per-stage cost table cannot see.
+  const auto core_energy_at = [&](double load, std::size_t c) {
+    if (load <= 0.0) return 0.0;
+    const double scale = topo.core_speed_scale(static_cast<int>(c));
+    const std::size_t k = p.speeds.slowest_feasible(load / scale, T);
+    if (k == p.speeds.mode_count()) return kInf;
+    return p.speeds.leak_power() * T +
+           (load / (p.speeds.speed(k) * scale)) * p.speeds.dynamic_power(k);
+  };
+
+  // Forward pass: precedence-constrained list scheduling.  Among ready
+  // stages pick the highest rank (lowest id on ties); among cores pick the
+  // lowest total of marginal core energy, in-bound communication from
+  // already-placed predecessors, and the lookahead — subject to a
+  // fastest-mode load budget and an acyclic partial quotient (unplaced
+  // stages hold -1 and are ignored).
+  std::vector<int> core_of(n, -1);
+  std::vector<double> core_load(cores, 0.0);
+  std::vector<std::size_t> preds_left(n);
+  std::vector<spg::StageId> ready;
+  for (spg::StageId s = 0; s < n; ++s) {
+    preds_left[s] = g.in_edges(s).size();
+    if (preds_left[s] == 0) ready.push_back(s);
+  }
+  mapping::QuotientWorkspace quotient_ws;
+
+  for (std::size_t placed = 0; placed < n; ++placed) {
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+      if (rank[ready[i]] > rank[ready[pick]] ||
+          (rank[ready[i]] == rank[ready[pick]] && ready[i] < ready[pick])) {
+        pick = i;
+      }
+    }
+    const spg::StageId s = ready[pick];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+
+    int best_core = -1;
+    double best_score = kInf;
+    for (std::size_t c = 0; c < cores; ++c) {
+      if (comp[at(s, c)] == kInf) continue;
+      const double scale = topo.core_speed_scale(static_cast<int>(c));
+      const double budget = T * p.speeds.max_speed() * scale;
+      if (core_load[c] + g.stage(s).work > budget) continue;
+
+      core_of[s] = static_cast<int>(c);
+      const bool acyclic = mapping::quotient_acyclic_in(
+          g, core_of, static_cast<int>(cores), quotient_ws);
+      core_of[s] = -1;
+      if (!acyclic) continue;
+
+      const double marginal = core_energy_at(core_load[c] + g.stage(s).work, c) -
+                              core_energy_at(core_load[c], c);
+      if (marginal == kInf) continue;
+      double score = marginal + oct[at(s, c)];
+      for (const spg::EdgeId e : g.in_edges(s)) {
+        const int pc = core_of[g.edge(e).src];
+        score += g.edge(e).bytes * ebyte *
+                 topo.distance(pc, static_cast<int>(c));
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_core = static_cast<int>(c);
+      }
+    }
+    if (best_core < 0) {
+      return Result::fail("peft: stage " + std::to_string(s) +
+                          " fits no core within the period bound");
+    }
+
+    core_of[s] = best_core;
+    core_load[static_cast<std::size_t>(best_core)] += g.stage(s).work;
+    for (const spg::EdgeId e : g.out_edges(s)) {
+      const spg::StageId d = g.edge(e).dst;
+      if (--preds_left[d] == 0) ready.push_back(d);
+    }
+  }
+
+  // Finalize: slowest-feasible modes, then score through the evaluator's
+  // placement fast path (implicit default routes).  The explicit routes
+  // attached to the returned mapping are those same topology defaults, so
+  // the placement evaluation *is* the authoritative one.
+  mapping::Mapping m;
+  m.core_of = std::move(core_of);
+  m.mode_of_core.assign(cores, 0);
+  m.edge_paths.assign(g.edge_count(), {});
+  if (!mapping::assign_slowest_modes(g, p, T, m)) {
+    return Result::fail("peft: some core cannot meet the period at maximum speed");
+  }
+  mapping::Evaluator evaluator(g, p, T);
+  const auto& ev = evaluator.evaluate_placement(m.core_of, m.mode_of_core);
+  if (!ev.valid()) {
+    return Result::fail(ev.error.empty()
+                            ? (ev.dag_partition_ok ? "peft: period bound violated"
+                                                   : "peft: quotient graph has a cycle")
+                            : "peft: " + ev.error);
+  }
+  Result out;
+  out.success = true;
+  out.eval = ev;
+  mapping::attach_routes(g, p.topology, m);
+  out.mapping = std::move(m);
+  return out;
+}
+
+}  // namespace spgcmp::heuristics

@@ -1,0 +1,46 @@
+#pragma once
+
+// PEFT-style list scheduler (Arabnejad & Barbosa's lookahead-table variant
+// of HEFT), adapted from makespan to the paper's energy objective.
+//
+// A backward pass over the SPG computes an optimistic-energy table
+// oct[stage][core]: the cheapest possible energy of everything downstream
+// of `stage`, assuming it runs on `core` — each successor placed on its
+// own best core at its own slowest single-stage-feasible speed, with
+// communication charged per hop of the topology default route.  Stages are
+// then placed in precedence order, highest mean-OCT rank first, each onto
+// the core minimizing (immediate optimistic energy + lookahead), subject to
+// a fastest-mode load budget and the DAG-partition (acyclic quotient)
+// constraint that distinguishes this problem from classic list scheduling.
+//
+// The final placement is scored through the evaluator's placement fast path
+// (implicit default routes, no path materialization during scoring); the
+// returned mapping carries the same default routes made explicit.
+//
+// Fully deterministic: no randomness, ties broken by stage id and core
+// index.
+
+#include "heuristics/heuristic.hpp"
+
+namespace spgcmp::heuristics {
+
+struct PeftOptions {
+  /// Include the optimistic communication term in the lookahead table;
+  /// false degrades the rank to a pure-computation lookahead (useful to
+  /// isolate how much the comm term buys on communication-heavy CCRs).
+  bool comm = true;
+};
+
+class PeftHeuristic final : public Heuristic {
+ public:
+  explicit PeftHeuristic(PeftOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "PEFT"; }
+  [[nodiscard]] Result run(const spg::Spg& g, const cmp::Platform& p,
+                           double T) const override;
+
+ private:
+  PeftOptions opt_;
+};
+
+}  // namespace spgcmp::heuristics

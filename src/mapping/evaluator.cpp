@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/thread_pool.hpp"
+
 namespace spgcmp::mapping {
 
 namespace {
@@ -52,12 +54,50 @@ void copy_scalars(Evaluation& dst, const Evaluation& src) {
   dst.active_cores = src.active_cores;
 }
 
+thread_local EvalCounterSink* tl_eval_sink = nullptr;
+
+/// Bump one counter kind on the thread-local counters and, when a per-solve
+/// sink is installed on this thread, on the sink as well.
+inline void count_eval(std::uint64_t EvalCounters::*counter,
+                       std::atomic<std::uint64_t> EvalCounterSink::*cell) noexcept {
+  ++(eval_counters().*counter);
+  if (EvalCounterSink* sink = tl_eval_sink) {
+    (sink->*cell).fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// Registered when this TU is linked (i.e. whenever the evaluator exists in
+// the program): pool workers adopt the spawning thread's sink, so solvers
+// that parallelize internally keep exact per-solve attribution.
+const bool kEvalSinkPropagatorRegistered = [] {
+  util::register_thread_context(
+      {[]() noexcept -> void* { return tl_eval_sink; },
+       [](void* sink) noexcept -> void* {
+         void* prev = tl_eval_sink;
+         tl_eval_sink = static_cast<EvalCounterSink*>(sink);
+         return prev;
+       },
+       [](void* prev) noexcept {
+         tl_eval_sink = static_cast<EvalCounterSink*>(prev);
+       }});
+  return true;
+}();
+
 }  // namespace
 
 EvalCounters& eval_counters() noexcept {
   thread_local EvalCounters counters;
   return counters;
 }
+
+EvalCounterSink* eval_sink() noexcept { return tl_eval_sink; }
+
+ScopedEvalSink::ScopedEvalSink(EvalCounterSink* sink) noexcept
+    : prev_(tl_eval_sink) {
+  tl_eval_sink = sink;
+}
+
+ScopedEvalSink::~ScopedEvalSink() { tl_eval_sink = prev_; }
 
 Evaluator::Evaluator(const spg::Spg& g, const cmp::Platform& p, double T)
     : g_(&g), p_(&p), T_(T) {
@@ -136,7 +176,7 @@ const Evaluation& Evaluator::finish_scalars(Evaluation& out,
 }
 
 const Evaluation& Evaluator::evaluate_full(const Mapping& m) {
-  ++eval_counters().full;
+  count_eval(&EvalCounters::full, &EvalCounterSink::full);
   bound_ = false;
   have_pending_ = false;
   reset_scalars(ev_);
@@ -216,7 +256,7 @@ const Evaluation& Evaluator::evaluate_full(const Mapping& m) {
 
 const Evaluation& Evaluator::evaluate_placement(
     const std::vector<int>& core_of, const std::vector<std::size_t>& mode_of_core) {
-  ++eval_counters().placement;
+  count_eval(&EvalCounters::placement, &EvalCounterSink::placement);
   bound_ = false;
   have_pending_ = false;
   reset_scalars(ev_);
@@ -328,7 +368,7 @@ void Evaluator::materialize_default_routes(spg::StageId s, int to) {
 
 const Evaluation& Evaluator::evaluate_move(spg::StageId s, int to) {
   if (!bound_) throw std::logic_error("Evaluator: evaluate_move without bind");
-  ++eval_counters().incremental;
+  count_eval(&EvalCounters::incremental, &EvalCounterSink::incremental);
   if (to < 0 || to >= p_->grid().core_count()) {
     throw std::out_of_range("Evaluator: move target outside the grid");
   }
@@ -481,7 +521,7 @@ void Evaluator::apply_move(spg::StageId s, int to) {
 
 const Evaluation& Evaluator::refresh() {
   if (!bound_) throw std::logic_error("Evaluator: refresh without bind");
-  ++eval_counters().incremental;
+  count_eval(&EvalCounters::incremental, &EvalCounterSink::incremental);
   have_pending_ = false;
   accumulate_work(m_.core_of);
   const int cores = p_->grid().core_count();

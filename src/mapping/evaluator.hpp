@@ -37,6 +37,7 @@
 // Evaluators are cheap to construct (no routing-table build; tables live in
 // the Topology) but are not thread-safe; use one per thread.
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -45,10 +46,9 @@
 namespace spgcmp::mapping {
 
 /// Per-thread evaluator call counters, incremented by every Evaluator on
-/// the thread (and by the free mapping::evaluate()).  The solve layer
-/// snapshots them around Heuristic::run to report per-solver evaluator
-/// traffic; heuristics are synchronous, so a before/after delta on the
-/// calling thread is exact.
+/// the thread (and by the free mapping::evaluate()).  Useful for ad-hoc
+/// same-thread deltas; per-*solve* attribution goes through the explicit
+/// EvalCounterSink below instead, which survives internal parallelism.
 struct EvalCounters {
   std::uint64_t full = 0;         ///< evaluate_full / bind / free evaluate()
   std::uint64_t placement = 0;    ///< evaluate_placement
@@ -57,6 +57,43 @@ struct EvalCounters {
 
 /// The calling thread's counters (mutable; callers only ever read deltas).
 [[nodiscard]] EvalCounters& eval_counters() noexcept;
+
+/// Explicit per-solve accumulation target.  solve::run installs one on the
+/// calling thread for the duration of a solve (ScopedEvalSink); every
+/// evaluator call on a thread with a sink installed also counts into it.
+/// The util thread-pool layers re-install the spawning thread's sink around
+/// worker tasks (see util::register_thread_context), so a solver that fans
+/// work out to a ThreadPool or parallel_for still attributes every
+/// evaluation to its own solve — a plain thread-local before/after snapshot
+/// would report those as zero.
+struct EvalCounterSink {
+  std::atomic<std::uint64_t> full{0};
+  std::atomic<std::uint64_t> placement{0};
+  std::atomic<std::uint64_t> incremental{0};
+
+  [[nodiscard]] EvalCounters totals() const noexcept {
+    return EvalCounters{full.load(std::memory_order_relaxed),
+                        placement.load(std::memory_order_relaxed),
+                        incremental.load(std::memory_order_relaxed)};
+  }
+};
+
+/// The sink installed on the calling thread, or null when none is active.
+[[nodiscard]] EvalCounterSink* eval_sink() noexcept;
+
+/// RAII installation of a sink on the calling thread; restores the previous
+/// sink (nesting solves is legal — the innermost sink collects, and its
+/// scope exit does not fold counts upward; each solve::run owns its own).
+class ScopedEvalSink {
+ public:
+  explicit ScopedEvalSink(EvalCounterSink* sink) noexcept;
+  ~ScopedEvalSink();
+  ScopedEvalSink(const ScopedEvalSink&) = delete;
+  ScopedEvalSink& operator=(const ScopedEvalSink&) = delete;
+
+ private:
+  EvalCounterSink* prev_;
+};
 
 class Evaluator {
  public:

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cctype>
-#include <charconv>
+
+#include "util/parse.hpp"
 
 namespace spgcmp::solve {
 
@@ -85,8 +86,12 @@ bool SolverOptions::has(std::string_view key) const noexcept {
   return find(key) != nullptr;
 }
 
-void SolverOptions::bad_value(std::string_view key, const std::string& value,
-                              const std::string& expected) const {
+// [[noreturn]] (declared so in the header): get_bool and the parse failures
+// above rely on this never returning, or they would fall off the end of a
+// non-void function.
+[[noreturn]] void SolverOptions::bad_value(std::string_view key,
+                                           const std::string& value,
+                                           const std::string& expected) const {
   throw SolverError("solver '" + owner_ + "': option '" + std::string(key) +
                     "': expected " + expected + ", got '" + value + "'");
 }
@@ -102,8 +107,7 @@ std::int64_t SolverOptions::get_int(std::string_view key,
   const std::string* v = find(key);
   if (v == nullptr) return fallback;
   std::int64_t out = 0;
-  const auto [ptr, ec] = std::from_chars(v->data(), v->data() + v->size(), out);
-  if (ec != std::errc() || ptr != v->data() + v->size()) {
+  if (util::parse_number(*v, out) != util::ParseStatus::Ok) {
     bad_value(key, *v, "an integer");
   }
   return out;
@@ -124,16 +128,14 @@ std::int64_t SolverOptions::get_int_in(std::string_view key,
 double SolverOptions::get_double(std::string_view key, double fallback) const {
   const std::string* v = find(key);
   if (v == nullptr) return fallback;
-  try {
-    std::size_t pos = 0;
-    const double out = std::stod(*v, &pos);
-    if (pos != v->size()) bad_value(key, *v, "a number");
-    return out;
-  } catch (const SolverError&) {
-    throw;
-  } catch (const std::exception&) {
-    bad_value(key, *v, "a number");
+  // Strict finite grammar: stod used to accept "nan", "inf" and hex floats
+  // here, and a t0=nan annealing temperature silently disables every
+  // acceptance comparison downstream.
+  double out = 0.0;
+  if (util::parse_number(*v, out) != util::ParseStatus::Ok) {
+    bad_value(key, *v, "a finite number");
   }
+  return out;
 }
 
 bool SolverOptions::get_bool(std::string_view key, bool fallback) const {

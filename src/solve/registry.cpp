@@ -4,11 +4,13 @@
 #include <sstream>
 #include <utility>
 
+#include "heuristics/anneal.hpp"
 #include "heuristics/dpa1d.hpp"
 #include "heuristics/dpa2d.hpp"
 #include "heuristics/exact.hpp"
 #include "heuristics/greedy.hpp"
 #include "heuristics/ilp.hpp"
+#include "heuristics/peft.hpp"
 #include "heuristics/random_heuristic.hpp"
 #include "heuristics/refine.hpp"
 #include "spg/spg.hpp"
@@ -199,6 +201,72 @@ void register_builtins(SolverRegistry& reg) {
           [](const SolverOptions& o, const SolveContext&,
              std::unique_ptr<Heuristic>) -> std::unique_ptr<Heuristic> {
             return std::make_unique<IlpSolver>(o.get_string("out", ""));
+          });
+
+  reg.add({"anneal",
+           "simulated annealing on the incremental move protocol "
+           "(swap/migrate neighborhood, Metropolis acceptance)",
+           {{"init", "greedy", "seed solver spec (any registry solver)"},
+            {"seed", "instance", "random stream seed (default: context seed)"},
+            {"iters", "6000", "move proposals per chain"},
+            {"t0", "0.05", "initial temperature, relative to seed energy"},
+            {"cooling", "0.999", "geometric cooling factor per proposal"},
+            {"restarts", "1", "chains, each restarted from the incumbent"},
+            {"moves", "swap+migrate", "neighborhood mix ('+'-separated)"}},
+           false},
+          [](const SolverOptions& o, const SolveContext& ctx,
+             std::unique_ptr<Heuristic>) -> std::unique_ptr<Heuristic> {
+            heuristics::AnnealOptions opt;
+            opt.iters = static_cast<std::size_t>(
+                o.get_int_in("iters", 6000, 1, 100000000));
+            opt.t0 = o.get_double("t0", 0.05);
+            if (!(opt.t0 > 0.0)) {
+              throw SolverError(
+                  "solver 'anneal': option 't0': value must be > 0");
+            }
+            opt.cooling = o.get_double("cooling", 0.999);
+            if (!(opt.cooling > 0.0 && opt.cooling <= 1.0)) {
+              throw SolverError(
+                  "solver 'anneal': option 'cooling': value must be in (0, 1]");
+            }
+            opt.restarts = static_cast<std::size_t>(
+                o.get_int_in("restarts", 1, 1, 1000));
+            const std::string moves = o.get_string("moves", "swap+migrate");
+            opt.move_swap = false;
+            opt.move_migrate = false;
+            for (const auto part :
+                 detail::split_depth0(moves, '+', "solver 'anneal'")) {
+              const std::string_view move = trim(part);
+              if (move == "swap") {
+                opt.move_swap = true;
+              } else if (move == "migrate") {
+                opt.move_migrate = true;
+              } else {
+                throw SolverError(
+                    "solver 'anneal': option 'moves': expected a "
+                    "'+'-separated mix of swap, migrate, got '" +
+                    std::string(moves) + "'");
+              }
+            }
+            const auto seed = static_cast<std::uint64_t>(
+                o.get_int("seed", static_cast<std::int64_t>(ctx.seed)));
+            auto init = SolverRegistry::instance().make(
+                o.get_string("init", "greedy"), ctx);
+            return std::make_unique<heuristics::AnnealHeuristic>(
+                std::move(init), seed, opt);
+          });
+
+  reg.add({"peft",
+           "PEFT-style list scheduler: optimistic-energy lookahead table, "
+           "rank-ordered placement on the evaluator's placement fast path",
+           {{"comm", "true", "charge optimistic per-hop communication in the "
+                             "lookahead table"}},
+           false},
+          [](const SolverOptions& o, const SolveContext&,
+             std::unique_ptr<Heuristic>) -> std::unique_ptr<Heuristic> {
+            heuristics::PeftOptions opt;
+            opt.comm = o.get_bool("comm", true);
+            return std::make_unique<heuristics::PeftHeuristic>(opt);
           });
 
   reg.add({"refine",

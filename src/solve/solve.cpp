@@ -20,19 +20,26 @@ SolveReport run(const heuristics::Heuristic& solver,
   if (request.spg == nullptr || request.platform == nullptr) {
     throw std::invalid_argument("solve::run: request needs spg and platform");
   }
-  const mapping::EvalCounters before = mapping::eval_counters();
+  // Explicit per-solve sink, not a thread-local before/after snapshot: a
+  // solver whose work runs on ThreadPool / parallel_for workers still
+  // counts here, because the pool layers re-install this thread's sink
+  // around each worker task (util::register_thread_context).
+  mapping::EvalCounterSink sink;
   const auto t0 = std::chrono::steady_clock::now();
 
   SolveReport report;
-  report.result = solver.run(*request.spg, *request.platform, request.period);
+  {
+    const mapping::ScopedEvalSink scope(&sink);
+    report.result = solver.run(*request.spg, *request.platform, request.period);
+  }
 
   const auto t1 = std::chrono::steady_clock::now();
-  const mapping::EvalCounters after = mapping::eval_counters();
+  const mapping::EvalCounters calls = sink.totals();
   report.stats.wall_seconds =
       std::chrono::duration<double>(t1 - t0).count();
-  report.stats.full_evals = after.full - before.full;
-  report.stats.placement_evals = after.placement - before.placement;
-  report.stats.incremental_evals = after.incremental - before.incremental;
+  report.stats.full_evals = calls.full;
+  report.stats.placement_evals = calls.placement;
+  report.stats.incremental_evals = calls.incremental;
   return report;
 }
 

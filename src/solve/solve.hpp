@@ -5,10 +5,11 @@
 // stop re-deriving wall time and evaluator throughput ad hoc.
 //
 // Stats come from two sources: a steady-clock fence around Heuristic::run,
-// and the mapping layer's per-thread evaluator call counters (full /
-// placement / incremental), snapshotted before and after the run.  Both
-// are exact for the calling thread — heuristics are synchronous — so sweep
-// workers collect per-solver trajectories for free.
+// and an explicit per-solve mapping::EvalCounterSink installed for the
+// duration of the run.  The sink follows the solve onto pool workers (the
+// util thread-pool layers propagate it), so counts stay exact even for
+// solvers that parallelize internally; sweep workers collect per-solver
+// trajectories for free.
 
 #include <cstdint>
 

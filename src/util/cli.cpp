@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace spgcmp::util {
 
 Args::Args(int argc, const char* const* argv) {
@@ -34,8 +36,10 @@ namespace {
 // values and "ENV=x (environment)" for environment fallbacks.
 enum class Source { Flag, Env };
 
-// stoll/stod abort unattended bench runs with an opaque "terminate called"
-// on a typo'd value; rewrap with the offending key and value instead.
+// A typo'd value must abort with the offending key and value, not an opaque
+// "terminate called"; parsing itself is util::parse_number's single strict
+// grammar (no whitespace, no '+', no hex, no nan/inf), shared with the
+// campaign-spec and solver-option parsers.
 [[noreturn]] void bad_value(std::string_view key, const std::string& value,
                             Source src, const char* want) {
   const std::string where =
@@ -45,29 +49,23 @@ enum class Source { Flag, Env };
 }
 
 std::int64_t parse_int(std::string_view key, const std::string& value, Source src) {
-  try {
-    std::size_t used = 0;
-    const std::int64_t out = std::stoll(value, &used);
-    if (used != value.size()) bad_value(key, value, src, "an integer");
-    return out;
-  } catch (const std::invalid_argument&) {
-    bad_value(key, value, src, "an integer");
-  } catch (const std::out_of_range&) {
-    bad_value(key, value, src, "an integer in range");
+  std::int64_t out = 0;
+  switch (parse_number(value, out)) {
+    case ParseStatus::Ok: return out;
+    case ParseStatus::OutOfRange: bad_value(key, value, src, "an integer in range");
+    case ParseStatus::Malformed: break;
   }
+  bad_value(key, value, src, "an integer");
 }
 
 double parse_double(std::string_view key, const std::string& value, Source src) {
-  try {
-    std::size_t used = 0;
-    const double out = std::stod(value, &used);
-    if (used != value.size()) bad_value(key, value, src, "a number");
-    return out;
-  } catch (const std::invalid_argument&) {
-    bad_value(key, value, src, "a number");
-  } catch (const std::out_of_range&) {
-    bad_value(key, value, src, "a number in range");
+  double out = 0.0;
+  switch (parse_number(value, out)) {
+    case ParseStatus::Ok: return out;
+    case ParseStatus::OutOfRange: bad_value(key, value, src, "a number in range");
+    case ParseStatus::Malformed: break;
   }
+  bad_value(key, value, src, "a finite number");
 }
 
 }  // namespace

@@ -1,0 +1,44 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace spgcmp::util {
+
+namespace {
+
+// std::from_chars already implements most of the strict grammar: no
+// leading whitespace, no '+', no locale, no hex (without chars_format::hex).
+// What it does NOT reject for doubles is "inf" / "nan" (and partial
+// consumption, which both overloads must turn into Malformed).
+template <typename T>
+ParseStatus from_chars_strict(std::string_view text, T& out) noexcept {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  T value{};
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec == std::errc::result_out_of_range) return ParseStatus::OutOfRange;
+  if (ec != std::errc() || ptr != end) return ParseStatus::Malformed;
+  out = value;
+  return ParseStatus::Ok;
+}
+
+}  // namespace
+
+ParseStatus parse_number(std::string_view text, std::int64_t& out) noexcept {
+  return from_chars_strict(text, out);
+}
+
+ParseStatus parse_number(std::string_view text, double& out) noexcept {
+  double value = 0.0;
+  const ParseStatus st = from_chars_strict(text, value);
+  if (st != ParseStatus::Ok) return st;
+  // from_chars parses the spellings "inf", "infinity" and "nan" — reject
+  // them here: every consumer wants an arithmetic value, and a NaN
+  // temperature or period poisons comparisons silently.
+  if (!std::isfinite(value)) return ParseStatus::Malformed;
+  out = value;
+  return ParseStatus::Ok;
+}
+
+}  // namespace spgcmp::util

@@ -1,0 +1,36 @@
+#pragma once
+
+// One strict numeric grammar for every user-facing parser.
+//
+// Three layers used to hand-roll their own number parsing (util::Args flag
+// values, util::spec_int campaign-spec values, solve::SolverOptions typed
+// option bags) on top of stoll/stod, which silently accept leading
+// whitespace, a '+' sign, hex floats, and the non-finite spellings "nan" /
+// "inf" — a `t0=nan` annealing temperature parses fine and then disables
+// every acceptance comparison.  parse_number is the single grammar they all
+// share now:
+//
+//   integer   -?[0-9]+
+//   double    -?digits[.digits][(e|E)[+-]digits]   (finite decimal only)
+//
+// No leading or trailing whitespace (callers trim where their surface
+// syntax allows it), no '+' sign, no hex, no nan/inf.  OutOfRange is
+// reported separately so flag diagnostics can keep saying "in range".
+
+#include <cstdint>
+#include <string_view>
+
+namespace spgcmp::util {
+
+enum class ParseStatus : std::uint8_t {
+  Ok,          ///< `out` holds the value
+  Malformed,   ///< text outside the grammar (junk, sign, whitespace, nan/inf)
+  OutOfRange,  ///< grammatical but unrepresentable (e.g. 1e999, 2^66)
+};
+
+[[nodiscard]] ParseStatus parse_number(std::string_view text,
+                                       std::int64_t& out) noexcept;
+[[nodiscard]] ParseStatus parse_number(std::string_view text,
+                                       double& out) noexcept;
+
+}  // namespace spgcmp::util

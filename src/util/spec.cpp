@@ -3,6 +3,8 @@
 #include <istream>
 #include <sstream>
 
+#include "util/parse.hpp"
+
 namespace spgcmp::util {
 
 namespace {
@@ -84,13 +86,11 @@ SpecDocument SpecDocument::parse_string(const std::string& text) {
 }
 
 std::int64_t spec_int(const SpecEntry& e) {
-  try {
-    std::size_t used = 0;
-    const std::int64_t v = std::stoll(e.value, &used);
-    if (used == e.value.size()) return v;
-  } catch (const std::exception&) {
-    // fall through to the uniform diagnostic
-  }
+  // util::parse_number's strict grammar — the document parser already
+  // trimmed surrounding whitespace, so anything left over ('+42', '0x10',
+  // embedded spaces) is a spec error, uniformly with flag and option values.
+  std::int64_t v = 0;
+  if (parse_number(e.value, v) == ParseStatus::Ok) return v;
   throw SpecError(e.line, "key '" + e.key + "': expected an integer, got '" +
                               e.value + "'");
 }

@@ -1,10 +1,66 @@
 #include "util/thread_pool.hpp"
 
+#include <array>
 #include <exception>
 #include <stdexcept>
 #include <utility>
 
 namespace spgcmp::util {
+
+namespace {
+
+// Append-only propagator registry, written during static initialization
+// only (register_thread_context documents the contract); the release store
+// of the count publishes the entries to worker threads reading acquire.
+constexpr std::size_t kMaxPropagators = 8;
+std::array<ThreadContextPropagator, kMaxPropagators> g_propagators;
+std::atomic<std::size_t> g_propagator_count{0};
+
+/// Contexts captured on the spawning thread, one slot per propagator.
+using CapturedContext = std::array<void*, kMaxPropagators>;
+
+std::size_t capture_thread_context(CapturedContext& ctx) {
+  const std::size_t n = g_propagator_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) ctx[i] = g_propagators[i].capture();
+  return n;
+}
+
+/// Installs a captured context on the current thread for its lifetime.
+class ThreadContextScope {
+ public:
+  ThreadContextScope(const CapturedContext& ctx, std::size_t n) : n_(n) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      prev_[i] = g_propagators[i].install(ctx[i]);
+    }
+  }
+  ~ThreadContextScope() {
+    for (std::size_t i = n_; i > 0; --i) {
+      g_propagators[i - 1].restore(prev_[i - 1]);
+    }
+  }
+  ThreadContextScope(const ThreadContextScope&) = delete;
+  ThreadContextScope& operator=(const ThreadContextScope&) = delete;
+
+ private:
+  CapturedContext prev_{};
+  std::size_t n_;
+};
+
+}  // namespace
+
+void register_thread_context(const ThreadContextPropagator& propagator) {
+  if (propagator.capture == nullptr || propagator.install == nullptr ||
+      propagator.restore == nullptr) {
+    throw std::invalid_argument(
+        "register_thread_context: all three hooks must be set");
+  }
+  const std::size_t i = g_propagator_count.load(std::memory_order_relaxed);
+  if (i >= kMaxPropagators) {
+    throw std::length_error("register_thread_context: propagator table full");
+  }
+  g_propagators[i] = propagator;
+  g_propagator_count.store(i + 1, std::memory_order_release);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -27,10 +83,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Each task carries the submitting thread's context (captured here) and
+  // installs it around its own execution on whichever worker picks it up.
+  CapturedContext ctx{};
+  const std::size_t n = capture_thread_context(ctx);
+  std::function<void()> wrapped =
+      n == 0 ? std::move(task) : std::function<void()>([ctx, n, inner = std::move(task)] {
+        const ThreadContextScope scope(ctx, n);
+        inner();
+      });
   {
     std::lock_guard lock(mutex_);
     if (stop_) throw std::logic_error("ThreadPool::submit after shutdown");
-    queue_.push(std::move(task));
+    queue_.push(std::move(wrapped));
   }
   cv_task_.notify_one();
 }
@@ -78,7 +143,13 @@ void parallel_for(std::size_t begin, std::size_t end,
   std::atomic<std::size_t> next{begin};
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  // Workers adopt the calling thread's context (e.g. an active per-solve
+  // evaluator-call sink) for the duration of the loop; the calling thread
+  // re-installs its own context onto itself, which is a no-op.
+  CapturedContext ctx{};
+  const std::size_t ctx_n = capture_thread_context(ctx);
   auto run = [&] {
+    const ThreadContextScope scope(ctx, ctx_n);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= end) return;

@@ -59,4 +59,28 @@ void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);
 
+/// Worker-thread context propagation.
+///
+/// Layers that keep attribution state in a thread-local (e.g. the mapping
+/// layer's per-solve evaluator-call sink) register a propagator once, at
+/// static initialization.  parallel_for and ThreadPool then capture() the
+/// spawning/submitting thread's context and install() it on each worker
+/// around its task(s), restore()-ing the worker's previous value afterwards
+/// — so work a solver fans out internally is still attributed to the solve
+/// that issued it instead of vanishing into the worker's own thread-local.
+///
+/// install() returns the worker's previous value, which is what restore()
+/// receives.  All three hooks must be set.  The registry is append-only and
+/// written only during static initialization, so workers read it without
+/// locking.
+struct ThreadContextPropagator {
+  void* (*capture)() noexcept = nullptr;   ///< runs on the spawning thread
+  void* (*install)(void*) noexcept = nullptr;  ///< runs on the worker
+  void (*restore)(void*) noexcept = nullptr;   ///< undoes install on the worker
+};
+
+/// Register a propagator; throws std::invalid_argument on null hooks and
+/// std::length_error beyond the small fixed capacity.
+void register_thread_context(const ThreadContextPropagator& propagator);
+
 }  // namespace spgcmp::util

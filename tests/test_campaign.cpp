@@ -135,7 +135,7 @@ TEST(CampaignSpec, GoldenSolverErrors) {
   expect_spec_error(
       "[sweep s1]\nkind streamit\nheuristics frobnicate\n",
       "line 3: unknown solver 'frobnicate' (expected random, greedy, dpa2d, "
-      "dpa1d, dpa2d1d, exact, ilp, refine)");
+      "dpa1d, dpa2d1d, exact, ilp, anneal, peft, refine)");
   expect_spec_error(
       "[sweep s1]\nkind streamit\nheuristics exact(cap=banana)\n",
       "line 3: solver 'exact': option 'cap': expected an integer, got "
@@ -155,6 +155,12 @@ TEST(CampaignSpec, GoldenParseErrors) {
   expect_spec_error("[sweep s1]\nrows 2\n", "line 1: sweep 's1': missing 'kind'");
   expect_spec_error("[sweep s1]\nkind random\napps many\nmax_y 4\n",
                     "line 3: key 'apps': expected an integer, got 'many'");
+  // Numeric-hardening regression: spec_int shares util::parse_number's
+  // strict grammar, so '+'-signed and hex values are spec errors too.
+  expect_spec_error("[sweep s1]\nkind random\napps +3\nmax_y 4\n",
+                    "line 3: key 'apps': expected an integer, got '+3'");
+  expect_spec_error("[sweep s1]\nkind random\napps 0x3\nmax_y 4\n",
+                    "line 3: key 'apps': expected an integer, got '0x3'");
   expect_spec_error("[sweep s1]\nkind random\nmax_y 4\nrows 0\n",
                     "line 4: key 'rows': value 0 out of range [1, 64]");
   expect_spec_error(

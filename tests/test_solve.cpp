@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "harness/experiment.hpp"
+#include "harness/sweep_engine.hpp"
 #include "heuristics/dpa1d.hpp"
 #include "heuristics/dpa2d.hpp"
 #include "heuristics/greedy.hpp"
@@ -18,6 +19,7 @@
 #include "solve/solve.hpp"
 #include "spg/generator.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -38,7 +40,8 @@ TEST(SolverRegistry, ListsAllBuiltinsInRegistrationOrder) {
   // legitimately appends an extension solver, and test order is not ours
   // to assume.
   const std::vector<std::string> expected = {
-      "random", "greedy", "dpa2d", "dpa1d", "dpa2d1d", "exact", "ilp", "refine"};
+      "random", "greedy", "dpa2d",  "dpa1d", "dpa2d1d",
+      "exact",  "ilp",    "anneal", "peft",  "refine"};
   const auto names = solve::SolverRegistry::instance().names();
   ASSERT_GE(names.size(), expected.size());
   EXPECT_TRUE(std::equal(expected.begin(), expected.end(), names.begin()));
@@ -62,6 +65,10 @@ TEST(SolverRegistry, DisplayNameRoundTrip) {
   EXPECT_EQ(reg.make("dpa2d1d")->name(), "DPA2D1D");
   EXPECT_EQ(reg.make("exact")->name(), "Exact");
   EXPECT_EQ(reg.make("ilp")->name(), "ILP");
+  EXPECT_EQ(reg.make("anneal")->name(), "Anneal");
+  EXPECT_EQ(reg.make("peft")->name(), "PEFT");
+  EXPECT_EQ(reg.make("anneal+refine")->name(), "Anneal+refine");
+  EXPECT_EQ(reg.make("peft+refine")->name(), "PEFT+refine");
   // refine standalone seeds from its base option (default greedy).
   EXPECT_EQ(reg.make("refine")->name(), "Greedy+refine");
   EXPECT_EQ(reg.make("refine(base=dpa2d)")->name(), "DPA2D+refine");
@@ -103,7 +110,7 @@ void expect_solver_error(const std::string& spec, const std::string& message,
 TEST(SolverRegistry, GoldenDiagnostics) {
   expect_solver_error("frobnicate",
                       "unknown solver 'frobnicate' (expected random, greedy, "
-                      "dpa2d, dpa1d, dpa2d1d, exact, ilp, refine",
+                      "dpa2d, dpa1d, dpa2d1d, exact, ilp, anneal, peft, refine",
                       /*prefix=*/true);
   expect_solver_error("exact(capx=9)",
                       "solver 'exact': unknown option 'capx' (expected cap, "
@@ -131,6 +138,39 @@ TEST(SolverRegistry, GoldenDiagnostics) {
   expect_solver_error("greedy+refine(base=dpa2d)",
                       "solver 'refine': option 'base' conflicts with '+' "
                       "composition");
+}
+
+TEST(SolverRegistry, GoldenDiagnosticsNumericHardening) {
+  // Regression (numeric-parsing pass): stod used to accept non-finite and
+  // hex spellings — a t0=nan temperature silently disables every annealing
+  // acceptance comparison — and stoll/stod both took '+' signs that the
+  // rest of the grammar never allowed.
+  expect_solver_error("anneal(t0=nan)",
+                      "solver 'anneal': option 't0': expected a finite "
+                      "number, got 'nan'");
+  expect_solver_error("anneal(t0=inf)",
+                      "solver 'anneal': option 't0': expected a finite "
+                      "number, got 'inf'");
+  expect_solver_error("anneal(t0=0x1p-3)",
+                      "solver 'anneal': option 't0': expected a finite "
+                      "number, got '0x1p-3'");
+  expect_solver_error("anneal(t0=+0.5)",
+                      "solver 'anneal': option 't0': expected a finite "
+                      "number, got '+0.5'");
+  expect_solver_error("anneal(iters=+5)",
+                      "solver 'anneal': option 'iters': expected an integer, "
+                      "got '+5'");
+  expect_solver_error("exact(cap=0x9)",
+                      "solver 'exact': option 'cap': expected an integer, "
+                      "got '0x9'");
+  expect_solver_error("anneal(t0=0)",
+                      "solver 'anneal': option 't0': value must be > 0");
+  expect_solver_error("anneal(cooling=1.5)",
+                      "solver 'anneal': option 'cooling': value must be in "
+                      "(0, 1]");
+  expect_solver_error("anneal(moves=fly)",
+                      "solver 'anneal': option 'moves': expected a "
+                      "'+'-separated mix of swap, migrate, got 'fly'");
 }
 
 // -------------------------------------------------------------- options --
@@ -267,6 +307,149 @@ TEST(SolveRun, CampaignCarriesPerSolverStats) {
   bool any = false;
   for (const auto& s : c.stats) any = any || s.evaluator_calls() > 0;
   EXPECT_TRUE(any);
+}
+
+// --------------------------------------------------------- new solvers --
+
+TEST(Anneal, NeverWorsensItsSeedSolverAndStaysValid) {
+  const spg::Spg g = small_workload(21, 12);
+  const auto p = cmp::Platform::reference(2, 3);
+  const auto& reg = solve::SolverRegistry::instance();
+  const auto seed = reg.make("greedy")->run(g, p, 1.0);
+  const auto annealed = reg.make("anneal")->run(g, p, 1.0);
+  ASSERT_TRUE(seed.success);
+  ASSERT_TRUE(annealed.success);
+  EXPECT_LE(annealed.eval.energy, seed.eval.energy);
+  // The returned evaluation is authoritative: a fresh evaluate() agrees.
+  const auto fresh = mapping::evaluate(g, p, annealed.mapping, 1.0);
+  EXPECT_TRUE(fresh.valid());
+  EXPECT_EQ(fresh.energy, annealed.eval.energy);
+}
+
+TEST(Anneal, ByteIdenticalAcrossSweepThreadCounts) {
+  // The chain derives all randomness from the instance seed and problem
+  // signature, so a 1-thread and an 8-thread sweep must agree bitwise.
+  const auto p = cmp::Platform::reference(2, 2);
+  const auto make = [](std::size_t, util::Rng& rng) {
+    spg::Spg g = spg::random_spg(12, 3, rng);
+    g.rescale_ccr(1.0);
+    return g;
+  };
+  const auto set = solve::SolverSet::parse("anneal(iters=300),peft");
+  harness::SweepEngineOptions opt1;
+  opt1.threads = 1;
+  harness::SweepEngineOptions opt8;
+  opt8.threads = 8;
+  const auto a =
+      harness::SweepEngine(opt1).run_generated(6, 7, make, p, set);
+  const auto b =
+      harness::SweepEngine(opt8).run_generated(6, 7, make, p, set);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t w = 0; w < a.size(); ++w) {
+    EXPECT_EQ(a[w].period, b[w].period) << w;
+    ASSERT_EQ(a[w].results.size(), b[w].results.size());
+    for (std::size_t h = 0; h < a[w].results.size(); ++h) {
+      EXPECT_EQ(a[w].results[h].success, b[w].results[h].success) << w;
+      EXPECT_EQ(a[w].results[h].eval.energy, b[w].results[h].eval.energy) << w;
+      EXPECT_EQ(a[w].results[h].mapping.core_of, b[w].results[h].mapping.core_of)
+          << w;
+    }
+  }
+}
+
+TEST(Peft, DeterministicParityWithItself) {
+  const spg::Spg g = small_workload(33, 16);
+  const auto p = cmp::Platform::reference(2, 3);
+  const auto& reg = solve::SolverRegistry::instance();
+  const auto a = reg.make("peft")->run(g, p, 1.0);
+  const auto b = reg.make("peft")->run(g, p, 1.0);
+  ASSERT_TRUE(a.success);
+  ASSERT_TRUE(b.success);
+  EXPECT_EQ(a.eval.energy, b.eval.energy);
+  EXPECT_EQ(a.mapping.core_of, b.mapping.core_of);
+  EXPECT_EQ(a.mapping.mode_of_core, b.mapping.mode_of_core);
+  // The placement-fast-path evaluation it returns matches a full evaluate()
+  // of the routed mapping (the fast-path equivalence contract).
+  const auto fresh = mapping::evaluate(g, p, a.mapping, 1.0);
+  EXPECT_TRUE(fresh.valid());
+  EXPECT_EQ(fresh.energy, a.eval.energy);
+}
+
+TEST(Peft, RunsThroughACampaignNextToThePaperSet) {
+  const spg::Spg g = small_workload();
+  const auto p = cmp::Platform::reference(2, 2);
+  const auto c = harness::run_campaign(
+      g, p, solve::SolverSet::parse("dpa2d1d,anneal(iters=200),peft"));
+  ASSERT_EQ(c.results.size(), 3u);
+  EXPECT_EQ(c.names,
+            (std::vector<std::string>{"DPA2D1D", "Anneal", "PEFT"}));
+  EXPECT_GT(c.success_count(), 0u);
+}
+
+// ----------------------------------------------------- stat attribution --
+
+TEST(SolveRun, FourThreadSweepReportsNonzeroPerSolverEvalCounts) {
+  // Regression: SolveReport deltas used to read the calling thread's
+  // counters; under the sweep engine every solve runs on a pool worker, and
+  // per-solve sinks must keep attributing counts there.
+  const auto p = cmp::Platform::reference(2, 2);
+  const auto make = [](std::size_t, util::Rng& rng) {
+    spg::Spg g = spg::random_spg(10, 3, rng);
+    g.rescale_ccr(1.0);
+    return g;
+  };
+  harness::SweepEngineOptions opt;
+  opt.threads = 4;
+  const auto campaigns = harness::SweepEngine(opt).run_generated(
+      8, 11, make, p, solve::SolverSet::parse("greedy,dpa2d1d,anneal(iters=200),peft"));
+  for (const auto& c : campaigns) {
+    ASSERT_EQ(c.stats.size(), c.results.size());
+    for (std::size_t h = 0; h < c.results.size(); ++h) {
+      if (c.results[h].success) {
+        EXPECT_GT(c.stats[h].evaluator_calls(), 0u) << c.names[h];
+      }
+    }
+  }
+}
+
+TEST(SolveRun, InternallyParallelSolverKeepsItsEvaluatorCounts) {
+  // A solver that fans its evaluations out to parallel_for workers: the
+  // per-solve sink follows the solve onto those workers, so the report sees
+  // every call — a thread-local before/after snapshot would report zero.
+  class FanOut final : public heuristics::Heuristic {
+   public:
+    [[nodiscard]] std::string name() const override { return "FanOut"; }
+    [[nodiscard]] heuristics::Result run(const spg::Spg& g,
+                                         const cmp::Platform& p,
+                                         double T) const override {
+      util::parallel_for(
+          0, 8,
+          [&](std::size_t) {
+            mapping::Mapping m;
+            m.core_of.assign(g.size(), 0);
+            m.mode_of_core.assign(
+                static_cast<std::size_t>(p.grid().core_count()), 0);
+            m.edge_paths.assign(g.edge_count(), {});
+            (void)mapping::evaluate(g, p, m, T);
+          },
+          4);
+      mapping::Mapping m;
+      m.core_of.assign(g.size(), 0);
+      m.mode_of_core.assign(static_cast<std::size_t>(p.grid().core_count()), 0);
+      m.edge_paths.assign(g.edge_count(), {});
+      return heuristics::finalize_with_paths(g, p, T, std::move(m), true);
+    }
+  };
+
+  const spg::Spg g = small_workload();
+  const auto p = cmp::Platform::reference(2, 2);
+  solve::SolveRequest req;
+  req.spg = &g;
+  req.platform = &p;
+  req.period = 1.0;
+  const auto report = solve::run(FanOut{}, req);
+  // 8 fanned-out evaluations plus the finalizing one.
+  EXPECT_GE(report.stats.full_evals, 9u);
 }
 
 // ----------------------------------------------------------- extension --

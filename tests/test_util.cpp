@@ -11,6 +11,7 @@
 
 #include "util/bitset.hpp"
 #include "util/cli.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -249,6 +250,64 @@ TEST(Args, RejectsGarbageNumbersNamingTheFlag) {
   EXPECT_THROW((void)args.get_int("apps", "NO_SUCH_ENV", 0), std::invalid_argument);
   EXPECT_THROW((void)args.get_double("apps", "NO_SUCH_ENV", 0.0),
                std::invalid_argument);
+}
+
+// One strict grammar for every numeric surface (flags, spec values, solver
+// options) — regression tests for the hand-rolled stoll/stod parsers that
+// used to disagree on whitespace, '+' signs, hex and non-finite spellings.
+
+TEST(ParseNumber, IntegerGrammar) {
+  std::int64_t v = 0;
+  EXPECT_EQ(parse_number("42", v), ParseStatus::Ok);
+  EXPECT_EQ(v, 42);
+  EXPECT_EQ(parse_number("-42", v), ParseStatus::Ok);
+  EXPECT_EQ(v, -42);
+  EXPECT_EQ(parse_number("0", v), ParseStatus::Ok);
+  // stoll used to accept all of these:
+  EXPECT_EQ(parse_number("+42", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number(" 42", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("42 ", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("0x10", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("4.2", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("9223372036854775807", v), ParseStatus::Ok);
+  EXPECT_EQ(parse_number("9223372036854775808", v), ParseStatus::OutOfRange);
+}
+
+TEST(ParseNumber, DoubleGrammarIsFiniteDecimalOnly) {
+  double v = 0.0;
+  EXPECT_EQ(parse_number("1.5", v), ParseStatus::Ok);
+  EXPECT_EQ(v, 1.5);
+  EXPECT_EQ(parse_number("-2e-3", v), ParseStatus::Ok);
+  EXPECT_EQ(v, -2e-3);
+  EXPECT_EQ(parse_number("1e3", v), ParseStatus::Ok);
+  // stod used to accept all of these:
+  EXPECT_EQ(parse_number("nan", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("NaN", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("inf", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("-infinity", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("0x1p-3", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("+1.5", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number(" 1.5", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("1.5 ", v), ParseStatus::Malformed);
+  EXPECT_EQ(parse_number("1e999", v), ParseStatus::OutOfRange);
+}
+
+TEST(Args, SharedGrammarRejectsSignedWhitespaceAndNonFinite) {
+  const char* argv[] = {"prog", "--a=+5", "--b= 5", "--c=nan", "--d=0x10"};
+  Args args(5, argv);
+  EXPECT_THROW((void)args.get_int("a", "NO_SUCH_ENV", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("b", "NO_SUCH_ENV", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("c", "NO_SUCH_ENV", 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)args.get_int("d", "NO_SUCH_ENV", 0), std::invalid_argument);
+  try {
+    (void)args.get_double("c", "NO_SUCH_ENV", 0.0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("a finite number"), std::string::npos)
+        << e.what();
+  }
 }
 
 }  // namespace
