@@ -26,11 +26,13 @@
 #include <cmath>
 #include <cstdio>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "heuristics/exact.hpp"
 #include "mapping/evaluator.hpp"
+#include "serve/server.hpp"
 #include "solve/solve.hpp"
 
 namespace {
@@ -342,6 +344,71 @@ int main(int argc, char** argv) try {
     }
   }
 
+  // Serve-daemon memoization: the same request through serve::Server twice.
+  // The frames carry per-request wall time, so cold-vs-hit cost comes
+  // straight from the daemon's own accounting; the hit must cost zero
+  // evaluator calls or the run fails like the evaluator cross-checks above.
+  util::Table serve_table({"scenario", "cold (us)", "hit (us)", "speedup"});
+  {
+    rep.meta.emplace_back("serve_cache_cells", "cold_us, hit_us, speedup");
+    // Mirror the daemon's generator path to find a feasible period for the
+    // exact instance the request will materialize; anneal's solve cost
+    // dominates request parsing, so the hit's saving is visible.
+    util::Rng rng(seed);
+    spg::Spg g = spg::random_spg(50, 6, rng);
+    g.rescale_ccr(1.0);
+    const double T = find_seed(g, cmp::Platform::reference(4, 4)).T;
+    std::ostringstream request;
+    {
+      util::JsonWriter w(request, /*indent=*/-1);
+      w.begin_object();
+      w.key("generator");
+      w.begin_object();
+      w.kv("n", static_cast<std::int64_t>(50));
+      w.kv("ymax", static_cast<std::int64_t>(6));
+      w.kv("seed", static_cast<std::int64_t>(seed));
+      w.kv("ccr", 1.0);
+      w.end_object();
+      w.kv("solver", "anneal");
+      w.kv("period", T);
+      w.end_object();
+    }
+    serve::Server server(serve::ServerOptions{/*threads=*/1,
+                                              /*cache_capacity=*/1024,
+                                              /*max_inflight=*/0,
+                                              /*log_path=*/{}});
+    std::istringstream in(request.str() + "\n" + request.str() + "\n");
+    std::ostringstream out;
+    const auto summary = server.serve(in, out);
+    std::istringstream lines(out.str());
+    std::string cold_line, hit_line;
+    std::getline(lines, cold_line);
+    std::getline(lines, hit_line);
+    const auto cold = util::parse_json(cold_line);
+    const auto hit = util::parse_json(hit_line);
+    if (summary.hits != 1 || hit.at("cache").as_string("cache") != "hit" ||
+        hit.at("request_evals").as_number("request_evals") != 0.0) {
+      std::fprintf(stderr,
+                   "MISMATCH serve_cache: repeated request was not a free "
+                   "cache hit (hits=%llu)\n",
+                   static_cast<unsigned long long>(summary.hits));
+      return 1;
+    }
+    const double cold_us = cold.at("wall_us").as_number("wall_us");
+    const double hit_us = hit.at("wall_us").as_number("wall_us");
+    const double speedup = hit_us > 0.0 ? cold_us / hit_us : 0.0;
+    serve_table.add_row({"serve_cache", util::fmt_double(cold_us, 1),
+                         util::fmt_double(hit_us, 1),
+                         util::fmt_double(speedup, 1)});
+    harness::BenchCell cell;
+    cell.labels = {{"scenario", "serve_cache"}, {"solver", "anneal"}};
+    cell.period = T;
+    cell.values = {cold_us, hit_us, speedup};
+    cell.failures = {0, 0, 0};
+    cell.workloads = 2;
+    rep.cells.push_back(std::move(cell));
+  }
+
   std::cout << "Evaluator microbenchmark: full vs incremental re-evaluation ("
             << moves << " probes per scenario)\n";
   table.print(std::cout);
@@ -350,6 +417,8 @@ int main(int argc, char** argv) try {
   std::cout << "\nQuality vs evals: anneal / peft against dpa2d1d+refine "
                "(fig-10..13 grids)\n";
   quality_table.print(std::cout);
+  std::cout << "\nServe daemon memo cache: cold solve vs cache hit\n";
+  serve_table.print(std::cout);
   bench::maybe_write_json(rep, json, std::cout);
   if (!std::isfinite(sink)) std::cout << "";  // defeat dead-code elimination
   return 0;

@@ -51,6 +51,18 @@ RunSummary CampaignService::run(const ServiceOptions& opt) {
     if (stopped) break;
     for (std::size_t shard = 0; shard < plan.shard_count(); ++shard) {
       if (done.count({plan.spec().name, shard}) != 0) continue;
+      // Polled only between shards, so an interrupt lets the in-flight
+      // shard finish and persist before the manifest checkpoint below.
+      if (opt.stop != nullptr && opt.stop->load(std::memory_order_relaxed)) {
+        summary.interrupted = true;
+        stopped = true;
+        if (opt.log != nullptr) {
+          *opt.log << "[campaign] stop requested; pausing after "
+                   << summary.shards_executed << " shards\n";
+          opt.log->flush();
+        }
+        break;
+      }
       if (opt.max_shards != 0 && summary.shards_executed >= opt.max_shards) {
         stopped = true;
         break;

@@ -13,6 +13,7 @@
 // merge() folds the shard log back into the BENCH_<name>.json documents the
 // one-shot bench binaries emit, plus the spec's derived failure tables.
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 #include <string>
@@ -33,6 +34,11 @@ struct ServiceOptions {
   /// Manifest refresh cadence in shards; 0 = only the final manifest.
   std::size_t checkpoint_every = 8;
   std::ostream* log = nullptr;       ///< optional progress stream
+  /// Cooperative stop flag (util::stop_signal's, or a test's atomic),
+  /// polled between shards: when raised, the in-flight shard finishes and
+  /// is persisted, the manifest is checkpointed, and run() returns with
+  /// `interrupted` set — the graceful-pause path behind SIGINT/SIGTERM.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 /// What one run() call did.
@@ -41,6 +47,7 @@ struct RunSummary {
   std::size_t shards_skipped = 0;   ///< already complete when run() started
   std::size_t shards_executed = 0;  ///< newly executed by this call
   bool complete = false;            ///< every shard of the campaign is done
+  bool interrupted = false;         ///< the stop flag ended the run early
 };
 
 /// Per-sweep progress for status reporting.

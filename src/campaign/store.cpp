@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fsync.hpp"
 #include "util/json.hpp"
 #include "util/jsonl.hpp"
 
@@ -106,7 +107,9 @@ void CampaignStore::append_shard(const std::string& sweep, std::size_t shard,
 void CampaignStore::write_manifest(const Manifest& m) const {
   const std::string tmp = manifest_path() + ".tmp";
   {
-    std::ofstream os(tmp);
+    // Truncate explicitly: a stale larger tmp from an earlier failed
+    // attempt must not leave trailing bytes behind the new document.
+    std::ofstream os(tmp, std::ios::trunc);
     if (!os) throw std::runtime_error("cannot write " + tmp);
     util::JsonWriter w(os);
     w.begin_object();
@@ -114,8 +117,24 @@ void CampaignStore::write_manifest(const Manifest& m) const {
     w.kv("shards_total", static_cast<std::uint64_t>(m.shards_total));
     w.kv("shards_done", static_cast<std::uint64_t>(m.shards_done));
     w.end_object();
+    // The stream never threw, so a full disk surfaces only here: check
+    // before the rename installs a truncated manifest over a good one.
+    os.flush();
+    if (!os.good()) {
+      throw std::runtime_error("error writing " + tmp + " (disk full?)");
+    }
   }
-  fs::rename(tmp, manifest_path());
+  // Durable atomic install: data to disk, then rename, then the directory
+  // mutation to disk — a crash leaves either the old or the new manifest,
+  // never a torn or vanished one.
+  util::fsync_file(tmp);
+  std::error_code ec;
+  fs::rename(tmp, manifest_path(), ec);
+  if (ec) {
+    throw std::runtime_error("cannot install " + manifest_path() + ": " +
+                             ec.message());
+  }
+  util::fsync_parent_dir(manifest_path());
 }
 
 std::optional<CampaignStore::Manifest> CampaignStore::read_manifest() const {

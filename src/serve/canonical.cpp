@@ -1,0 +1,158 @@
+#include "serve/canonical.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "cmp/cmp.hpp"
+#include "solve/options.hpp"
+#include "spg/spg.hpp"
+#include "util/json.hpp"
+
+namespace spgcmp::serve {
+
+namespace {
+
+using solve::detail::split_depth0;
+using solve::detail::trim;
+
+/// One "name(options)" stage, normalized.  Mirrors the registry's stage
+/// grammar (split at the first '(', require the trailing ')') so the
+/// canonical form can never accept a spec the registry would reject.
+std::string normalize_stage(std::string_view stage) {
+  stage = trim(stage);
+  const std::size_t paren = stage.find('(');
+  if (paren == std::string_view::npos) {
+    if (stage.find(')') != std::string_view::npos) {
+      throw solve::SolverError("malformed solver spec '" + std::string(stage) +
+                               "': stray ')'");
+    }
+    return std::string(stage);
+  }
+  if (stage.back() != ')') {
+    throw solve::SolverError("malformed solver spec '" + std::string(stage) +
+                             "': text after the option list (or missing ')')");
+  }
+  const std::string name(trim(stage.substr(0, paren)));
+  const auto options = solve::SolverOptions::parse(
+      name, stage.substr(paren + 1, stage.size() - paren - 2));
+
+  auto kv = options.entries();
+  std::sort(kv.begin(), kv.end());
+  if (kv.empty()) return name;
+
+  std::string out = name + "(";
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    if (i != 0) out += ",";
+    out += kv[i].first + "=" + kv[i].second;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string normalize_solver_spec(std::string_view spec) {
+  spec = trim(spec);
+  if (spec.empty()) throw solve::SolverError("empty solver spec");
+  const auto stages =
+      split_depth0(spec, '+', "solver spec '" + std::string(spec) + "'");
+  std::string out;
+  for (const auto& stage : stages) {
+    if (!out.empty()) out += "+";
+    out += normalize_stage(stage);
+  }
+  return out;
+}
+
+std::string canonical_key(const spg::Spg& g, const cmp::Platform& platform,
+                          const std::string& normalized_solver, double period) {
+  std::ostringstream key;
+  key << "v1;solver=" << normalized_solver
+      << ";T=" << util::json_number(period);
+
+  // Platform: topology identity plus every constant energy and speed
+  // depend on.  The heterogeneous mesh's per-core scales are covered by
+  // the explicit scale list.
+  const auto& topo = platform.topology;
+  key << ";topo=" << topo.name() << ":" << topo.grid().rows() << "x"
+      << topo.grid().cols() << ";bw=" << util::json_number(topo.grid().bandwidth());
+  if (topo.heterogeneous()) {
+    key << ";scale=";
+    for (int c = 0; c < topo.core_count(); ++c) {
+      if (c != 0) key << ",";
+      key << util::json_number(topo.core_speed_scale(c));
+    }
+  }
+  key << ";speeds=";
+  for (std::size_t k = 0; k < platform.speeds.mode_count(); ++k) {
+    if (k != 0) key << ",";
+    key << util::json_number(platform.speeds.speed(k)) << ":"
+        << util::json_number(platform.speeds.dynamic_power(k));
+  }
+  key << ";leak=" << util::json_number(platform.speeds.leak_power())
+      << ";ebyte=" << util::json_number(platform.comm.energy_per_byte)
+      << ";commleak=" << util::json_number(platform.comm.leak_power);
+
+  // SPG: stages in (x, y) label order — labels are unique by the SPG
+  // invariants, so this order is a property of the graph, not of the
+  // serialization the request happened to use.
+  std::vector<spg::StageId> order(g.size());
+  std::iota(order.begin(), order.end(), spg::StageId{0});
+  std::sort(order.begin(), order.end(), [&](spg::StageId a, spg::StageId b) {
+    const auto& sa = g.stage(a);
+    const auto& sb = g.stage(b);
+    if (sa.x != sb.x) return sa.x < sb.x;
+    return sa.y < sb.y;
+  });
+  std::vector<std::size_t> rank(g.size());
+  for (std::size_t i = 0; i < order.size(); ++i) rank[order[i]] = i;
+
+  key << ";spg=" << g.size() << "/" << g.edge_count();
+  for (const auto id : order) {
+    const auto& s = g.stage(id);
+    key << ";s" << s.x << "," << s.y << "," << util::json_number(s.work);
+  }
+
+  struct EdgeKey {
+    std::size_t src, dst;
+    double bytes;
+  };
+  std::vector<EdgeKey> edges;
+  edges.reserve(g.edge_count());
+  for (const auto& e : g.edges()) {
+    edges.push_back(EdgeKey{rank[e.src], rank[e.dst], e.bytes});
+  }
+  std::sort(edges.begin(), edges.end(), [](const EdgeKey& a, const EdgeKey& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.bytes < b.bytes;
+  });
+  for (const auto& e : edges) {
+    key << ";e" << e.src << ">" << e.dst << "," << util::json_number(e.bytes);
+  }
+  return key.str();
+}
+
+std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string key_digest(std::string_view key) {
+  static const char* hex = "0123456789abcdef";
+  std::uint64_t h = fnv1a64(key);
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = hex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace spgcmp::serve

@@ -1,0 +1,268 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "serve/canonical.hpp"
+#include "spg/generator.hpp"
+#include "spg/streamit.hpp"
+#include "util/rng.hpp"
+
+namespace spgcmp::serve {
+
+namespace {
+
+using util::JsonValue;
+
+/// `doc.key` as a positive integral count; RequestError on anything else.
+std::size_t integral_member(const JsonValue& obj, std::string_view key,
+                            std::size_t lo) {
+  const double v = obj.at(key).as_number("request '" + std::string(key) + "'");
+  if (!(v >= static_cast<double>(lo)) || v != std::floor(v) || v > 1e12) {
+    throw RequestError("request '" + std::string(key) +
+                       "': expected an integer >= " + std::to_string(lo));
+  }
+  return static_cast<std::size_t>(v);
+}
+
+void check_keys(const JsonValue& obj, std::string_view what,
+                std::initializer_list<std::string_view> allowed) {
+  for (const auto& [k, v] : obj.object) {
+    bool known = false;
+    for (const auto a : allowed) known = known || k == a;
+    if (!known) {
+      throw RequestError(std::string(what) + ": unknown member '" + k + "'");
+    }
+  }
+}
+
+spg::Spg build_spg(const JsonValue& doc) {
+  const JsonValue* text = doc.find("spg");
+  const JsonValue* gen = doc.find("generator");
+  const JsonValue* streamit = doc.find("streamit");
+  const int sources = (text != nullptr) + (gen != nullptr) + (streamit != nullptr);
+  if (sources != 1) {
+    throw RequestError(
+        "request must carry exactly one of 'spg', 'generator' or 'streamit'");
+  }
+
+  if (text != nullptr) {
+    std::istringstream is(text->as_string("request 'spg'"));
+    spg::Spg g;
+    try {
+      g = spg::Spg::parse(is);
+    } catch (const std::exception& e) {
+      throw RequestError(std::string("request 'spg': ") + e.what());
+    }
+    if (const auto err = g.validate()) {
+      throw RequestError("request 'spg': invalid graph: " + *err);
+    }
+    return g;
+  }
+
+  if (gen != nullptr) {
+    if (gen->type != JsonValue::Type::Object) {
+      throw RequestError("request 'generator': expected an object");
+    }
+    check_keys(*gen, "request 'generator'", {"n", "ymax", "seed", "ccr"});
+    const std::size_t n = integral_member(*gen, "n", 1);
+    const std::uint64_t seed =
+        gen->find("seed") != nullptr
+            ? static_cast<std::uint64_t>(integral_member(*gen, "seed", 0))
+            : 1;
+    util::Rng rng(seed);
+    spg::Spg g;
+    try {
+      if (gen->find("ymax") != nullptr) {
+        g = spg::random_spg(n, static_cast<int>(integral_member(*gen, "ymax", 1)),
+                            rng);
+      } else {
+        g = spg::random_spg_free(n, rng);
+      }
+    } catch (const std::exception& e) {
+      throw RequestError(std::string("request 'generator': ") + e.what());
+    }
+    if (const JsonValue* ccr = gen->find("ccr")) {
+      const double target = ccr->as_number("request 'generator.ccr'");
+      if (!(target > 0.0) || !std::isfinite(target)) {
+        throw RequestError("request 'generator.ccr': expected a finite value > 0");
+      }
+      g.rescale_ccr(target);
+    }
+    return g;
+  }
+
+  // streamit: a bare Table-1 index, or {"index": i, "ccr": x}.
+  int index = 0;
+  double ccr = 0.0;
+  if (streamit->type == JsonValue::Type::Object) {
+    check_keys(*streamit, "request 'streamit'", {"index", "ccr"});
+    index = static_cast<int>(integral_member(*streamit, "index", 1));
+    if (const JsonValue* c = streamit->find("ccr")) {
+      ccr = c->as_number("request 'streamit.ccr'");
+    }
+  } else {
+    const double v = streamit->as_number("request 'streamit'");
+    if (v < 1 || v != std::floor(v)) {
+      throw RequestError("request 'streamit': expected a 1-based index");
+    }
+    index = static_cast<int>(v);
+  }
+  try {
+    return spg::make_streamit(index, ccr);
+  } catch (const std::exception& e) {
+    throw RequestError(std::string("request 'streamit': ") + e.what());
+  }
+}
+
+cmp::Platform build_platform(const JsonValue& doc) {
+  const JsonValue* topo = doc.find("topology");
+  if (topo == nullptr) return cmp::Platform::reference(4, 4);
+  if (topo->type != JsonValue::Type::Object) {
+    throw RequestError("request 'topology': expected an object");
+  }
+  check_keys(*topo, "request 'topology'", {"name", "rows", "cols"});
+  std::string name = "mesh";
+  if (const JsonValue* n = topo->find("name")) {
+    name = n->as_string("request 'topology.name'");
+  }
+  const int rows = static_cast<int>(integral_member(*topo, "rows", 1));
+  const int cols = static_cast<int>(integral_member(*topo, "cols", 1));
+  // Propagates TopologyError on unknown names (answered with code 2 and
+  // the same message the CLIs print).
+  return cmp::Platform::reference(name, rows, cols);
+}
+
+std::string render_id(const JsonValue& doc) {
+  const JsonValue* id = doc.find("id");
+  if (id == nullptr) return "null";
+  switch (id->type) {
+    case JsonValue::Type::Null: return "null";
+    case JsonValue::Type::Number: return util::json_number(id->number);
+    case JsonValue::Type::String:
+      return "\"" + util::json_escape(id->string) + "\"";
+    default:
+      throw RequestError("request 'id': expected a string or number");
+  }
+}
+
+Request parse_request_impl(const JsonValue& doc) {
+  if (doc.type != JsonValue::Type::Object) {
+    throw RequestError("request: expected a JSON object");
+  }
+  check_keys(doc, "request",
+             {"id", "spg", "generator", "streamit", "topology", "solver",
+              "options", "period"});
+
+  std::string spec = doc.at("solver").as_string("request 'solver'");
+  if (const JsonValue* options = doc.find("options")) {
+    const std::string& text = options->as_string("request 'options'");
+    if (spec.find('(') != std::string::npos) {
+      throw RequestError(
+          "request 'options' requires a bare solver name (put the options "
+          "either inline in 'solver' or here, not both)");
+    }
+    spec += "(" + text + ")";
+  }
+
+  const double period = doc.at("period").as_number("request 'period'");
+  if (!(period > 0.0) || !std::isfinite(period)) {
+    throw RequestError("request 'period': expected a finite value > 0");
+  }
+
+  Request req{render_id(doc), build_spg(doc), build_platform(doc),
+              normalize_solver_spec(spec), period, std::string()};
+  req.key = canonical_key(req.spg, req.platform, req.solver, req.period);
+  return req;
+}
+
+}  // namespace
+
+Request parse_request(const JsonValue& doc) {
+  try {
+    return parse_request_impl(doc);
+  } catch (const RequestError&) {
+    throw;
+  } catch (const solve::SolverError&) {
+    throw;
+  } catch (const std::runtime_error& e) {
+    // Missing/mistyped members surface from the JsonValue accessors as
+    // plain runtime_errors naming the member; they are configuration
+    // mistakes, not internal failures, so classify them as RequestError
+    // (code 2).  TopologyError derives from invalid_argument and passes
+    // through untouched.
+    throw RequestError(e.what());
+  }
+}
+
+std::string render_report(const Request& req, const solve::SolveReport& report) {
+  std::ostringstream os;
+  {
+    util::JsonWriter w(os, /*indent=*/-1);
+    w.begin_object();
+    w.kv("solver", req.solver);
+    w.kv("success", report.result.success);
+    if (report.result.success) {
+      const auto& eval = report.result.eval;
+      w.kv("energy", eval.energy);
+      w.kv("achieved_period", eval.period);
+      w.kv("active_cores", static_cast<std::int64_t>(eval.active_cores));
+      w.key("core_of");
+      w.begin_array();
+      for (const int c : report.result.mapping.core_of) w.value(c);
+      w.end_array();
+      w.key("modes");
+      w.value(report.result.mapping.mode_of_core);
+    } else {
+      w.kv("failure", report.result.failure);
+    }
+    w.key("evals");
+    w.begin_object();
+    w.kv("full", report.stats.full_evals);
+    w.kv("placement", report.stats.placement_evals);
+    w.kv("incremental", report.stats.incremental_evals);
+    w.kv("total", report.stats.evaluator_calls());
+    w.end_object();
+    w.end_object();
+  }
+  return os.str();
+}
+
+std::string render_ok(const Request& req, const std::string& report_payload,
+                      bool hit, std::uint64_t request_evals, double wall_us) {
+  std::ostringstream os;
+  {
+    util::JsonWriter w(os, /*indent=*/-1);
+    w.begin_object();
+    w.key("id");
+    w.raw(req.id_json);
+    w.kv("status", "ok");
+    w.kv("cache", hit ? "hit" : "miss");
+    w.kv("key", key_digest(req.key));
+    w.kv("request_evals", request_evals);
+    w.kv("wall_us", wall_us);
+    w.key("report");
+    w.raw(report_payload);
+    w.end_object();
+  }
+  return os.str();
+}
+
+std::string render_error(const std::string& id_json, int code,
+                         const std::string& message) {
+  std::ostringstream os;
+  {
+    util::JsonWriter w(os, /*indent=*/-1);
+    w.begin_object();
+    w.key("id");
+    w.raw(id_json.empty() ? "null" : id_json);
+    w.kv("status", "error");
+    w.kv("code", static_cast<std::int64_t>(code));
+    w.kv("error", message);
+    w.end_object();
+  }
+  return os.str();
+}
+
+}  // namespace spgcmp::serve

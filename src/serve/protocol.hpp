@@ -1,0 +1,84 @@
+#pragma once
+
+// The serve daemon's wire protocol: newline-delimited JSON, one request
+// per line in, one response per line out, answered strictly in request
+// order.
+//
+// Request:
+//   {
+//     "id": 7,                         // optional; echoed verbatim
+//     "spg": "spg 3 2\nstage ...",     // one of spg | generator | streamit
+//     "generator": {"n": 50, "ymax": 6, "seed": 1, "ccr": 1.0},
+//     "streamit": {"index": 3, "ccr": 10.0},   // or just 3
+//     "topology": {"name": "mesh", "rows": 4, "cols": 4},  // default 4x4 mesh
+//     "solver": "dpa2d1d+refine",      // registry spec
+//     "options": "rounds=4",           // sugar for solver(options)
+//     "period": 0.004
+//   }
+// Unknown top-level keys are rejected — a typoed knob must not silently
+// select a default.
+//
+// Response (ok):
+//   {"id":7,"status":"ok","cache":"hit"|"miss","key":"<16-hex digest>",
+//    "request_evals":N,"wall_us":X,"report":{...}}
+// `request_evals` counts evaluator calls performed *for this request* —
+// 0 on a cache hit, by construction.  `report` is the cached payload,
+// byte-identical between the cold solve and every later hit; it excludes
+// wall time (which lives in the frame) so payloads are also identical
+// across runs and thread counts.
+//
+// Response (error):
+//   {"id":7,"status":"error","code":2,"error":"..."}
+// Codes mirror the CLI exit-code contract of tool_common.hpp: 2 for
+// configuration mistakes (malformed JSON/request, unknown solver or
+// topology), 1 for internal errors, 3 when the daemon is draining for
+// shutdown and refuses to start a new solve.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "cmp/cmp.hpp"
+#include "solve/solve.hpp"
+#include "spg/spg.hpp"
+#include "util/json.hpp"
+
+namespace spgcmp::serve {
+
+/// Malformed or self-contradictory request document.  Answered with
+/// code 2, like the CLIs' usage errors.
+class RequestError : public std::runtime_error {
+ public:
+  explicit RequestError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A validated, materialized request: the graph is built, the platform
+/// constructed, the solver spec normalized and the memo key computed.
+struct Request {
+  std::string id_json;  ///< the "id" member re-rendered as JSON ("null" if absent)
+  spg::Spg spg;
+  cmp::Platform platform;
+  std::string solver;  ///< normalized spec (canonical.hpp)
+  double period = 0.0;
+  std::string key;  ///< full canonical key
+};
+
+/// Parse and materialize one request document.  Throws RequestError,
+/// solve::SolverError or cmp::TopologyError (all answered with code 2).
+[[nodiscard]] Request parse_request(const util::JsonValue& doc);
+
+/// Render the cacheable report payload of one solve (compact JSON object,
+/// no wall time — see the header comment).
+[[nodiscard]] std::string render_report(const Request& req,
+                                        const solve::SolveReport& report);
+
+/// Render a complete ok-response line (no trailing newline).
+[[nodiscard]] std::string render_ok(const Request& req,
+                                    const std::string& report_payload, bool hit,
+                                    std::uint64_t request_evals, double wall_us);
+
+/// Render a complete error-response line (no trailing newline).
+[[nodiscard]] std::string render_error(const std::string& id_json, int code,
+                                       const std::string& message);
+
+}  // namespace spgcmp::serve

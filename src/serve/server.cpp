@@ -1,0 +1,198 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <stdexcept>
+#include <streambuf>
+#include <utility>
+
+#include "serve/canonical.hpp"
+#include "serve/protocol.hpp"
+#include "solve/solve.hpp"
+
+namespace spgcmp::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+/// The "id" member of a possibly-malformed request document, re-rendered
+/// as JSON for the error frame; "null" whenever that is not possible.
+std::string id_of(const util::JsonValue& doc) {
+  const util::JsonValue* id = doc.find("id");
+  if (id == nullptr) return "null";
+  switch (id->type) {
+    case util::JsonValue::Type::Number: return util::json_number(id->number);
+    case util::JsonValue::Type::String:
+      return "\"" + util::json_escape(id->string) + "\"";
+    default: return "null";
+  }
+}
+
+enum class Kind { OkMiss, OkHit, Error, Shutdown };
+
+struct Outcome {
+  std::string line;
+  Kind kind = Kind::Error;
+};
+
+/// Discards everything; backs replay()'s response stream.
+class NullBuf final : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c == traits_type::eof() ? 0 : c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+}  // namespace
+
+Server::Server(ServerOptions opt)
+    : opt_(std::move(opt)),
+      cache_(opt_.cache_capacity),
+      pool_(opt_.threads) {
+  if (!opt_.log_path.empty()) log_.emplace(opt_.log_path);
+}
+
+ServerSummary Server::serve(std::istream& in, std::ostream& out,
+                            const std::atomic<bool>* stop) {
+  return serve_impl(in, out, stop, /*log_requests=*/true);
+}
+
+ServerSummary Server::replay(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open request log " + path);
+  NullBuf null_buf;
+  std::ostream null_out(&null_buf);
+  return serve_impl(is, null_out, nullptr, /*log_requests=*/false);
+}
+
+ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
+                                 const std::atomic<bool>* stop,
+                                 bool log_requests) {
+  ServerSummary summary;
+
+  const std::size_t max_inflight =
+      opt_.max_inflight != 0 ? opt_.max_inflight : 4 * pool_.thread_count();
+
+  std::mutex mutex;
+  std::condition_variable cv_slot;
+  std::map<std::uint64_t, Outcome> ready;
+  std::uint64_t next_emit = 0;
+  std::uint64_t inflight = 0;
+
+  // Runs on a pool worker: materialize, memoize or solve, render.  Every
+  // failure mode renders an error response — nothing escapes, so every
+  // accepted request is answered.
+  const auto handle = [this, stop](const std::string& line) -> Outcome {
+    util::JsonValue doc;
+    try {
+      doc = util::parse_json(line);
+    } catch (const util::JsonParseError& e) {
+      return {render_error("null", 2,
+                           std::string("malformed request JSON: ") + e.what()),
+              Kind::Error};
+    }
+    const std::string id = id_of(doc);
+    try {
+      const auto t0 = Clock::now();
+      Request req = parse_request(doc);
+      if (auto cached = cache_.lookup(req.key)) {
+        return {render_ok(req, *cached, /*hit=*/true, 0, us_since(t0)),
+                Kind::OkHit};
+      }
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        // Draining: don't start new solves; the cache-hit path above still
+        // answers what it can.
+        return {render_error(id, 3, "daemon is shutting down; solve refused"),
+                Kind::Shutdown};
+      }
+      solve::SolveRequest sreq;
+      sreq.spg = &req.spg;
+      sreq.platform = &req.platform;
+      sreq.period = req.period;
+      sreq.seed = fnv1a64(req.key);  // identical problems solve identically
+      const auto report = solve::run(req.solver, sreq);
+      std::string payload = render_report(req, report);
+      cache_.insert(req.key, payload);
+      return {render_ok(req, payload, /*hit=*/false,
+                        report.stats.evaluator_calls(), us_since(t0)),
+              Kind::OkMiss};
+    } catch (const RequestError& e) {
+      return {render_error(id, 2, e.what()), Kind::Error};
+    } catch (const solve::SolverError& e) {
+      return {render_error(id, 2, e.what()), Kind::Error};
+    } catch (const cmp::TopologyError& e) {
+      return {render_error(id, 2, e.what()), Kind::Error};
+    } catch (const std::exception& e) {
+      return {render_error(id, 1, e.what()), Kind::Error};
+    }
+  };
+
+  // Emit every ready outcome that is next in request order; called under
+  // the lock by whichever worker filled the gap.
+  const auto emit_ready = [&] {
+    while (true) {
+      const auto it = ready.find(next_emit);
+      if (it == ready.end()) break;
+      out << it->second.line << '\n';
+      ++summary.answered;
+      switch (it->second.kind) {
+        case Kind::OkMiss: ++summary.ok; break;
+        case Kind::OkHit:
+          ++summary.ok;
+          ++summary.hits;
+          break;
+        case Kind::Error: ++summary.errors; break;
+        case Kind::Shutdown: ++summary.shutdown_refused; break;
+      }
+      ready.erase(it);
+      ++next_emit;
+      --inflight;
+    }
+    out.flush();
+  };
+
+  std::uint64_t seq = 0;
+  std::string line;
+  while (true) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) break;
+    // With stop handlers installed (no SA_RESTART) a signal interrupts a
+    // blocking read, fails the stream, and lands us in the drain below.
+    if (!std::getline(in, line)) break;
+    if (line.empty()) continue;
+    ++summary.accepted;
+    if (log_requests && log_.has_value()) log_->append_raw(line);
+
+    const std::uint64_t s = seq++;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv_slot.wait(lock, [&] { return inflight < max_inflight; });
+      ++inflight;
+    }
+    pool_.submit([&, s, line] {
+      Outcome outcome = handle(line);
+      const std::lock_guard<std::mutex> lock(mutex);
+      ready.emplace(s, std::move(outcome));
+      emit_ready();
+      cv_slot.notify_all();
+    });
+  }
+
+  // Drain: every submitted request runs (or is refused by `handle`'s stop
+  // check) and is emitted before the pool goes idle.
+  pool_.wait_idle();
+
+  summary.interrupted =
+      stop != nullptr && stop->load(std::memory_order_relaxed);
+  summary.cache = cache_.stats();
+  return summary;
+}
+
+}  // namespace spgcmp::serve

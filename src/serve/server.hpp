@@ -1,0 +1,85 @@
+#pragma once
+
+// The memoizing solve server behind tools/spgcmp_serve.
+//
+// serve() reads newline-delimited request documents from a stream, fans
+// the solves out onto a util::ThreadPool, and writes one response line per
+// accepted request to the output stream *in request order* (a bounded
+// reorder buffer matches completions back to their sequence numbers, and
+// bounds how far the reader may run ahead of the solvers).
+//
+// Results are memoized in a MemoCache keyed by canonical keys, so a
+// repeated or re-seeded-identical request is answered from the cache with
+// zero evaluator calls and a byte-identical report payload.  Accepted
+// request lines are mirrored verbatim to an append-only JSONL log, which
+// replay() can feed back through the server to rebuild the cache after a
+// restart.
+//
+// Shutdown protocol: when the stop flag is raised (SIGINT/SIGTERM via
+// util::stop_signal, or a test's atomic), the read loop stops accepting
+// and the pool drains — solves already running finish and are answered
+// normally, queued requests are answered from the cache when possible and
+// otherwise refused with a clean code-3 "shutting down" error.  Every
+// accepted request gets exactly one response before serve() returns.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "serve/cache.hpp"
+#include "util/jsonl.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spgcmp::serve {
+
+struct ServerOptions {
+  std::size_t threads = 0;         ///< solve pool size; 0 = hardware concurrency
+  std::size_t cache_capacity = 1024;  ///< memo entries; 0 disables caching
+  /// Max accepted-but-unanswered requests; 0 = 4x the pool size.
+  std::size_t max_inflight = 0;
+  std::string log_path;  ///< append-only request log (empty = no log)
+};
+
+/// What one serve() call did.
+struct ServerSummary {
+  std::uint64_t accepted = 0;   ///< non-blank request lines read
+  std::uint64_t answered = 0;   ///< response lines written
+  std::uint64_t ok = 0;         ///< status:ok responses (hits + misses)
+  std::uint64_t hits = 0;       ///< ok responses served from the cache
+  std::uint64_t errors = 0;     ///< status:error responses (codes 1/2)
+  std::uint64_t shutdown_refused = 0;  ///< code-3 responses during drain
+  bool interrupted = false;     ///< the stop flag ended the read loop
+  MemoCache::Stats cache;       ///< cache counters at return time
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opt);
+
+  /// Serve requests from `in` until EOF or the stop flag; see the header
+  /// comment for ordering and shutdown semantics.  The cache persists
+  /// across calls on the same Server.
+  ServerSummary serve(std::istream& in, std::ostream& out,
+                      const std::atomic<bool>* stop = nullptr);
+
+  /// Feed a request log (as written via ServerOptions::log_path) back
+  /// through the server, discarding responses — a cache warm-up.  The
+  /// replayed lines are not re-appended to the log.  Tolerates a torn
+  /// final line (it surfaces as one discarded error response).
+  ServerSummary replay(const std::string& path);
+
+  [[nodiscard]] MemoCache& cache() noexcept { return cache_; }
+
+ private:
+  ServerSummary serve_impl(std::istream& in, std::ostream& out,
+                           const std::atomic<bool>* stop, bool log_requests);
+
+  ServerOptions opt_;
+  MemoCache cache_;
+  util::ThreadPool pool_;
+  std::optional<util::JsonlWriter> log_;
+};
+
+}  // namespace spgcmp::serve

@@ -138,6 +138,11 @@ void JsonWriter::null() {
   os_ << "null";
 }
 
+void JsonWriter::raw(std::string_view json) {
+  before_value();
+  os_ << json;
+}
+
 void JsonWriter::value(const std::vector<double>& v) {
   before_value();
   os_ << '[';

@@ -64,6 +64,12 @@ class JsonWriter {
     value(v);
   }
 
+  /// Splice pre-rendered JSON text in value position (comma and key
+  /// bookkeeping still apply).  The text must be exactly one well-formed
+  /// JSON value; the writer does not re-validate it.  Used to serve cached
+  /// payloads byte-identically without a parse/re-emit round trip.
+  void raw(std::string_view json);
+
   /// Convenience: a whole array of doubles / sizes on one line.
   void value(const std::vector<double>& v);
   void value(const std::vector<std::size_t>& v);

@@ -59,6 +59,13 @@ void JsonlWriter::append(const std::function<void(JsonWriter&)>& fill) {
   ++records_;
 }
 
+void JsonlWriter::append_raw(std::string_view line) {
+  os_ << line << '\n';
+  os_.flush();
+  if (!os_) throw std::runtime_error("write failed on " + path_);
+  ++records_;
+}
+
 std::vector<JsonValue> read_jsonl(const std::string& path) {
   std::vector<JsonValue> records;
   std::ifstream is(path);

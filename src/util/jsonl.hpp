@@ -12,6 +12,7 @@
 #include <functional>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/json.hpp"
@@ -31,6 +32,12 @@ class JsonlWriter {
   /// line, so concurrent readers never observe a torn record through the
   /// stream buffer.
   void append(const std::function<void(JsonWriter&)>& fill);
+
+  /// Append one already-rendered record verbatim (it must be a single line
+  /// of JSON with no trailing newline) and flush.  Used by the serve
+  /// daemon's request log, which preserves accepted request lines
+  /// byte-for-byte so a replay feeds the exact original documents.
+  void append_raw(std::string_view line);
 
   [[nodiscard]] std::size_t records_written() const noexcept { return records_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }

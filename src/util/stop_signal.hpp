@@ -1,0 +1,32 @@
+#pragma once
+
+// Cooperative SIGINT/SIGTERM shutdown for the long-running tools.
+//
+// The campaign and serve daemons must not die mid-write on Ctrl-C: they
+// finish the in-flight unit of work, checkpoint, and exit with the
+// documented pause code 3.  install_stop_handlers() routes both signals to
+// a process-wide atomic flag that their main loops poll between units.
+//
+// Two deliberate choices:
+//   * handlers are installed *without* SA_RESTART, so a signal arriving
+//     during a blocking read (stdin, a request FIFO) fails the read with
+//     EINTR and the loop observes the flag instead of blocking forever;
+//   * a second signal restores the default disposition and re-raises, so
+//     an impatient operator still gets a hard kill — which the JSONL
+//     torn-tail recovery is designed to survive.
+
+#include <atomic>
+
+namespace spgcmp::util {
+
+/// The process-wide stop flag the handlers set.  Lock-free and
+/// async-signal-safe to read from any loop.
+[[nodiscard]] std::atomic<bool>& stop_flag() noexcept;
+
+/// Install SIGINT and SIGTERM handlers that set stop_flag().  Idempotent.
+void install_stop_handlers();
+
+/// Reset stop_flag() to false (tests that raise() a signal in-process).
+void clear_stop_flag() noexcept;
+
+}  // namespace spgcmp::util

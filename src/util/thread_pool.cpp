@@ -5,6 +5,11 @@
 #include <stdexcept>
 #include <utility>
 
+#ifndef _WIN32
+#include <csignal>
+#include <pthread.h>
+#endif
+
 namespace spgcmp::util {
 
 namespace {
@@ -67,10 +72,25 @@ ThreadPool::ThreadPool(std::size_t threads) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
+#ifndef _WIN32
+  // Workers inherit a mask blocking SIGINT/SIGTERM, so a process-directed
+  // stop signal is always delivered to the spawning (intake) thread and
+  // interrupts its blocking read — without this, the kernel may pick a
+  // worker, the stop flag is set, and a daemon blocked reading a FIFO
+  // never notices until its next input line.
+  sigset_t block, prev;
+  sigemptyset(&block);
+  sigaddset(&block, SIGINT);
+  sigaddset(&block, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &block, &prev);
+#endif
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+#ifndef _WIN32
+  pthread_sigmask(SIG_SETMASK, &prev, nullptr);
+#endif
 }
 
 ThreadPool::~ThreadPool() {

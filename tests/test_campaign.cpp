@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -484,6 +485,69 @@ TEST(CampaignService, RejectsDirectoryBoundToDifferentSpec) {
   EXPECT_THROW(campaign::CampaignService(other, dir.str()), std::runtime_error);
   // The original spec re-binds fine (idempotent init).
   EXPECT_NO_THROW(campaign::CampaignService(spec, dir.str()));
+}
+
+TEST(CampaignService, StopFlagPausesWithValidManifestAndResumes) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+  CampaignDir dir("sigpause");
+  campaign::CampaignService service(spec, dir.str());
+
+  // The flag is already up (as after a SIGINT between shards): the run
+  // pauses before executing anything, but still checkpoints a valid
+  // manifest so `status` and `resume` see consistent state.
+  std::atomic<bool> stop{true};
+  std::ostringstream log;
+  campaign::ServiceOptions opt;
+  opt.threads = 1;
+  opt.stop = &stop;
+  opt.log = &log;
+  const auto paused = service.run(opt);
+  EXPECT_FALSE(paused.complete);
+  EXPECT_TRUE(paused.interrupted);
+  EXPECT_EQ(paused.shards_executed, 0u);
+  EXPECT_NE(log.str().find("stop requested"), std::string::npos);
+  const auto manifest = service.store().read_manifest();
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->campaign, "tiny");
+  EXPECT_EQ(manifest->shards_total, 3u);
+  EXPECT_EQ(manifest->shards_done, 0u);
+
+  // Clearing the flag resumes to completion; nothing was lost or redone.
+  stop.store(false);
+  const auto resumed = service.run(opt);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.shards_executed, 3u);
+  EXPECT_EQ(resumed.shards_skipped, 0u);
+}
+
+TEST(CampaignStore, WriteManifestSurfacesUnwritableDirectory) {
+  // The durability path must report failures instead of silently
+  // installing nothing (the old code ignored the stream state entirely).
+  const campaign::CampaignStore store(
+      (fs::temp_directory_path() / "spgcmp_no_such_dir" / "campaign").string());
+  EXPECT_THROW(store.write_manifest({"x", 1, 0}), std::runtime_error);
+}
+
+TEST(CampaignStore, WriteManifestReplacesStaleTmpAtomically) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+  CampaignDir dir("durable");
+  campaign::CampaignService service(spec, dir.str());  // creates the directory
+  const auto& store = service.store();
+
+  // A stale, oversized tmp from a crashed earlier attempt must not leak
+  // trailing bytes into the next manifest.
+  {
+    std::ofstream os(store.manifest_path() + ".tmp");
+    os << std::string(4096, 'x');
+  }
+  store.write_manifest({"tiny", 3, 2});
+  EXPECT_FALSE(fs::exists(store.manifest_path() + ".tmp"));
+  const auto m = store.read_manifest();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->campaign, "tiny");
+  EXPECT_EQ(m->shards_total, 3u);
+  EXPECT_EQ(m->shards_done, 2u);
 }
 
 TEST(CampaignService, ManifestCheckpointsProgress) {

@@ -23,7 +23,10 @@
 //
 // Exit codes: 0 = requested work done, 1 = error, 2 = usage or unknown
 // solver/topology/spec key (with the matching listing; see tool_common.hpp),
-// 3 = run/resume stopped early with shards still pending (--max-shards).
+// 3 = run/resume stopped early with shards still pending — either the
+// --max-shards quantum was reached or a SIGINT/SIGTERM paused the run
+// (the in-flight shard finishes, the manifest is checkpointed and fsynced;
+// a second signal hard-kills, which torn-tail recovery survives).
 
 #include <cstdio>
 #include <fstream>
@@ -33,6 +36,7 @@
 #include "campaign/service.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
+#include "util/stop_signal.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -64,6 +68,12 @@ campaign::ServiceOptions service_options(const util::Args& args) {
       static_cast<std::size_t>(args.get_int("threads", "REPRO_THREADS", 0));
   opt.max_shards = static_cast<std::size_t>(args.get_int("max-shards", "", 0));
   opt.log = &std::cout;
+  // Graceful pause on SIGINT/SIGTERM: the in-flight shard finishes and is
+  // persisted, the manifest is checkpointed, and the tool exits 3 — resume
+  // continues with zero re-execution.  A second signal hard-kills (the
+  // torn-JSONL-tail recovery covers that path).
+  util::install_stop_handlers();
+  opt.stop = &util::stop_flag();
   return opt;
 }
 
@@ -102,7 +112,8 @@ int finish_run(const campaign::RunSummary& summary) {
     std::printf("campaign complete: %zu shards\n", summary.shards_total);
     return 0;
   }
-  std::printf("campaign stopped with %zu/%zu shards done; resume to continue\n",
+  std::printf("campaign %s with %zu/%zu shards done; resume to continue\n",
+              summary.interrupted ? "paused" : "stopped",
               summary.shards_skipped + summary.shards_executed,
               summary.shards_total);
   return 3;

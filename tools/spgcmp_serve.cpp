@@ -1,0 +1,181 @@
+// spgcmp_serve — memoizing mapping-as-a-service daemon.
+//
+//   spgcmp_serve [--in=PATH] [--threads=N] [--cache=N] [--max-inflight=N]
+//                [--log=FILE] [--replay=FILE] [--list-solvers]
+//
+// Reads newline-delimited JSON solve requests (see src/serve/protocol.hpp
+// for the schema) from --in (a file or FIFO) or stdin, and writes one JSON
+// response per request to stdout, in request order.  Solves are batched
+// onto a thread pool and memoized by canonical problem key: a repeated or
+// re-seeded-identical request answers with "cache": "hit", zero evaluator
+// calls, and a report payload byte-identical to the cold solve.
+//
+// --log=FILE appends every accepted request line verbatim to an
+// append-only JSONL log; --replay=FILE feeds such a log back through the
+// server before serving, rebuilding the memo cache after a restart.  With
+// --replay and no explicit --in the daemon exits after the replay.
+//
+// SIGINT/SIGTERM stop the intake loop and drain: running solves finish
+// and answer normally, queued requests answer from the cache when
+// possible and are otherwise refused with a code-3 error.  Exit codes:
+// 0 = EOF reached, 3 = stopped by a signal (after the drain), 2 = usage
+// or configuration error, 1 = internal error.  Per-request failures are
+// answered in-band and do not affect the exit code.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <streambuf>
+
+#ifndef _WIN32
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "serve/server.hpp"
+#include "tool_common.hpp"
+#include "util/cli.hpp"
+#include "util/stop_signal.hpp"
+
+namespace {
+
+using namespace spgcmp;
+
+#ifndef _WIN32
+
+/// Raw-fd input buffer that honours EINTR: libstdc++'s filebuf retries
+/// interrupted reads internally, so a daemon blocked reading a FIFO would
+/// never notice SIGTERM until its next input line.  This buffer re-checks
+/// the stop flag on every EINTR and turns a raised flag into EOF, which
+/// lands the server in its drain path immediately.
+class StopAwareFdBuf final : public std::streambuf {
+ public:
+  StopAwareFdBuf(int fd, const std::atomic<bool>& stop) : fd_(fd), stop_(stop) {}
+
+ protected:
+  int underflow() override {
+    for (;;) {
+      if (stop_.load(std::memory_order_relaxed)) return traits_type::eof();
+      const ssize_t n = ::read(fd_, buf_, sizeof buf_);
+      if (n > 0) {
+        setg(buf_, buf_, buf_ + n);
+        return traits_type::to_int_type(buf_[0]);
+      }
+      if (n == 0) return traits_type::eof();
+      if (errno != EINTR) return traits_type::eof();
+    }
+  }
+
+ private:
+  int fd_;
+  const std::atomic<bool>& stop_;
+  char buf_[1 << 16];
+};
+
+/// Open a request input, retrying the (FIFO-blocking) open on EINTR until
+/// the stop flag is raised.  Returns -1 when stopped before a writer
+/// appeared.
+int open_request_input(const std::string& path, const std::atomic<bool>& stop) {
+  for (;;) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) {
+      if (stop.load(std::memory_order_relaxed)) return -1;
+      continue;
+    }
+    throw std::runtime_error("cannot open request input " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+#endif  // !_WIN32
+
+void print_summary(const char* what, const serve::ServerSummary& s) {
+  std::fprintf(stderr,
+               "[serve] %s: %llu accepted, %llu answered (%llu ok, %llu from "
+               "cache, %llu errors, %llu refused); cache %llu/%llu hit/miss, "
+               "%llu evicted, %zu/%zu entries\n",
+               what, static_cast<unsigned long long>(s.accepted),
+               static_cast<unsigned long long>(s.answered),
+               static_cast<unsigned long long>(s.ok),
+               static_cast<unsigned long long>(s.hits),
+               static_cast<unsigned long long>(s.errors),
+               static_cast<unsigned long long>(s.shutdown_refused),
+               static_cast<unsigned long long>(s.cache.hits),
+               static_cast<unsigned long long>(s.cache.misses),
+               static_cast<unsigned long long>(s.cache.evictions),
+               s.cache.size, s.cache.capacity);
+}
+
+int serve_main(const util::Args& args) {
+  serve::ServerOptions opt;
+  opt.threads =
+      static_cast<std::size_t>(args.get_int("threads", "REPRO_THREADS", 0));
+  opt.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", "", 1024));
+  opt.max_inflight =
+      static_cast<std::size_t>(args.get_int("max-inflight", "", 0));
+  opt.log_path = args.get_string("log", "", "");
+
+  serve::Server server(std::move(opt));
+  util::install_stop_handlers();
+  const std::atomic<bool>& stop = util::stop_flag();
+
+  const std::string replay = args.get_string("replay", "", "");
+  if (!replay.empty()) {
+    print_summary("replayed", server.replay(replay));
+  }
+
+  const std::string in_path = args.get_string("in", "", "");
+  if (in_path.empty() && !replay.empty()) return 0;  // replay-only run
+
+  serve::ServerSummary summary;
+#ifndef _WIN32
+  if (in_path.empty()) {
+    StopAwareFdBuf buf(STDIN_FILENO, stop);
+    std::istream is(&buf);
+    summary = server.serve(is, std::cout, &stop);
+  } else {
+    // A FIFO blocks open() until a writer appears; opened fresh here so
+    // the daemon can be started before its first client.
+    const int fd = open_request_input(in_path, stop);
+    if (fd < 0) return 3;  // stopped while waiting for a writer
+    StopAwareFdBuf buf(fd, stop);
+    std::istream is(&buf);
+    summary = server.serve(is, std::cout, &stop);
+    ::close(fd);
+  }
+#else
+  if (in_path.empty()) {
+    summary = server.serve(std::cin, std::cout, &stop);
+  } else {
+    std::ifstream is(in_path);
+    if (!is) throw std::runtime_error("cannot open request input " + in_path);
+    summary = server.serve(is, std::cout, &stop);
+  }
+#endif
+  print_summary("served", summary);
+  return summary.interrupted ? 3 : 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spgcmp_serve [--in=PATH] [--threads=N] [--cache=N]\n"
+               "                    [--max-inflight=N] [--log=FILE] [--replay=FILE]\n"
+               "  --list-solvers lists the solver registry\n"
+               "see the header of tools/spgcmp_serve.cpp for the protocol\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.has("help")) return usage();
+  return tools::run_tool("spgcmp_serve", [&]() -> int {
+    if (tools::handle_list_solvers(args)) return 0;
+    return serve_main(args);
+  });
+}
