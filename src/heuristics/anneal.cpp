@@ -1,8 +1,10 @@
 #include "heuristics/anneal.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "mapping/evaluator.hpp"
 #include "util/rng.hpp"
@@ -73,21 +75,43 @@ Result AnnealHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
       cur_energy = rebound.energy;
     }
     double temp = opt_.t0;
-    for (std::size_t it = 0; it < opt_.iters; ++it, temp *= opt_.cooling) {
+    std::size_t it = 0;
+    std::size_t next_rebind = 512;
+    std::vector<int> targets;
+    while (it < opt_.iters) {
       const bool swap_move =
           opt_.move_swap && (!opt_.move_migrate || (rng.next() & 1U) != 0);
 
       if (!swap_move) {
-        // Migrate: one stage to a random other core, scored incrementally
-        // with rollback built in (evaluate_move leaves the state bound).
+        // Migrate: one stage, a burst of random target cores scored in one
+        // batched pass, then consumed as successive Metropolis proposals —
+        // each scanned candidate spends one iteration and one cooling step,
+        // so the proposal budget matches the scalar chain.  The first
+        // accepted candidate is re-scored through the scalar move path
+        // (bit-identical by contract) and committed; the rest of the burst
+        // is discarded.
         const auto s = static_cast<spg::StageId>(
             rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
         const int home = evaluator.mapping().core_of[s];
-        int to = static_cast<int>(rng.uniform_int(0, cores - 2));
-        if (to >= home) ++to;
-        const auto& ev = evaluator.evaluate_move(s, to);
-        if (ev.valid() && accept(ev.energy, cur_energy, temp, e0, rng)) {
-          cur_energy = evaluator.commit_move().energy;
+        const std::size_t burst =
+            std::min(opt_.batch > 0 ? opt_.batch : 1, opt_.iters - it);
+        targets.clear();
+        for (std::size_t b = 0; b < burst; ++b) {
+          int to = static_cast<int>(rng.uniform_int(0, cores - 2));
+          if (to >= home) ++to;
+          targets.push_back(to);
+        }
+        const auto& scores = evaluator.evaluate_move_batch(s, targets);
+        for (std::size_t k = 0; k < burst; ++k) {
+          ++it;
+          const bool take = scores[k].valid() &&
+                            accept(scores[k].energy, cur_energy, temp, e0, rng);
+          temp *= opt_.cooling;
+          if (take) {
+            evaluator.evaluate_move(s, targets[k]);
+            cur_energy = evaluator.commit_move().energy;
+            break;
+          }
         }
       } else {
         // Swap: exchange the cores of two stages as an
@@ -102,17 +126,20 @@ Result AnnealHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
             rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
         const int c1 = evaluator.mapping().core_of[s1];
         const int c2 = evaluator.mapping().core_of[s2];
-        if (s1 == s2 || c1 == c2) continue;  // degenerate proposal
-        evaluator.apply_move(s1, c2);
-        evaluator.apply_move(s2, c1);
-        const auto& ev = evaluator.refresh();
-        if (ev.valid() && accept(ev.energy, cur_energy, temp, e0, rng)) {
-          cur_energy = ev.energy;
-        } else {
-          evaluator.apply_move(s1, c1);
-          evaluator.apply_move(s2, c2);
-          cur_energy = evaluator.refresh().energy;
+        ++it;
+        if (s1 != s2 && c1 != c2) {  // skip degenerate proposals
+          evaluator.apply_move(s1, c2);
+          evaluator.apply_move(s2, c1);
+          const auto& ev = evaluator.refresh();
+          if (ev.valid() && accept(ev.energy, cur_energy, temp, e0, rng)) {
+            cur_energy = ev.energy;
+          } else {
+            evaluator.apply_move(s1, c1);
+            evaluator.apply_move(s2, c2);
+            cur_energy = evaluator.refresh().energy;
+          }
         }
+        temp *= opt_.cooling;
       }
 
       if (cur_energy < best_energy) {
@@ -120,11 +147,12 @@ Result AnnealHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
         best = evaluator.mapping();
       }
 
-      // Drift control: every 512 proposals re-bind the bound mapping, which
+      // Drift control: every ~512 proposals re-bind the bound mapping, which
       // re-derives all link loads from its explicit paths.  Incremental
       // add/subtract rounding from rejected swaps is therefore bounded to a
       // 512-proposal window instead of compounding across the whole chain.
-      if (opt_.move_swap && (it % 512) == 511) {
+      if (opt_.move_swap && it >= next_rebind) {
+        next_rebind = it + 512;
         const auto& rebound = evaluator.bind(evaluator.mapping());
         if (!rebound.valid()) break;  // drift crossed the period hairline
         cur_energy = rebound.energy;

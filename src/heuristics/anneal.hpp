@@ -34,6 +34,11 @@ struct AnnealOptions {
   std::size_t restarts = 1;   ///< chains; each restarts from the incumbent
   bool move_swap = true;      ///< propose pairwise stage swaps
   bool move_migrate = true;   ///< propose single-stage migrations
+  /// Migration proposals per batched scoring call: one stage's candidate
+  /// targets are drawn and scored together (evaluate_move_batch), then
+  /// consumed as successive Metropolis proposals until one is accepted.
+  /// 1 reproduces the scalar one-proposal-per-call chain.
+  std::size_t batch = 8;
 };
 
 class AnnealHeuristic final : public Heuristic {

@@ -142,6 +142,7 @@ Result ExactSolver::run(const spg::Spg& g, const cmp::Platform& p, double T) con
     // Injective placements: DFS over ordered k-subsets of the cores.
     std::vector<int> choice(static_cast<std::size_t>(k));
     std::vector<char> used(static_cast<std::size_t>(cores), 0);
+    std::vector<int> batch_targets;
     // Delta-path state: the placement the evaluator is currently bound to.
     // Consecutive leaves of the DFS differ in a suffix of `choice`, so most
     // candidates are scored by moving one cluster's stages.
@@ -233,6 +234,71 @@ Result ExactSolver::run(const spg::Spg& g, const cmp::Platform& p, double T) con
     auto place = [&](auto&& self, int depth) -> void {
       if (fuel == 0) {
         budget_hit = true;
+        return;
+      }
+      if (depth == k - 1 && have_bound && options_.use_incremental &&
+          !options_.try_yx_routes &&
+          members[static_cast<std::size_t>(k - 1)].size() == 1) {
+        // Innermost level with a singleton last cluster: sync the bound
+        // state to the prefix choices once, then score every remaining core
+        // for the lone stage in one batched pass.  Only candidates that can
+        // beat the incumbent (within a re-check margin) are re-scored
+        // through the exact delta path; fuel is spent per candidate in the
+        // same core order as the scalar loop, so candidate counts match.
+        const spg::StageId lone = members[static_cast<std::size_t>(k - 1)][0];
+        bool moved = false;
+        for (int c = 0; c + 1 < k; ++c) {
+          const int to = choice[static_cast<std::size_t>(c)];
+          if (to == bound_choice[static_cast<std::size_t>(c)]) continue;
+          for (const spg::StageId s : members[static_cast<std::size_t>(c)]) {
+            delta.apply_move(s, to);
+          }
+          bound_choice[static_cast<std::size_t>(c)] = to;
+          moved = true;
+        }
+        if (moved) delta.refresh();  // batch scoring needs fresh work/modes
+        const int home = delta.mapping().core_of[lone];
+
+        bool stay = false;
+        batch_targets.clear();
+        for (int c = 0; c < cores; ++c) {
+          if (used[static_cast<std::size_t>(c)]) continue;
+          if (fuel == 0) {
+            budget_hit = true;
+            break;
+          }
+          --fuel;
+          if (c == home) {
+            stay = true;
+          } else {
+            batch_targets.push_back(c);
+          }
+        }
+        if (stay) {
+          // The stage already sits on `home`: the bound state itself is
+          // this candidate.
+          choice[static_cast<std::size_t>(depth)] = home;
+          evaluate_delta();
+        }
+        if (!batch_targets.empty()) {
+          const auto& scores = delta.evaluate_move_batch(lone, batch_targets);
+          for (std::size_t i = 0; i < batch_targets.size(); ++i) {
+            const auto& sc = scores[i];
+            const bool ok = options_.require_dag_partition
+                                ? sc.valid()
+                                : sc.meets_period;
+            if (!ok) continue;
+            // Batch scores follow evaluate_move's delta arithmetic, while
+            // the committed path re-derives core work in refresh(); the two
+            // can differ by ulps, so near-ties are re-scored rather than
+            // filtered.
+            if (best.success && sc.energy > best.eval.energy * (1.0 + 1e-9)) {
+              continue;
+            }
+            choice[static_cast<std::size_t>(depth)] = batch_targets[i];
+            evaluate_delta();
+          }
+        }
         return;
       }
       if (depth == k) {

@@ -127,7 +127,12 @@ Result PeftHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
     preds_left[s] = g.in_edges(s).size();
     if (preds_left[s] == 0) ready.push_back(s);
   }
-  mapping::QuotientWorkspace quotient_ws;
+  // Maintained bit-parallel quotient over the placed prefix: a ready
+  // stage's predecessors are always placed and its successors never are, so
+  // trying stage s on core c only adds s's in-edges — O(deg) per candidate
+  // plus the word-parallel acyclicity check, instead of a full Kahn rebuild.
+  mapping::BitQuotient quotient;
+  quotient.reset(static_cast<int>(cores));
 
   for (std::size_t placed = 0; placed < n; ++placed) {
     std::size_t pick = 0;
@@ -148,10 +153,15 @@ Result PeftHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
       const double budget = T * p.speeds.max_speed() * scale;
       if (core_load[c] + g.stage(s).work > budget) continue;
 
-      core_of[s] = static_cast<int>(c);
-      const bool acyclic = mapping::quotient_acyclic_in(
-          g, core_of, static_cast<int>(cores), quotient_ws);
-      core_of[s] = -1;
+      for (const spg::EdgeId e : g.in_edges(s)) {
+        const int pc = core_of[g.edge(e).src];
+        if (pc != static_cast<int>(c)) quotient.add_edge(pc, static_cast<int>(c));
+      }
+      const bool acyclic = quotient.acyclic();
+      for (const spg::EdgeId e : g.in_edges(s)) {
+        const int pc = core_of[g.edge(e).src];
+        if (pc != static_cast<int>(c)) quotient.remove_edge(pc, static_cast<int>(c));
+      }
       if (!acyclic) continue;
 
       const double marginal = core_energy_at(core_load[c] + g.stage(s).work, c) -
@@ -175,6 +185,10 @@ Result PeftHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
 
     core_of[s] = best_core;
     core_load[static_cast<std::size_t>(best_core)] += g.stage(s).work;
+    for (const spg::EdgeId e : g.in_edges(s)) {
+      const int pc = core_of[g.edge(e).src];
+      if (pc != best_core) quotient.add_edge(pc, best_core);
+    }
     for (const spg::EdgeId e : g.out_edges(s)) {
       const spg::StageId d = g.edge(e).dst;
       if (--preds_left[d] == 0) ready.push_back(d);

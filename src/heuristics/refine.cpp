@@ -27,15 +27,28 @@ Result refine_mapping(const spg::Spg& g, const cmp::Platform& p, double T,
   double cur_energy = bound_ev.energy;
 
   const int cores = p.grid().core_count();
+  std::vector<int> targets;
+  targets.reserve(static_cast<std::size_t>(cores));
   for (std::size_t round = 0; round < options.max_rounds; ++round) {
     bool improved = false;
     for (spg::StageId i = 0; i < g.size(); ++i) {
       const int home = evaluator.mapping().core_of[i];
+      // Score the whole neighbourhood in one batched pass; scores are
+      // bit-identical to per-candidate evaluate_move calls, and scanning
+      // them in the same core order preserves the first-improvement
+      // trajectory exactly.
+      targets.clear();
       for (int c = 0; c < cores; ++c) {
-        if (c == home) continue;
-        const auto& ev = evaluator.evaluate_move(i, c);
-        if (!ev.valid()) continue;
-        if (ev.energy < cur_energy * (1.0 - options.min_gain)) {
+        if (c != home) targets.push_back(c);
+      }
+      const auto& scores = evaluator.evaluate_move_batch(i, targets);
+      for (std::size_t k = 0; k < targets.size(); ++k) {
+        const auto& sc = scores[k];
+        if (!sc.valid()) continue;
+        if (sc.energy < cur_energy * (1.0 - options.min_gain)) {
+          // Re-score the winner through the scalar path to set up the
+          // pending move, then commit it.
+          evaluator.evaluate_move(i, targets[k]);
           cur_energy = evaluator.commit_move().energy;
           improved = true;
           break;  // first improvement; rescan the stage's new neighbourhood

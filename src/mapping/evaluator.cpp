@@ -66,6 +66,27 @@ inline void count_eval(std::uint64_t EvalCounters::*counter,
   }
 }
 
+/// Bulk variant: one counter update for a whole batch of candidates.
+inline void count_eval_n(std::uint64_t n, std::uint64_t EvalCounters::*counter,
+                         std::atomic<std::uint64_t> EvalCounterSink::*cell) noexcept {
+  (eval_counters().*counter) += n;
+  if (EvalCounterSink* sink = tl_eval_sink) {
+    (sink->*cell).fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+void to_score(const Evaluation& ev, BatchScore& out) noexcept {
+  out.dag_partition_ok = ev.dag_partition_ok;
+  out.meets_period = ev.meets_period;
+  out.period = ev.period;
+  out.max_core_time = ev.max_core_time;
+  out.max_link_time = ev.max_link_time;
+  out.comp_energy = ev.comp_energy;
+  out.comm_energy = ev.comm_energy;
+  out.energy = ev.energy;
+  out.active_cores = ev.active_cores;
+}
+
 // Registered when this TU is linked (i.e. whenever the evaluator exists in
 // the program): pool workers adopt the spawning thread's sink, so solvers
 // that parallelize internally keep exact per-solve attribution.
@@ -108,6 +129,14 @@ Evaluator::Evaluator(const spg::Spg& g, const cmp::Platform& p, double T)
   stage_count_.assign(cores, 0);
   link_paths_.assign(links, 0);
   link_epoch_.assign(links, 0);
+  q_.reset(p.grid().core_count());
+  // Hoist loop-invariant factors of the aggregation: identical operands
+  // give identical bits, so caching changes no result.
+  scale_.resize(cores);
+  for (int c = 0; c < p.grid().core_count(); ++c) {
+    scale_[static_cast<std::size_t>(c)] = p.topology.core_speed_scale(c);
+  }
+  leak_energy_ = p.speeds.leak_power() * T_;
 }
 
 void Evaluator::accumulate_work(const std::vector<int>& core_of) {
@@ -120,14 +149,15 @@ void Evaluator::accumulate_work(const std::vector<int>& core_of) {
   }
 }
 
-const Evaluation& Evaluator::finish_scalars(Evaluation& out,
-                                            const std::vector<int>& core_of,
-                                            const std::vector<std::size_t>& mode_of_core) {
+// Flat scalar aggregation over the arenas (core work / stage counts / link
+// loads), shared verbatim by every evaluation path — scalar and batched —
+// so all of them produce bit-identical energies for identical arena state.
+// The quotient check is the caller's job (out.dag_partition_ok is left
+// untouched): full paths rebuild `q_`, incremental and batched paths apply
+// an O(deg) delta to the maintained quotient instead.
+const Evaluation& Evaluator::aggregate_scalars(
+    Evaluation& out, const std::vector<std::size_t>& mode_of_core) {
   const auto& speeds = p_->speeds;
-  const auto& topo = p_->topology;
-
-  out.dag_partition_ok =
-      quotient_acyclic_in(*g_, core_of, p_->grid().core_count(), q_ws_);
 
   out.max_core_time = 0.0;
   out.comp_energy = 0.0;
@@ -143,10 +173,10 @@ const Evaluation& Evaluator::finish_scalars(Evaluation& out,
       speed_ok = false;
       continue;
     }
-    const double eff = speeds.speed(k) * topo.core_speed_scale(c);
+    const double eff = speeds.speed(k) * scale_[static_cast<std::size_t>(c)];
     const double t = w / eff;
     out.max_core_time = std::max(out.max_core_time, t);
-    out.comp_energy += speeds.leak_power() * T_ + (w / eff) * speeds.dynamic_power(k);
+    out.comp_energy += leak_energy_ + (w / eff) * speeds.dynamic_power(k);
   }
   // Cores holding only zero-work stages still count as active (they consume
   // leakage and occupy the core).
@@ -154,7 +184,7 @@ const Evaluation& Evaluator::finish_scalars(Evaluation& out,
     if (stage_count_[static_cast<std::size_t>(c)] > 0 &&
         ev_.core_work[static_cast<std::size_t>(c)] <= 0.0) {
       ++out.active_cores;
-      out.comp_energy += speeds.leak_power() * T_;
+      out.comp_energy += leak_energy_;
     }
   }
 
@@ -251,7 +281,9 @@ const Evaluation& Evaluator::evaluate_full(const Mapping& m) {
     }
   }
 
-  return finish_scalars(ev_, m.core_of, m.mode_of_core);
+  ev_.dag_partition_ok =
+      quotient_acyclic_bits(*g_, m.core_of, grid.core_count(), q_);
+  return aggregate_scalars(ev_, m.mode_of_core);
 }
 
 const Evaluation& Evaluator::evaluate_placement(
@@ -290,7 +322,9 @@ const Evaluation& Evaluator::evaluate_placement(
       ++link_paths_[static_cast<std::size_t>(idx)];
     }
   }
-  return finish_scalars(ev_, core_of, mode_of_core);
+  ev_.dag_partition_ok =
+      quotient_acyclic_bits(*g_, core_of, grid.core_count(), q_);
+  return aggregate_scalars(ev_, mode_of_core);
 }
 
 const Evaluation& Evaluator::bind(const Mapping& m) {
@@ -342,6 +376,19 @@ void Evaluator::add_edge_route(int a, int b, double bytes, bool journal) {
   }
 }
 
+void Evaluator::shift_quotient(spg::StageId s, int from, int to) {
+  for (const spg::EdgeId e : g_->in_edges(s)) {
+    const int uc = m_.core_of[g_->edge(e).src];
+    if (uc != from) q_.remove_edge(uc, from);
+    if (uc != to) q_.add_edge(uc, to);
+  }
+  for (const spg::EdgeId e : g_->out_edges(s)) {
+    const int vc = m_.core_of[g_->edge(e).dst];
+    if (vc != from) q_.remove_edge(from, vc);
+    if (vc != to) q_.add_edge(to, vc);
+  }
+}
+
 void Evaluator::materialize_default_routes(spg::StageId s, int to) {
   const auto& topo = p_->topology;
   for (const spg::EdgeId e : g_->in_edges(s)) {
@@ -385,6 +432,13 @@ const Evaluation& Evaluator::evaluate_move(spg::StageId s, int to) {
     epoch_ = 1;
   }
 
+  // Acyclicity via the maintained quotient: shift the O(deg) incident
+  // quotient edges, word-parallel reachability check, shift back — no
+  // O(edges) rebuild.
+  shift_quotient(s, from, to);
+  const bool dag_ok = q_.acyclic();
+  shift_quotient(s, to, from);
+
   // Link deltas: the moved stage's incident edges lose their bound paths
   // and gain topology default routes, with every touched link journaled
   // for the rollback below.
@@ -423,7 +477,8 @@ const Evaluation& Evaluator::evaluate_move(spg::StageId s, int to) {
   m_.mode_of_core[static_cast<std::size_t>(to)] = pending_mode_to_;
 
   reset_scalars(move_ev_);
-  finish_scalars(move_ev_, m_.core_of, m_.mode_of_core);
+  move_ev_.dag_partition_ok = dag_ok;
+  aggregate_scalars(move_ev_, m_.mode_of_core);
 
   for (const auto& old : journal_links_) {
     const auto idx = static_cast<std::size_t>(old.index);
@@ -453,6 +508,7 @@ const Evaluation& Evaluator::commit_move() {
   const int from = pending_from_;
   const int to = pending_to_;
 
+  shift_quotient(s, from, to);
   --stage_count_[static_cast<std::size_t>(from)];
   ++stage_count_[static_cast<std::size_t>(to)];
   for (const auto& next : pending_links_) {
@@ -498,6 +554,7 @@ void Evaluator::apply_move(spg::StageId s, int to) {
   }
   have_pending_ = false;  // a pending evaluate_move is invalidated
 
+  shift_quotient(s, from, to);
   // No journaling: the change is permanent, there is nothing to roll back.
   for (const spg::EdgeId e : g_->in_edges(s)) {
     const auto& edge = g_->edge(e);
@@ -530,7 +587,353 @@ const Evaluation& Evaluator::refresh() {
         downgraded_mode(ev_.core_work[static_cast<std::size_t>(c)], c);
   }
   reset_scalars(ev_);
-  return finish_scalars(ev_, m_.core_of, m_.mode_of_core);
+  // The maintained quotient already reflects every applied move.
+  ev_.dag_partition_ok = q_.acyclic();
+  return aggregate_scalars(ev_, m_.mode_of_core);
+}
+
+const std::vector<BatchScore>& Evaluator::evaluate_placement_batch(
+    const std::vector<int>& core_of, spg::StageId s,
+    const std::vector<int>& targets) {
+  const auto& grid = p_->grid();
+  const auto& topo = p_->topology;
+  const int cores = grid.core_count();
+  if (core_of.size() != g_->size()) {
+    throw std::invalid_argument("Evaluator: core_of arity mismatch");
+  }
+  for (spg::StageId i = 0; i < g_->size(); ++i) {
+    // Entry s is overridden by every candidate and never read.
+    if (i != s && (core_of[i] < 0 || core_of[i] >= cores)) {
+      throw std::out_of_range("Evaluator: stage mapped outside the grid");
+    }
+  }
+  for (const int t : targets) {
+    if (t < 0 || t >= cores) {
+      throw std::out_of_range("Evaluator: batch target outside the grid");
+    }
+  }
+  count_eval_n(targets.size(), &EvalCounters::batch, &EvalCounterSink::batch);
+  bound_ = false;
+  have_pending_ = false;
+
+  // Per-core work in scalar accumulation order, twice: excluding stage s
+  // (the base), and with s's work added at its stage position (the value a
+  // candidate core takes when s lands on it).  Both replay accumulate_work's
+  // stage order exactly, so sums are bit-identical to the scalar path.
+  const auto kc = static_cast<std::size_t>(cores);
+  batch_base_work_.assign(kc, 0.0);
+  batch_incl_work_.assign(kc, 0.0);
+  std::fill(stage_count_.begin(), stage_count_.end(), 0);
+  const double sw = g_->stage(s).work;
+  for (spg::StageId i = 0; i < g_->size(); ++i) {
+    if (i == s) {
+      for (std::size_t c = 0; c < kc; ++c) batch_incl_work_[c] += sw;
+      continue;
+    }
+    const auto c = static_cast<std::size_t>(core_of[i]);
+    batch_base_work_[c] += g_->stage(i).work;
+    batch_incl_work_[c] += g_->stage(i).work;
+    ++stage_count_[c];
+  }
+
+  // Base link loads and the per-link CSR of non-incident contributions,
+  // both in edge-id order.  Candidate sums for touched links are rebuilt by
+  // merging the incident contributions into this stream by edge id — the
+  // exact order the scalar pass adds them in.
+  std::fill(ev_.link_load.begin(), ev_.link_load.end(), 0.0);
+  const int links = topo.link_count();
+  batch_link_off_.assign(static_cast<std::size_t>(links) + 1, 0);
+  for (const auto& e : g_->edges()) {
+    if (e.src == s || e.dst == s) continue;
+    const int a = core_of[e.src];
+    const int b = core_of[e.dst];
+    if (a == b) continue;
+    for (const int idx : topo.route_links(a, b)) {
+      ++batch_link_off_[static_cast<std::size_t>(idx) + 1];
+    }
+  }
+  for (int l = 0; l < links; ++l) {
+    batch_link_off_[static_cast<std::size_t>(l) + 1] +=
+        batch_link_off_[static_cast<std::size_t>(l)];
+  }
+  batch_link_contrib_.resize(
+      static_cast<std::size_t>(batch_link_off_[static_cast<std::size_t>(links)]));
+  // Reuse link_paths_ as the CSR fill cursor; every non-batch entry point
+  // refills it before reading, so the clobber is safe.
+  std::copy(batch_link_off_.begin(), batch_link_off_.end() - 1,
+            link_paths_.begin());
+  for (spg::EdgeId e = 0; e < g_->edge_count(); ++e) {
+    const auto& edge = g_->edge(e);
+    if (edge.src == s || edge.dst == s) continue;
+    const int a = core_of[edge.src];
+    const int b = core_of[edge.dst];
+    if (a == b) continue;
+    for (const int idx : topo.route_links(a, b)) {
+      const auto k = static_cast<std::size_t>(idx);
+      batch_link_contrib_[static_cast<std::size_t>(link_paths_[k]++)] =
+          LinkContrib{e, edge.bytes};
+      ev_.link_load[k] += edge.bytes;
+    }
+  }
+
+  // Base modes and the base quotient (s unplaced).
+  batch_modes_.resize(kc);
+  for (int c = 0; c < cores; ++c) {
+    batch_modes_[static_cast<std::size_t>(c)] =
+        downgraded_mode(batch_base_work_[static_cast<std::size_t>(c)], c);
+  }
+  batch_core_of_ = core_of;
+  batch_core_of_[s] = -1;
+  q_.build(*g_, batch_core_of_, cores);
+
+  // Incident edges of s in edge-id order — the merge below interleaves by
+  // id, so the cached list must be id-sorted.
+  batch_edges_.clear();
+  for (const spg::EdgeId e : g_->in_edges(s)) {
+    const auto& edge = g_->edge(e);
+    batch_edges_.push_back(BatchEdge{e, core_of[edge.src], true, edge.bytes, 0, 0});
+  }
+  for (const spg::EdgeId e : g_->out_edges(s)) {
+    const auto& edge = g_->edge(e);
+    batch_edges_.push_back(BatchEdge{e, core_of[edge.dst], false, edge.bytes, 0, 0});
+  }
+  std::sort(batch_edges_.begin(), batch_edges_.end(),
+            [](const BatchEdge& a, const BatchEdge& b) { return a.id < b.id; });
+
+  // Base acyclicity and reachability closure, once per batch.  Every
+  // candidate edge is incident to its target t, so a candidate creates a
+  // cycle iff t's closure row hits a predecessor u (u -> t closes t ->* u),
+  // some successor v reaches t (t -> v closes v ->* t), or a successor is /
+  // reaches a predecessor (u -> t -> v closes v ->* u) — O(deg) word ops
+  // against the frozen closure instead of a per-candidate fixpoint.
+  const bool base_acyclic = q_.acyclic();
+  batch_pred_ = util::DynBitset(kc);
+  for (const auto& be : batch_edges_) {
+    if (be.incoming) batch_pred_.set(static_cast<std::size_t>(be.other));
+  }
+
+  ev_.core_work = batch_base_work_;
+
+  batch_scores_.resize(targets.size());
+  for (std::size_t ci = 0; ci < targets.size(); ++ci) {
+    const int t = targets[ci];
+    const auto kt = static_cast<std::size_t>(t);
+
+    bool dag_ok = base_acyclic;
+    if (dag_ok) {
+      const bool pred_t = batch_pred_.test(kt);
+      if (pred_t) batch_pred_.reset(kt);  // a colocated edge, never added
+      if (q_.closure_row(t).intersects(batch_pred_)) dag_ok = false;
+      for (const auto& be : batch_edges_) {
+        if (!dag_ok) break;
+        if (be.incoming || be.other == t) continue;
+        const auto& rv = q_.closure_row(be.other);
+        if (rv.test(kt) || batch_pred_.test(static_cast<std::size_t>(be.other)) ||
+            rv.intersects(batch_pred_)) {
+          dag_ok = false;
+        }
+      }
+      if (pred_t) batch_pred_.set(kt);
+    }
+
+    // Incident link contributions in edge-id order; touched links journal
+    // their base load for the rollback.
+    batch_inc_.clear();
+    journal_links_.clear();
+    if (++epoch_ == 0) {
+      std::fill(link_epoch_.begin(), link_epoch_.end(), 0);
+      epoch_ = 1;
+    }
+    for (const auto& be : batch_edges_) {
+      if (be.other == t) continue;
+      const int a = be.incoming ? be.other : t;
+      const int b = be.incoming ? t : be.other;
+      for (const int idx : topo.route_links(a, b)) {
+        touch_link(idx);
+        batch_inc_.push_back(IncContrib{idx, be.id, be.bytes});
+      }
+    }
+    // Rebuild each touched link's load as the full edge-id-order sum of its
+    // base stream merged with this candidate's incident contributions.
+    for (const auto& old : journal_links_) {
+      const auto idx = static_cast<std::size_t>(old.index);
+      double sum = 0.0;
+      auto bi = static_cast<std::size_t>(batch_link_off_[idx]);
+      const auto bend = static_cast<std::size_t>(batch_link_off_[idx + 1]);
+      for (const auto& ic : batch_inc_) {
+        if (ic.link != old.index) continue;
+        while (bi < bend && batch_link_contrib_[bi].edge < ic.edge) {
+          sum += batch_link_contrib_[bi++].bytes;
+        }
+        sum += ic.bytes;
+      }
+      while (bi < bend) sum += batch_link_contrib_[bi++].bytes;
+      ev_.link_load[idx] = sum;
+    }
+
+    const double old_wt = ev_.core_work[kt];
+    const std::size_t old_mt = batch_modes_[kt];
+    ev_.core_work[kt] = batch_incl_work_[kt];
+    ++stage_count_[kt];
+    batch_modes_[kt] = downgraded_mode(batch_incl_work_[kt], t);
+
+    reset_scalars(batch_ev_);
+    batch_ev_.dag_partition_ok = dag_ok;
+    aggregate_scalars(batch_ev_, batch_modes_);
+    to_score(batch_ev_, batch_scores_[ci]);
+
+    ev_.core_work[kt] = old_wt;
+    --stage_count_[kt];
+    batch_modes_[kt] = old_mt;
+    for (const auto& old : journal_links_) {
+      ev_.link_load[static_cast<std::size_t>(old.index)] = old.load;
+      link_paths_[static_cast<std::size_t>(old.index)] = old.paths;
+    }
+  }
+  return batch_scores_;
+}
+
+const std::vector<BatchScore>& Evaluator::evaluate_move_batch(
+    spg::StageId s, const std::vector<int>& targets) {
+  if (!bound_) {
+    throw std::logic_error("Evaluator: evaluate_move_batch without bind");
+  }
+  const int cores = p_->grid().core_count();
+  const int from = m_.core_of[s];
+  for (const int t : targets) {
+    if (t < 0 || t >= cores) {
+      throw std::out_of_range("Evaluator: move target outside the grid");
+    }
+    if (t == from) {
+      throw std::invalid_argument("Evaluator: stage already on the target core");
+    }
+  }
+  count_eval_n(targets.size(), &EvalCounters::batch, &EvalCounterSink::batch);
+  have_pending_ = false;  // any pending evaluate_move is invalidated
+
+  // Cache the incident edges in the scalar processing order (in-edges, then
+  // out-edges) with their bound drop operations precompiled from the bound
+  // paths — each candidate replays them in exactly evaluate_move's order.
+  batch_edges_.clear();
+  batch_drops_.clear();
+  const auto compile = [&](spg::EdgeId e, bool incoming) {
+    const auto& edge = g_->edge(e);
+    BatchEdge be;
+    be.id = e;
+    be.incoming = incoming;
+    be.bytes = edge.bytes;
+    be.other = m_.core_of[incoming ? edge.src : edge.dst];
+    be.drop_begin = static_cast<std::uint32_t>(batch_drops_.size());
+    if (be.other != from) {
+      for (const auto& link : m_.edge_paths[e]) {
+        batch_drops_.push_back(
+            LinkOp{dense_link(p_->grid(), link), edge.bytes});
+      }
+    }
+    be.drop_end = static_cast<std::uint32_t>(batch_drops_.size());
+    batch_edges_.push_back(be);
+  };
+  for (const spg::EdgeId e : g_->in_edges(s)) compile(e, true);
+  for (const spg::EdgeId e : g_->out_edges(s)) compile(e, false);
+
+  // The candidate-independent half of the quotient shift: s's edges leave
+  // `from` once, re-added after the batch.
+  for (const auto& be : batch_edges_) {
+    if (be.other == from) continue;
+    if (be.incoming) q_.remove_edge(be.other, from); else q_.remove_edge(from, be.other);
+  }
+
+  // Base closure with s's edges detached — same O(deg)-per-candidate cycle
+  // test as the placement batch (see there for the case analysis).
+  const bool base_acyclic = q_.acyclic();
+  batch_pred_ = util::DynBitset(static_cast<std::size_t>(cores));
+  for (const auto& be : batch_edges_) {
+    if (be.incoming) batch_pred_.set(static_cast<std::size_t>(be.other));
+  }
+
+  // Source-core work / mode are candidate-independent: pre-apply them.
+  const double w = g_->stage(s).work;
+  const auto kf = static_cast<std::size_t>(from);
+  const double old_wf = ev_.core_work[kf];
+  const std::size_t old_mf = m_.mode_of_core[kf];
+  const double new_wf = old_wf - w;
+  ev_.core_work[kf] = new_wf;
+  m_.mode_of_core[kf] = downgraded_mode(new_wf, from);
+  --stage_count_[kf];
+
+  batch_scores_.resize(targets.size());
+  for (std::size_t ci = 0; ci < targets.size(); ++ci) {
+    const int t = targets[ci];
+    const auto kt = static_cast<std::size_t>(t);
+
+    bool dag_ok = base_acyclic;
+    if (dag_ok) {
+      const bool pred_t = batch_pred_.test(kt);
+      if (pred_t) batch_pred_.reset(kt);  // a colocated edge, never added
+      if (q_.closure_row(t).intersects(batch_pred_)) dag_ok = false;
+      for (const auto& be : batch_edges_) {
+        if (!dag_ok) break;
+        if (be.incoming || be.other == t) continue;
+        const auto& rv = q_.closure_row(be.other);
+        if (rv.test(kt) || batch_pred_.test(static_cast<std::size_t>(be.other)) ||
+            rv.intersects(batch_pred_)) {
+          dag_ok = false;
+        }
+      }
+      if (pred_t) batch_pred_.set(kt);
+    }
+
+    // Link replay, interleaved drop/add per edge like the scalar path.
+    journal_links_.clear();
+    if (++epoch_ == 0) {
+      std::fill(link_epoch_.begin(), link_epoch_.end(), 0);
+      epoch_ = 1;
+    }
+    for (const auto& be : batch_edges_) {
+      for (auto d = be.drop_begin; d != be.drop_end; ++d) {
+        const auto& op = batch_drops_[d];
+        touch_link(op.link);
+        const auto idx = static_cast<std::size_t>(op.link);
+        ev_.link_load[idx] -= op.bytes;
+        if (--link_paths_[idx] == 0) ev_.link_load[idx] = 0.0;
+      }
+      if (be.other == t) continue;
+      if (be.incoming) {
+        add_edge_route(be.other, t, be.bytes, /*journal=*/true);
+      } else {
+        add_edge_route(t, be.other, be.bytes, /*journal=*/true);
+      }
+    }
+
+    const double old_wt = ev_.core_work[kt];
+    const std::size_t old_mt = m_.mode_of_core[kt];
+    ev_.core_work[kt] = old_wt + w;
+    ++stage_count_[kt];
+    m_.mode_of_core[kt] = downgraded_mode(old_wt + w, t);
+
+    reset_scalars(batch_ev_);
+    batch_ev_.dag_partition_ok = dag_ok;
+    aggregate_scalars(batch_ev_, m_.mode_of_core);
+    to_score(batch_ev_, batch_scores_[ci]);
+
+    ev_.core_work[kt] = old_wt;
+    --stage_count_[kt];
+    m_.mode_of_core[kt] = old_mt;
+    for (const auto& old : journal_links_) {
+      ev_.link_load[static_cast<std::size_t>(old.index)] = old.load;
+      link_paths_[static_cast<std::size_t>(old.index)] = old.paths;
+    }
+  }
+
+  // Restore the bound state exactly.
+  ev_.core_work[kf] = old_wf;
+  m_.mode_of_core[kf] = old_mf;
+  ++stage_count_[kf];
+  for (const auto& be : batch_edges_) {
+    if (be.other == from) continue;
+    if (be.incoming) q_.add_edge(be.other, from); else q_.add_edge(from, be.other);
+  }
+  return batch_scores_;
 }
 
 Evaluation evaluate(const spg::Spg& g, const cmp::Platform& p, const Mapping& m,

@@ -53,6 +53,7 @@ struct EvalCounters {
   std::uint64_t full = 0;         ///< evaluate_full / bind / free evaluate()
   std::uint64_t placement = 0;    ///< evaluate_placement
   std::uint64_t incremental = 0;  ///< evaluate_move / refresh
+  std::uint64_t batch = 0;        ///< candidates scored by the batch APIs
 };
 
 /// The calling thread's counters (mutable; callers only ever read deltas).
@@ -70,11 +71,13 @@ struct EvalCounterSink {
   std::atomic<std::uint64_t> full{0};
   std::atomic<std::uint64_t> placement{0};
   std::atomic<std::uint64_t> incremental{0};
+  std::atomic<std::uint64_t> batch{0};
 
   [[nodiscard]] EvalCounters totals() const noexcept {
     return EvalCounters{full.load(std::memory_order_relaxed),
                         placement.load(std::memory_order_relaxed),
-                        incremental.load(std::memory_order_relaxed)};
+                        incremental.load(std::memory_order_relaxed),
+                        batch.load(std::memory_order_relaxed)};
   }
 };
 
@@ -93,6 +96,25 @@ class ScopedEvalSink {
 
  private:
   EvalCounterSink* prev_;
+};
+
+/// Scalar result of one batched candidate: the scalar subset of Evaluation.
+/// Batched paths never produce structural errors — routes are implicit
+/// topology defaults, valid by construction — so there is no error string.
+struct BatchScore {
+  bool dag_partition_ok = false;
+  bool meets_period = false;
+  double period = 0.0;
+  double max_core_time = 0.0;
+  double max_link_time = 0.0;
+  double comp_energy = 0.0;
+  double comm_energy = 0.0;
+  double energy = 0.0;
+  int active_cores = 0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return dag_partition_ok && meets_period;
+  }
 };
 
 class Evaluator {
@@ -157,9 +179,44 @@ class Evaluator {
   /// rebuilds the scalar evaluation.
   const Evaluation& refresh();
 
+  // --- batched scoring --------------------------------------------------
+  //
+  // Both batch entry points score every candidate placement of ONE stage in
+  // a single structure-of-arrays pass: incident-edge lists, routes,
+  // per-core base work/modes and per-link base loads are hoisted out of the
+  // per-candidate loop, so each candidate costs O(deg + cores + links)
+  // instead of a full O(stages + edges) re-evaluation.  Scores are
+  // bit-identical to the scalar calls they replace: the aggregation runs
+  // through the same code on the same arenas, and per-link sums replay the
+  // scalar operation order exactly (FP addition is not associative, so the
+  // order is part of the contract).  The returned reference is invalidated
+  // by the next batch call on this Evaluator.
+
+  /// Score `core_of` with stage `s` reassigned to each entry of `targets`,
+  /// under implicit topology default routes and per-core slowest-feasible
+  /// ("downgraded") modes.  Element i is bit-identical to
+  /// evaluate_placement(core_of with [s] = targets[i], downgraded modes).
+  /// Targets may repeat and may include core_of[s].  Invalidates bind().
+  const std::vector<BatchScore>& evaluate_placement_batch(
+      const std::vector<int>& core_of, spg::StageId s,
+      const std::vector<int>& targets);
+
+  /// Score moving bound stage `s` to each entry of `targets` (each distinct
+  /// from its current core).  Element i is bit-identical to
+  /// evaluate_move(s, targets[i]).  The bound state is untouched and no
+  /// pending move is left behind — re-score the winner with evaluate_move
+  /// to commit it.
+  const std::vector<BatchScore>& evaluate_move_batch(
+      spg::StageId s, const std::vector<int>& targets);
+
  private:
-  const Evaluation& finish_scalars(Evaluation& out, const std::vector<int>& core_of,
-                                   const std::vector<std::size_t>& mode_of_core);
+  const Evaluation& aggregate_scalars(Evaluation& out,
+                                      const std::vector<std::size_t>& mode_of_core);
+  /// Update the maintained quotient `q_` for stage `s` leaving core `from`
+  /// for core `to` (reads only the *other* endpoint cores, so it is valid
+  /// whichever of the two cores m_.core_of[s] currently names).  Reverting
+  /// a shift is shift_quotient(s, to, from).
+  void shift_quotient(spg::StageId s, int from, int to);
   void accumulate_work(const std::vector<int>& core_of);
   void touch_link(int index);
   [[nodiscard]] std::size_t downgraded_mode(double work, int core) const;
@@ -190,7 +247,56 @@ class Evaluator {
                                        ///< load reset to exactly 0.0, so
                                        ///< add/subtract deltas cannot leave
                                        ///< epsilon residue on idle links
-  QuotientWorkspace q_ws_;             ///< quotient CSR + Kahn arenas
+  BitQuotient q_;                      ///< quotient of the last evaluated /
+                                       ///< bound placement; maintained in
+                                       ///< O(deg) by the move protocol
+  std::vector<double> scale_;          ///< cached topology core_speed_scale
+  double leak_energy_ = 0.0;           ///< cached leak_power() * T
+
+  // Batch arenas.
+  std::vector<BatchScore> batch_scores_;
+  Evaluation batch_ev_;                   ///< scalar scratch for aggregation
+  std::vector<std::size_t> batch_modes_;  ///< per-candidate downgraded modes
+  std::vector<int> batch_core_of_;        ///< placement with `s` unplaced
+  std::vector<double> batch_base_work_;   ///< per-core work excluding s
+  std::vector<double> batch_incl_work_;   ///< per-core work as if s were there
+  /// One cached incident edge of the batched stage, in the order the scalar
+  /// path processes them.
+  struct BatchEdge {
+    spg::EdgeId id;
+    int other;        ///< core of the fixed endpoint
+    bool incoming;    ///< true: other -> s, false: s -> other
+    double bytes;
+    std::uint32_t drop_begin, drop_end;  ///< span into batch_drops_
+  };
+  std::vector<BatchEdge> batch_edges_;
+  /// Precompiled (link, bytes) drop operations replaying the bound paths of
+  /// the incident edges (move batches only).
+  struct LinkOp {
+    int link;
+    double bytes;
+  };
+  std::vector<LinkOp> batch_drops_;
+  /// Placement batches: per-link base contributions (edge id, bytes) of all
+  /// non-incident cross edges, CSR by link, in edge order — candidate link
+  /// sums merge incident contributions into this order-exact stream.
+  struct LinkContrib {
+    spg::EdgeId edge;
+    double bytes;
+  };
+  std::vector<LinkContrib> batch_link_contrib_;
+  std::vector<int> batch_link_off_;
+  /// Per-candidate incident contributions (link, edge, bytes), appended in
+  /// edge-id order so each link's slice is already merge-ready.
+  struct IncContrib {
+    int link;
+    spg::EdgeId edge;
+    double bytes;
+  };
+  std::vector<IncContrib> batch_inc_;
+  /// Cores feeding the batched stage (its quotient predecessors), as a
+  /// bitset probed against the base closure for the per-candidate cycle test.
+  util::DynBitset batch_pred_;
 
   // Move journal / pending move.
   struct LinkDelta {

@@ -114,6 +114,77 @@ bool quotient_acyclic(const spg::Spg& g, const std::vector<int>& core_of) {
   return quotient_acyclic_in(g, core_of, max_id + 1, ws);
 }
 
+void BitQuotient::reset(int node_count) {
+  n_ = node_count;
+  const auto k = static_cast<std::size_t>(node_count);
+  count_.assign(k * k, 0);
+  dirty_ = util::DynBitset(k * k);
+  touched_.clear();
+  succ_.assign(k, util::DynBitset(k));
+  reach_.assign(k, util::DynBitset(k));
+}
+
+void BitQuotient::build(const spg::Spg& g, const std::vector<int>& core_of,
+                        int node_count) {
+  if (node_count != n_) {
+    reset(node_count);
+  } else {
+    // Sparse clear: only pairs dirtied since the previous build carry a
+    // nonzero count or a set bit.
+    for (const std::size_t pair : touched_) {
+      count_[pair] = 0;
+      dirty_.reset(pair);
+      succ_[pair / static_cast<std::size_t>(n_)].reset(
+          pair % static_cast<std::size_t>(n_));
+    }
+    touched_.clear();
+  }
+  for (const auto& e : g.edges()) {
+    const int a = core_of[e.src];
+    const int b = core_of[e.dst];
+    if (a < 0 || b < 0 || a == b) continue;
+    add_edge(a, b);
+  }
+}
+
+bool BitQuotient::acyclic() const {
+  // Kahn over the successor rows: cycle detection and a topological order
+  // in one pass, O(nodes + quotient edges) word-scan operations.
+  const auto k = static_cast<std::size_t>(n_);
+  indeg_.assign(k, 0);
+  for (std::size_t a = 0; a < k; ++a) {
+    succ_[a].for_each([&](std::size_t b) { ++indeg_[b]; });
+  }
+  order_.clear();
+  for (std::size_t a = 0; a < k; ++a) {
+    if (indeg_[a] == 0) order_.push_back(a);
+  }
+  for (std::size_t head = 0; head < order_.size(); ++head) {
+    succ_[order_[head]].for_each([&](std::size_t b) {
+      if (--indeg_[b] == 0) order_.push_back(b);
+    });
+  }
+  if (order_.size() != k) return false;  // some node never drained: a cycle
+
+  // Reverse-topological closure: a node's reach row is its successors plus
+  // their (already complete) reach rows — exactly one word-parallel union
+  // per quotient edge, leaving reach_ as the full transitive closure that
+  // closure_row() exposes to the batch evaluators.
+  for (std::size_t i = k; i-- > 0;) {
+    const std::size_t a = order_[i];
+    auto& row = reach_[a];
+    row = succ_[a];
+    succ_[a].for_each([&](std::size_t b) { row |= reach_[b]; });
+  }
+  return true;
+}
+
+bool quotient_acyclic_bits(const spg::Spg& g, const std::vector<int>& core_of,
+                           int id_count, BitQuotient& q) {
+  q.build(g, core_of, id_count);
+  return q.acyclic();
+}
+
 bool cluster_convex(const spg::Spg& g, const std::vector<util::DynBitset>& closure,
                     const util::DynBitset& cluster) {
   // For every outside node k: if some cluster node reaches k and k reaches

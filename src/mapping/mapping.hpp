@@ -98,6 +98,90 @@ struct QuotientWorkspace {
                                        const std::vector<int>& core_of,
                                        int id_count, QuotientWorkspace& ws);
 
+/// Word-parallel quotient acyclicity state: one DynBitset successor row per
+/// quotient node plus per-pair edge multiplicities, so the structure is
+/// *maintained* rather than rebuilt — moving one stage updates O(deg) pairs
+/// and the acyclicity check is a word-scan Kahn pass plus one reverse-
+/// topological closure union per quotient edge.  This replaces the flat-CSR
+/// Kahn rebuild
+/// (quotient_acyclic_in) on the evaluator's hot paths; the scalar version
+/// stays as the reference implementation and for one-shot callers.
+///
+/// Multiplicities make deltas revertible: parallel quotient edges (several
+/// SPG edges between the same core pair) keep the successor bit set until
+/// the last one is removed.
+class BitQuotient {
+ public:
+  /// Size the universe to `node_count` quotient nodes and drop all edges.
+  void reset(int node_count);
+
+  /// Rebuild from a placement (entries < 0 are unplaced stages, ignored —
+  /// same convention as quotient_acyclic_in).  Reuses the arenas; only the
+  /// pairs touched since the last build are cleared, so repeated builds stay
+  /// O(edges), not O(nodes^2).
+  void build(const spg::Spg& g, const std::vector<int>& core_of, int node_count);
+
+  /// Account one quotient edge a -> b (a != b).
+  void add_edge(int a, int b) {
+    const auto pair = static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+                      static_cast<std::size_t>(b);
+    if (count_[pair]++ == 0) {
+      succ_[static_cast<std::size_t>(a)].set(static_cast<std::size_t>(b));
+      // The dirty bitmap keeps `touched_` duplicate-free (bounded by n^2)
+      // even when a long-lived bound state churns the same pairs millions
+      // of times between rebuilds.
+      if (!dirty_.test(pair)) {
+        dirty_.set(pair);
+        touched_.push_back(pair);
+      }
+    }
+  }
+
+  /// Remove one quotient edge a -> b previously added.
+  void remove_edge(int a, int b) {
+    const auto pair = static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+                      static_cast<std::size_t>(b);
+    if (--count_[pair] == 0) {
+      succ_[static_cast<std::size_t>(a)].reset(static_cast<std::size_t>(b));
+    }
+  }
+
+  /// True iff the current edge set is acyclic: Kahn over the successor rows
+  /// (word-scan per node), then one reverse-topological union pass that
+  /// leaves the full reachability closure behind for closure_row().
+  [[nodiscard]] bool acyclic() const;
+
+  /// Reachability row of node `a` as left by the most recent acyclic() call
+  /// that returned true: bit b set iff a reaches b through one or more
+  /// edges.  The rows are NOT maintained by add_edge/remove_edge — they are
+  /// a snapshot, only meaningful while the edge set is unchanged since that
+  /// acyclic().  The batch evaluators exploit this: with the base closure in
+  /// hand, "does adding edges incident to one node t create a cycle?" is a
+  /// handful of word operations instead of a fresh fixpoint.
+  [[nodiscard]] const util::DynBitset& closure_row(int a) const {
+    return reach_[static_cast<std::size_t>(a)];
+  }
+
+  [[nodiscard]] int node_count() const noexcept { return n_; }
+
+ private:
+  int n_ = 0;
+  std::vector<std::uint32_t> count_;            ///< n*n edge multiplicities
+  util::DynBitset dirty_;                       ///< pairs present in touched_
+  std::vector<std::size_t> touched_;            ///< pairs dirtied since build
+  std::vector<util::DynBitset> succ_;           ///< direct-successor rows
+  mutable std::vector<util::DynBitset> reach_;  ///< closure arena (see acyclic)
+  mutable std::vector<int> indeg_;              ///< Kahn scratch
+  mutable std::vector<std::size_t> order_;      ///< Kahn topological order
+};
+
+/// BitQuotient-backed counterpart of quotient_acyclic_in: rebuilds `q` from
+/// the placement and checks.  Bit-parallel, allocation-free after the first
+/// call on a given `q`; results are identical to the Kahn version.
+[[nodiscard]] bool quotient_acyclic_bits(const spg::Spg& g,
+                                         const std::vector<int>& core_of,
+                                         int id_count, BitQuotient& q);
+
 /// Convexity test for one candidate cluster: false when some path between
 /// two cluster members leaves the cluster (necessary condition for any
 /// DAG-partition containing this cluster; cheap pre-filter for DP

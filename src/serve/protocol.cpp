@@ -140,8 +140,14 @@ std::string render_id(const JsonValue& doc) {
   switch (id->type) {
     case JsonValue::Type::Null: return "null";
     case JsonValue::Type::Number: return util::json_number(id->number);
-    case JsonValue::Type::String:
-      return "\"" + util::json_escape(id->string) + "\"";
+    case JsonValue::Type::String: {
+      // Built with append rather than operator+ chains: GCC 12's -Wrestrict
+      // false-positives on `"..." + std::string(...)` in -O2 builds.
+      std::string s = "\"";
+      s += util::json_escape(id->string);
+      s += '"';
+      return s;
+    }
     default:
       throw RequestError("request 'id': expected a string or number");
   }
@@ -222,6 +228,7 @@ std::string render_report(const Request& req, const solve::SolveReport& report) 
     w.kv("full", report.stats.full_evals);
     w.kv("placement", report.stats.placement_evals);
     w.kv("incremental", report.stats.incremental_evals);
+    w.kv("batch", report.stats.batch_evals);
     w.kv("total", report.stats.evaluator_calls());
     w.end_object();
     w.end_object();

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <stdexcept>
 #include <streambuf>
 #include <utility>
@@ -31,8 +32,13 @@ std::string id_of(const util::JsonValue& doc) {
   if (id == nullptr) return "null";
   switch (id->type) {
     case util::JsonValue::Type::Number: return util::json_number(id->number);
-    case util::JsonValue::Type::String:
-      return "\"" + util::json_escape(id->string) + "\"";
+    case util::JsonValue::Type::String: {
+      // Append, not operator+ chains: GCC 12 -Wrestrict false positive.
+      std::string s = "\"";
+      s += util::json_escape(id->string);
+      s += '"';
+      return s;
+    }
     default: return "null";
   }
 }
@@ -87,31 +93,99 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
   std::uint64_t next_emit = 0;
   std::uint64_t inflight = 0;
 
+  // Identical concurrent requests are coalesced deterministically: every
+  // request registers its cache key in submission order, the lowest-numbered
+  // in-flight request for a key is the one that solves it, and later ones
+  // wait and serve the memoized payload as ordinary hits.  Without this,
+  // which of two identical in-flight requests misses (and pays the solve)
+  // would depend on worker scheduling.  The ordered-registration wait is
+  // deadlock-free because the pool starts tasks in submission order: a task
+  // waiting for its turn only waits on earlier tasks, all already running.
+  std::mutex solve_mutex;
+  std::condition_variable cv_solved;
+  std::uint64_t next_register = 0;
+  std::map<std::string, std::set<std::uint64_t>> key_queue;
+  std::set<std::string> solving;
+
   // Runs on a pool worker: materialize, memoize or solve, render.  Every
   // failure mode renders an error response — nothing escapes, so every
   // accepted request is answered.
-  const auto handle = [this, stop](const std::string& line) -> Outcome {
+  const auto handle = [this, stop, &solve_mutex, &cv_solved, &next_register,
+                       &key_queue,
+                       &solving](const std::string& line,
+                                 std::uint64_t s) -> Outcome {
+    // Take request s's registration turn; keyless requests (malformed or
+    // failed parses) just cede it so later requests can register.
+    const auto register_turn = [&](const std::string* key) {
+      std::unique_lock<std::mutex> lk(solve_mutex);
+      cv_solved.wait(lk, [&] { return next_register == s; });
+      if (key != nullptr) key_queue[*key].insert(s);
+      ++next_register;
+      cv_solved.notify_all();
+    };
+
     util::JsonValue doc;
     try {
       doc = util::parse_json(line);
     } catch (const util::JsonParseError& e) {
+      register_turn(nullptr);
       return {render_error("null", 2,
                            std::string("malformed request JSON: ") + e.what()),
               Kind::Error};
     }
     const std::string id = id_of(doc);
+    bool registered = false;
     try {
       const auto t0 = Clock::now();
       Request req = parse_request(doc);
-      if (auto cached = cache_.lookup(req.key)) {
-        return {render_ok(req, *cached, /*hit=*/true, 0, us_since(t0)),
-                Kind::OkHit};
-      }
-      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
-        // Draining: don't start new solves; the cache-hit path above still
-        // answers what it can.
-        return {render_error(id, 3, "daemon is shutting down; solve refused"),
-                Kind::Shutdown};
+      register_turn(&req.key);
+      registered = true;
+
+      // Releases this request's queue slot (and solver claim) on every exit,
+      // including solver exceptions — a waiter stuck behind a dead request
+      // would deadlock the drain.
+      struct Ticket {
+        std::mutex& m;
+        std::condition_variable& cv;
+        std::map<std::string, std::set<std::uint64_t>>& queue;
+        std::set<std::string>& solving;
+        const std::string& key;
+        std::uint64_t s;
+        bool claimed = false;
+        ~Ticket() {
+          {
+            const std::lock_guard<std::mutex> lk(m);
+            const auto it = queue.find(key);
+            it->second.erase(s);
+            if (it->second.empty()) queue.erase(it);
+            if (claimed) solving.erase(key);
+          }
+          cv.notify_all();
+        }
+      } ticket{solve_mutex, cv_solved, key_queue, solving, req.key, s};
+
+      {
+        // Wait until no one is solving this key and every earlier request
+        // for it is done, then probe exactly once: a coalesced waiter sees
+        // the fresh entry as an ordinary hit, and per-request lookup counts
+        // stay deterministic.
+        std::unique_lock<std::mutex> lk(solve_mutex);
+        cv_solved.wait(lk, [&] {
+          return solving.count(req.key) == 0 &&
+                 *key_queue.find(req.key)->second.begin() == s;
+        });
+        if (auto cached = cache_.lookup(req.key)) {
+          return {render_ok(req, *cached, /*hit=*/true, 0, us_since(t0)),
+                  Kind::OkHit};
+        }
+        if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+          // Draining: don't start new solves; the cache-hit path above
+          // still answers what it can.
+          return {render_error(id, 3, "daemon is shutting down; solve refused"),
+                  Kind::Shutdown};
+        }
+        solving.insert(req.key);
+        ticket.claimed = true;
       }
       solve::SolveRequest sreq;
       sreq.spg = &req.spg;
@@ -125,12 +199,16 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
                         report.stats.evaluator_calls(), us_since(t0)),
               Kind::OkMiss};
     } catch (const RequestError& e) {
+      if (!registered) register_turn(nullptr);
       return {render_error(id, 2, e.what()), Kind::Error};
     } catch (const solve::SolverError& e) {
+      if (!registered) register_turn(nullptr);
       return {render_error(id, 2, e.what()), Kind::Error};
     } catch (const cmp::TopologyError& e) {
+      if (!registered) register_turn(nullptr);
       return {render_error(id, 2, e.what()), Kind::Error};
     } catch (const std::exception& e) {
+      if (!registered) register_turn(nullptr);
       return {render_error(id, 1, e.what()), Kind::Error};
     }
   };
@@ -177,7 +255,7 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
       ++inflight;
     }
     pool_.submit([&, s, line] {
-      Outcome outcome = handle(line);
+      Outcome outcome = handle(line, s);
       const std::lock_guard<std::mutex> lock(mutex);
       ready.emplace(s, std::move(outcome));
       emit_ready();

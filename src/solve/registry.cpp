@@ -212,7 +212,8 @@ void register_builtins(SolverRegistry& reg) {
             {"t0", "0.05", "initial temperature, relative to seed energy"},
             {"cooling", "0.999", "geometric cooling factor per proposal"},
             {"restarts", "1", "chains, each restarted from the incumbent"},
-            {"moves", "swap+migrate", "neighborhood mix ('+'-separated)"}},
+            {"moves", "swap+migrate", "neighborhood mix ('+'-separated)"},
+            {"batch", "8", "migration proposals scored per batched call"}},
            false},
           [](const SolverOptions& o, const SolveContext& ctx,
              std::unique_ptr<Heuristic>) -> std::unique_ptr<Heuristic> {
@@ -231,6 +232,8 @@ void register_builtins(SolverRegistry& reg) {
             }
             opt.restarts = static_cast<std::size_t>(
                 o.get_int_in("restarts", 1, 1, 1000));
+            opt.batch = static_cast<std::size_t>(
+                o.get_int_in("batch", 8, 1, 4096));
             const std::string moves = o.get_string("moves", "swap+migrate");
             opt.move_swap = false;
             opt.move_migrate = false;

@@ -12,6 +12,7 @@ SolveStats& SolveStats::operator+=(const SolveStats& o) noexcept {
   full_evals += o.full_evals;
   placement_evals += o.placement_evals;
   incremental_evals += o.incremental_evals;
+  batch_evals += o.batch_evals;
   return *this;
 }
 
@@ -40,6 +41,7 @@ SolveReport run(const heuristics::Heuristic& solver,
   report.stats.full_evals = calls.full;
   report.stats.placement_evals = calls.placement;
   report.stats.incremental_evals = calls.incremental;
+  report.stats.batch_evals = calls.batch;
   return report;
 }
 

@@ -35,16 +35,18 @@ struct SolveStats {
   std::uint64_t full_evals = 0;         ///< evaluate_full / free evaluate()
   std::uint64_t placement_evals = 0;    ///< evaluate_placement fast path
   std::uint64_t incremental_evals = 0;  ///< evaluate_move / refresh delta path
+  std::uint64_t batch_evals = 0;        ///< candidates scored by batch APIs
 
   [[nodiscard]] std::uint64_t evaluator_calls() const noexcept {
-    return full_evals + placement_evals + incremental_evals;
+    return full_evals + placement_evals + incremental_evals + batch_evals;
   }
-  /// Share of evaluator calls served by a fast path (placement or
-  /// incremental); 0 when no evaluator ran.
+  /// Share of evaluator calls served by a fast path (placement,
+  /// incremental, or batched); 0 when no evaluator ran.
   [[nodiscard]] double incremental_hit_rate() const noexcept {
     const std::uint64_t total = evaluator_calls();
     if (total == 0) return 0.0;
-    return static_cast<double>(placement_evals + incremental_evals) /
+    return static_cast<double>(placement_evals + incremental_evals +
+                               batch_evals) /
            static_cast<double>(total);
   }
   SolveStats& operator+=(const SolveStats& o) noexcept;

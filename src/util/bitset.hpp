@@ -19,6 +19,9 @@ namespace spgcmp::util {
 /// same universe size (checked by assert in debug builds).
 class DynBitset {
  public:
+  /// Sentinel returned by find_first / find_next when no bit qualifies.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   DynBitset() = default;
   explicit DynBitset(std::size_t bits)
       : bits_(bits), words_((bits + 63) / 64, 0) {}
@@ -67,6 +70,17 @@ class DynBitset {
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
     return *this;
   }
+  /// In-place union that reports growth: true iff some bit of `o` was not
+  /// already set.  The change report is what lets reachability fixpoints
+  /// (BitQuotient::acyclic) terminate without a separate comparison pass.
+  bool unite(const DynBitset& o) noexcept {
+    std::uint64_t grew = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      grew |= o.words_[i] & ~words_[i];
+      words_[i] |= o.words_[i];
+    }
+    return grew != 0;
+  }
   DynBitset& operator&=(const DynBitset& o) noexcept {
     for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
     return *this;
@@ -83,6 +97,31 @@ class DynBitset {
 
   friend bool operator==(const DynBitset& a, const DynBitset& b) noexcept {
     return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+  /// Lowest set bit, or npos when empty.
+  [[nodiscard]] std::size_t find_first() const noexcept {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      if (words_[wi] != 0) {
+        return wi * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[wi]));
+      }
+    }
+    return npos;
+  }
+
+  /// Lowest set bit strictly greater than `i`, or npos.  With find_first
+  /// this walks the set in increasing order one word-scan at a time — unlike
+  /// for_each, the walk sees bits set *during* the iteration, which the
+  /// reachability propagation exploits to converge in fewer passes.
+  [[nodiscard]] std::size_t find_next(std::size_t i) const noexcept {
+    std::size_t wi = (i + 1) >> 6;
+    if (wi >= words_.size()) return npos;
+    std::uint64_t w = words_[wi] & (~0ULL << ((i + 1) & 63));
+    while (true) {
+      if (w != 0) return wi * 64 + static_cast<std::size_t>(__builtin_ctzll(w));
+      if (++wi >= words_.size()) return npos;
+      w = words_[wi];
+    }
   }
 
   /// Invoke f(i) for every set bit i, in increasing order.

@@ -1,0 +1,116 @@
+// Tests for util::DynBitset word-level primitives: the find_first/find_next
+// scan, the growth-reporting unite(), and the in-place set algebra that the
+// bit-parallel quotient checks (mapping::BitQuotient) are built on.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace {
+
+using spgcmp::util::DynBitset;
+
+TEST(DynBitset, FindFirstEmptyAndSingletons) {
+  DynBitset b(200);
+  EXPECT_EQ(b.find_first(), DynBitset::npos);
+
+  for (const std::size_t i : {std::size_t{0}, std::size_t{1}, std::size_t{63},
+                              std::size_t{64}, std::size_t{127},
+                              std::size_t{128}, std::size_t{199}}) {
+    DynBitset s(200);
+    s.set(i);
+    EXPECT_EQ(s.find_first(), i);
+    EXPECT_EQ(s.find_next(i), DynBitset::npos);
+  }
+}
+
+TEST(DynBitset, FindNextWalksAcrossWordBoundaries) {
+  DynBitset b(200);
+  const std::vector<std::size_t> bits = {0, 5, 63, 64, 65, 126, 127, 128, 199};
+  for (const std::size_t i : bits) b.set(i);
+
+  std::vector<std::size_t> seen;
+  for (std::size_t i = b.find_first(); i != DynBitset::npos; i = b.find_next(i)) {
+    seen.push_back(i);
+  }
+  EXPECT_EQ(seen, bits);
+
+  // find_next from an unset position still finds the next set bit above it.
+  EXPECT_EQ(b.find_next(1), 5u);
+  EXPECT_EQ(b.find_next(66), 126u);
+  EXPECT_EQ(b.find_next(199), DynBitset::npos);
+}
+
+TEST(DynBitset, FindMatchesForEachOrder) {
+  DynBitset b(130);
+  for (std::size_t i = 0; i < 130; i += 7) b.set(i);
+
+  std::vector<std::size_t> via_for_each;
+  b.for_each([&](std::size_t i) { via_for_each.push_back(i); });
+
+  std::vector<std::size_t> via_find;
+  for (std::size_t i = b.find_first(); i != DynBitset::npos; i = b.find_next(i)) {
+    via_find.push_back(i);
+  }
+  EXPECT_EQ(via_find, via_for_each);
+}
+
+TEST(DynBitset, UniteReportsGrowth) {
+  DynBitset a(128), b(128);
+  a.set(3);
+  a.set(64);
+  b.set(64);
+  b.set(100);
+
+  // b \ a = {100}: grows.
+  EXPECT_TRUE(a.unite(b));
+  EXPECT_TRUE(a.test(3));
+  EXPECT_TRUE(a.test(64));
+  EXPECT_TRUE(a.test(100));
+  EXPECT_EQ(a.count(), 3u);
+
+  // Second union is a no-op and must say so — the reachability fixpoint
+  // terminates on this report.
+  EXPECT_FALSE(a.unite(b));
+  DynBitset empty(128);
+  EXPECT_FALSE(a.unite(empty));
+}
+
+TEST(DynBitset, InPlaceAlgebraAndEquality) {
+  DynBitset a(70), b(70);
+  a.set(1);
+  a.set(65);
+  b.set(65);
+  b.set(2);
+
+  DynBitset u = a;
+  u |= b;
+  EXPECT_TRUE(u.test(1));
+  EXPECT_TRUE(u.test(2));
+  EXPECT_TRUE(u.test(65));
+
+  DynBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(65));
+
+  DynBitset d = a;
+  d -= b;
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(1));
+
+  EXPECT_TRUE(i.is_subset_of(a));
+  EXPECT_TRUE(i.is_subset_of(b));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(d.intersects(b));
+
+  DynBitset a2 = a;
+  EXPECT_TRUE(a == a2);
+  a2.set(0);
+  EXPECT_FALSE(a == a2);
+}
+
+}  // namespace

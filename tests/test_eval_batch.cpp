@@ -1,0 +1,297 @@
+// Batch-vs-scalar equivalence for the Evaluator's SoA scoring paths.
+//
+// The batch APIs promise *bit-identical* scores to the scalar calls they
+// replace (FP addition is not associative, so operation order is part of
+// the contract).  Every comparison below is EXPECT_EQ on raw doubles — no
+// tolerances — across all four reference topologies, including infeasible
+// candidates (cyclic quotients, over-period loads) and under concurrent
+// evaluators on a thread pool.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cmp/cmp.hpp"
+#include "mapping/evaluator.hpp"
+#include "mapping/mapping.hpp"
+#include "spg/spg.hpp"
+#include "support/fixtures.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace spgcmp;
+using mapping::BatchScore;
+using mapping::Evaluation;
+using mapping::Evaluator;
+using mapping::Mapping;
+
+const char* const kTopologies[] = {"mesh", "snake", "torus", "hetero"};
+
+/// Per-core slowest-feasible modes for a placement, replicating the
+/// evaluator's internal clamp (a core that cannot meet T even at maximum
+/// speed gets the fastest mode; the period check fails on its own).
+std::vector<std::size_t> downgraded_modes(const spg::Spg& g,
+                                          const cmp::Platform& p, double T,
+                                          const std::vector<int>& core_of) {
+  const auto cores = static_cast<std::size_t>(p.grid().core_count());
+  std::vector<double> work(cores, 0.0);
+  for (std::size_t s = 0; s < g.size(); ++s) {
+    if (core_of[s] >= 0) work[static_cast<std::size_t>(core_of[s])] += g.stage(s).work;
+  }
+  std::vector<std::size_t> modes(cores, 0);
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (work[c] <= 0.0) continue;
+    const double scale = p.topology.core_speed_scale(static_cast<int>(c));
+    const std::size_t k = p.speeds.slowest_feasible(work[c] / scale, T);
+    modes[c] = k == p.speeds.mode_count() ? k - 1 : k;
+  }
+  return modes;
+}
+
+void expect_bitwise(const BatchScore& b, const Evaluation& e,
+                    const std::string& where) {
+  SCOPED_TRACE(where);
+  EXPECT_EQ(b.dag_partition_ok, e.dag_partition_ok);
+  EXPECT_EQ(b.meets_period, e.meets_period);
+  EXPECT_EQ(b.period, e.period);
+  EXPECT_EQ(b.max_core_time, e.max_core_time);
+  EXPECT_EQ(b.max_link_time, e.max_link_time);
+  EXPECT_EQ(b.comp_energy, e.comp_energy);
+  EXPECT_EQ(b.comm_energy, e.comm_energy);
+  EXPECT_EQ(b.energy, e.energy);
+  EXPECT_EQ(b.active_cores, e.active_cores);
+  EXPECT_EQ(b.valid(), e.valid());
+}
+
+/// A random placement over all cores (always in range, feasibility not
+/// guaranteed — exactly the population heuristic scans).
+std::vector<int> random_placement(const spg::Spg& g, int cores, util::Rng& rng) {
+  std::vector<int> core_of(g.size());
+  for (auto& c : core_of) c = static_cast<int>(rng.uniform_int(0, cores - 1));
+  return core_of;
+}
+
+/// Blocks of the topological order: quotient edges only ever point to later
+/// blocks, so the partition is acyclic by construction — a valid bind().
+std::vector<int> block_placement(const spg::Spg& g, int cores) {
+  const auto order = g.topological_order();
+  std::vector<int> core_of(g.size());
+  const std::size_t per = (g.size() + static_cast<std::size_t>(cores) - 1) /
+                          static_cast<std::size_t>(cores);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    core_of[order[i]] = static_cast<int>(i / per);
+  }
+  return core_of;
+}
+
+TEST(EvalBatch, PlacementBatchMatchesScalarAcrossTopologies) {
+  const spg::Spg g = test::random_workload(17, 40, 4, 1.0);
+  for (const char* topo : kTopologies) {
+    const cmp::Platform p = cmp::Platform::reference(topo, 4, 4);
+    const int cores = p.grid().core_count();
+    const double T = test::pick_period(g, p);
+    Evaluator ev(g, p, T);
+    util::Rng rng(99);
+
+    std::vector<int> targets(static_cast<std::size_t>(cores));
+    for (int c = 0; c < cores; ++c) targets[static_cast<std::size_t>(c)] = c;
+
+    for (int round = 0; round < 4; ++round) {
+      const std::vector<int> base = random_placement(g, cores, rng);
+      const auto s = static_cast<spg::StageId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.size()) - 1));
+
+      const std::vector<BatchScore> batch =
+          ev.evaluate_placement_batch(base, s, targets);
+      ASSERT_EQ(batch.size(), targets.size());
+
+      for (std::size_t k = 0; k < targets.size(); ++k) {
+        std::vector<int> cand = base;
+        cand[s] = targets[k];
+        const auto modes = downgraded_modes(g, p, T, cand);
+        const Evaluation& scalar = ev.evaluate_placement(cand, modes);
+        expect_bitwise(batch[k], scalar,
+                       std::string(topo) + " round " + std::to_string(round) +
+                           " stage " + std::to_string(s) + " -> core " +
+                           std::to_string(targets[k]));
+      }
+    }
+  }
+}
+
+TEST(EvalBatch, MoveBatchMatchesScalarAcrossTopologies) {
+  const spg::Spg g = test::random_workload(23, 40, 4, 1.0);
+  for (const char* topo : kTopologies) {
+    const cmp::Platform p = cmp::Platform::reference(topo, 4, 4);
+    const int cores = p.grid().core_count();
+    const double T = test::pick_period(g, p);
+
+    Mapping m;
+    m.core_of = block_placement(g, cores);
+    m.mode_of_core.assign(static_cast<std::size_t>(cores), 0);
+    m.edge_paths.assign(g.edge_count(), {});
+    ASSERT_TRUE(mapping::assign_slowest_modes(g, p, T, m)) << topo;
+    mapping::attach_routes(g, p.topology, m);
+
+    Evaluator ev(g, p, T);
+    const Evaluation& bound = ev.bind(m);
+    ASSERT_TRUE(bound.error.empty()) << topo << ": " << bound.error;
+    const double bound_energy = bound.energy;
+
+    util::Rng rng(7);
+    for (int round = 0; round < 6; ++round) {
+      const auto s = static_cast<spg::StageId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.size()) - 1));
+      const int home = ev.mapping().core_of[s];
+      std::vector<int> targets;
+      for (int c = 0; c < cores; ++c) {
+        if (c != home) targets.push_back(c);
+      }
+
+      const std::vector<BatchScore> batch = ev.evaluate_move_batch(s, targets);
+      ASSERT_EQ(batch.size(), targets.size());
+      // The batch must leave the bound state untouched.
+      EXPECT_EQ(ev.current().energy, bound_energy);
+
+      for (std::size_t k = 0; k < targets.size(); ++k) {
+        const Evaluation& scalar = ev.evaluate_move(s, targets[k]);
+        expect_bitwise(batch[k], scalar,
+                       std::string(topo) + " stage " + std::to_string(s) +
+                           " -> core " + std::to_string(targets[k]));
+      }
+    }
+  }
+}
+
+TEST(EvalBatch, PlacementBatchHandlesCyclicQuotientCandidates) {
+  // diamond on {0,1,0,t}: t == 0 closes the 0 -> 1 -> 0 quotient cycle.
+  const spg::Spg g = test::diamond();
+  const cmp::Platform p = test::grid2x2();
+  const double T = test::pick_period(g, p);
+  Evaluator ev(g, p, T);
+
+  const std::vector<int> base = {0, 1, 0, 1};
+  const std::vector<int> targets = {0, 1, 2, 3};
+  const std::vector<BatchScore> batch =
+      ev.evaluate_placement_batch(base, 3, targets);
+  ASSERT_EQ(batch.size(), targets.size());
+  EXPECT_FALSE(batch[0].dag_partition_ok);  // the cycle
+  EXPECT_TRUE(batch[1].dag_partition_ok);
+
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    std::vector<int> cand = base;
+    cand[3] = targets[k];
+    const auto modes = downgraded_modes(g, p, T, cand);
+    expect_bitwise(batch[k], ev.evaluate_placement(cand, modes),
+                   "diamond target " + std::to_string(targets[k]));
+  }
+}
+
+TEST(EvalBatch, PlacementBatchHandlesOverPeriodCandidates) {
+  // A period nobody can meet: every candidate fails meets_period, and the
+  // clamped-mode scores must still match the scalar path bit for bit.
+  const spg::Spg g = test::random_workload(31, 12, 3, 1.0);
+  const cmp::Platform p = test::grid2x2();
+  const double T = test::pick_period(g, p) * 1e-6;
+  Evaluator ev(g, p, T);
+
+  const std::vector<int> base(g.size(), 0);
+  const std::vector<int> targets = {0, 1, 2, 3};
+  const std::vector<BatchScore> batch =
+      ev.evaluate_placement_batch(base, 5, targets);
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    EXPECT_FALSE(batch[k].meets_period);
+    std::vector<int> cand = base;
+    cand[5] = targets[k];
+    const auto modes = downgraded_modes(g, p, T, cand);
+    expect_bitwise(batch[k], ev.evaluate_placement(cand, modes),
+                   "over-period target " + std::to_string(targets[k]));
+  }
+}
+
+TEST(EvalBatch, BatchScoresIdenticalAcrossThreadCounts) {
+  const spg::Spg g = test::random_workload(41, 40, 4, 1.0);
+  const cmp::Platform p = test::grid4x4();
+  const int cores = p.grid().core_count();
+  const double T = test::pick_period(g, p);
+
+  util::Rng rng(5);
+  const std::vector<int> base = random_placement(g, cores, rng);
+  std::vector<int> targets(static_cast<std::size_t>(cores));
+  for (int c = 0; c < cores; ++c) targets[static_cast<std::size_t>(c)] = c;
+
+  Evaluator reference(g, p, T);
+  const std::vector<BatchScore> expected =
+      reference.evaluate_placement_batch(base, 9, targets);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ThreadPool pool(threads);
+    std::vector<std::vector<BatchScore>> got(8);
+    for (auto& slot : got) {
+      pool.submit([&, out = &slot] {
+        Evaluator local(g, p, T);  // evaluators are per-thread by contract
+        *out = local.evaluate_placement_batch(base, 9, targets);
+      });
+    }
+    pool.wait_idle();
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].size(), expected.size());
+      for (std::size_t k = 0; k < expected.size(); ++k) {
+        SCOPED_TRACE("threads " + std::to_string(threads) + " worker " +
+                     std::to_string(i) + " target " + std::to_string(k));
+        EXPECT_EQ(got[i][k].energy, expected[k].energy);
+        EXPECT_EQ(got[i][k].period, expected[k].period);
+        EXPECT_EQ(got[i][k].comm_energy, expected[k].comm_energy);
+        EXPECT_EQ(got[i][k].valid(), expected[k].valid());
+      }
+    }
+  }
+}
+
+TEST(EvalBatch, BitQuotientMatchesKahnOnRandomPartialPlacements) {
+  mapping::QuotientWorkspace ws;
+  mapping::BitQuotient q;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const spg::Spg g = test::random_workload(seed, 30, 3, 1.0);
+    util::Rng rng(seed * 977);
+    const int cores = 9;
+    std::vector<int> core_of(g.size());
+    // Entries below 0 are unplaced stages; both checkers must skip them.
+    for (auto& c : core_of) c = static_cast<int>(rng.uniform_int(-1, cores - 1));
+    EXPECT_EQ(mapping::quotient_acyclic_in(g, core_of, cores, ws),
+              mapping::quotient_acyclic_bits(g, core_of, cores, q))
+        << "seed " << seed;
+  }
+}
+
+TEST(EvalBatch, BatchCallsCountCandidates) {
+  const spg::Spg g = test::random_workload(3, 20, 3, 1.0);
+  const cmp::Platform p = test::grid2x2();
+  const double T = test::pick_period(g, p);
+  Evaluator ev(g, p, T);
+
+  mapping::EvalCounterSink sink;
+  {
+    const mapping::ScopedEvalSink scope(&sink);
+    const std::vector<int> base(g.size(), 0);
+    ev.evaluate_placement_batch(base, 0, {0, 1, 2, 3});
+
+    Mapping m;
+    m.core_of = block_placement(g, p.grid().core_count());
+    m.mode_of_core.assign(4, 0);
+    m.edge_paths.assign(g.edge_count(), {});
+    ASSERT_TRUE(mapping::assign_slowest_modes(g, p, T, m));
+    mapping::attach_routes(g, p.topology, m);
+    ev.bind(m);
+    ev.evaluate_move_batch(0, {1, 2});
+  }
+  EXPECT_EQ(sink.totals().batch, 6u);  // 4 placement + 2 move candidates
+  EXPECT_EQ(sink.totals().full, 1u);   // the bind
+}
+
+}  // namespace
