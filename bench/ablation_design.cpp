@@ -23,6 +23,7 @@
 #include "heuristics/random_heuristic.hpp"
 #include "heuristics/refine.hpp"
 #include "mapping/link_dvfs.hpp"
+#include "obs/obs.hpp"
 #include "spg/generator.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
@@ -222,6 +223,7 @@ void refinement_ablation(std::size_t reps) {
 
 int main(int argc, char** argv) {
   const spgcmp::util::Args args(argc, argv);
+  const auto obs = spgcmp::obs::ScopedFiles::from_args(args);
   const auto reps =
       static_cast<std::size_t>(args.get_int("reps", "REPRO_ABLATION_REPS", 10));
   std::printf("Ablation studies (%zu workloads per cell)\n", reps);

@@ -29,6 +29,7 @@
 #include "campaign/runner.hpp"
 #include "campaign/spec.hpp"
 #include "harness/sweep_engine.hpp"
+#include "obs/obs.hpp"
 #include "solve/registry.hpp"
 #include "spg/generator.hpp"
 #include "spg/streamit.hpp"
@@ -52,6 +53,12 @@ inline const std::vector<double>& random_ccrs() { return campaign::random_ccrs()
 /// subset to run (--heuristics=dpa2d1d,exact(cap=9); empty = paper set).
 [[nodiscard]] inline std::size_t threads_arg(const util::Args& args) {
   return static_cast<std::size_t>(args.get_int("threads", "REPRO_THREADS", 0));
+}
+/// --trace=FILE / --metrics=FILE (REPRO_TRACE / REPRO_METRICS): hold the
+/// returned object for the whole run; tracing starts now and both files
+/// are written durably when it leaves scope.  Inert when neither is set.
+[[nodiscard]] inline obs::ScopedFiles obs_arg(const util::Args& args) {
+  return obs::ScopedFiles::from_args(args);
 }
 [[nodiscard]] inline std::vector<std::string> solvers_arg(const util::Args& args) {
   const std::string csv = args.get_string("heuristics", "REPRO_HEURISTICS", "");

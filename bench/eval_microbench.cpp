@@ -13,6 +13,11 @@
 // bind/evaluate_move/commit_move delta path, over the identical candidate
 // sequence; both sides must agree on the optimal energy.
 //
+// A "trace_overhead" scenario times the incremental probe loop plain
+// versus wrapped in a (disabled) obs::Span per probe; CI gates its
+// overhead_ratio at <= 1.02, keeping the tracing layer honest about its
+// off-path cost.
+//
 // BENCH_eval.json additionally carries one "solver" cell per registry
 // solver — the SolveReport wall time, evaluator call count and fast-path
 // share of a single n=50 / 4x4 solve — giving perf work a per-solver
@@ -31,6 +36,7 @@
 
 #include "bench_common.hpp"
 #include "heuristics/exact.hpp"
+#include "obs/trace.hpp"
 #include "mapping/evaluator.hpp"
 #include "serve/server.hpp"
 #include "solve/solve.hpp"
@@ -79,6 +85,7 @@ double us_per_op(Clock::duration d, std::size_t ops) {
 
 int main(int argc, char** argv) try {
   const util::Args args(argc, argv);
+  const auto obs = bench::obs_arg(args);
   const auto moves =
       static_cast<std::size_t>(args.get_int("moves", "REPRO_MOVES", 2000));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", "", 42));
@@ -286,6 +293,78 @@ int main(int argc, char** argv) try {
     cell.failures = {0, 0, 0};
     cell.workloads = ops;
     rep.cells.push_back(std::move(cell));
+  }
+
+  // Disabled-tracing overhead: the incremental evaluate_move probe loop on
+  // the n=150 / 6x6 scenario, plain versus wrapped in a per-probe
+  // obs::Span while tracing is off.  The span must cost one relaxed atomic
+  // load plus a branch; CI gates overhead_ratio at <= 1.02.
+  util::Table trace_table(
+      {"scenario", "plain (us)", "spanned (us)", "overhead"});
+  {
+    rep.meta.emplace_back("trace_overhead_cells",
+                          "plain_us, spanned_us, overhead_ratio");
+    util::Rng rng(harness::instance_seed(seed, 150 * 100 + 6));
+    spg::Spg g = spg::random_spg(150, 6, rng);
+    g.rescale_ccr(1.0);
+    const auto p = cmp::Platform::reference(6, 6);
+    const auto seeded = find_seed(g, p);
+    const double T = seeded.T;
+
+    std::vector<Probe> probes;
+    probes.reserve(moves);
+    const std::vector<int>& home = seeded.m.core_of;
+    while (probes.size() < moves) {
+      const auto s = static_cast<spg::StageId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.size()) - 1));
+      const int c = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::int64_t>(p.grid().core_count()) - 1));
+      if (c == home[s]) continue;
+      probes.push_back(Probe{s, c});
+    }
+
+    mapping::Mapping bound = seeded.m;
+    mapping::attach_routes(g, p.topology, bound);
+    (void)mapping::assign_slowest_modes(g, p, T, bound);
+    mapping::Evaluator evaluator(g, p, T);
+    evaluator.bind(bound);
+    if (obs::trace_enabled()) {
+      std::fprintf(stderr,
+                   "trace_overhead: skipped (tracing is live; the cell "
+                   "measures the disabled path)\n");
+    } else {
+      // Warm both loops once so neither side pays first-touch costs.
+      for (const auto& pr : probes) {
+        sink += evaluator.evaluate_move(pr.stage, pr.core).energy;
+      }
+      const auto t0 = Clock::now();
+      for (const auto& pr : probes) {
+        sink += evaluator.evaluate_move(pr.stage, pr.core).energy;
+      }
+      const auto plain_dt = Clock::now() - t0;
+
+      const auto t1 = Clock::now();
+      for (const auto& pr : probes) {
+        const obs::Span span("bench.probe");
+        sink += evaluator.evaluate_move(pr.stage, pr.core).energy;
+      }
+      const auto spanned_dt = Clock::now() - t1;
+
+      const double plain_us = us_per_op(plain_dt, probes.size());
+      const double spanned_us = us_per_op(spanned_dt, probes.size());
+      const double ratio = plain_us > 0.0 ? spanned_us / plain_us : 0.0;
+      trace_table.add_row({"trace_overhead n=150 6x6",
+                           util::fmt_double(plain_us, 3),
+                           util::fmt_double(spanned_us, 3),
+                           util::fmt_double(ratio, 4)});
+      harness::BenchCell cell;
+      cell.labels = {{"scenario", "trace_overhead"}, {"n", "150"}, {"grid", "6x6"}};
+      cell.period = T;
+      cell.values = {plain_us, spanned_us, ratio};
+      cell.failures = {0, 0, 0};
+      cell.workloads = probes.size();
+      rep.cells.push_back(std::move(cell));
+    }
   }
 
   // Exact-solver placement enumeration, full vs delta path.  Tiny instance
@@ -511,6 +590,9 @@ int main(int argc, char** argv) try {
   std::cout << "\nBatched placement scoring: scalar candidate loop vs "
                "evaluate_placement_batch\n";
   batch_table.print(std::cout);
+  std::cout << "\nDisabled-tracing overhead: evaluate_move probes, plain vs "
+               "per-probe obs::Span\n";
+  trace_table.print(std::cout);
   std::cout << "\nPer-solver SolveReport trajectories (n=50, 4x4 mesh)\n";
   solver_table.print(std::cout);
   std::cout << "\nQuality vs evals: anneal / peft against dpa2d1d+refine "

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   using namespace spgcmp;
   const util::Args args(argc, argv);
+  const auto obs = bench::obs_arg(args);
   const auto apps = static_cast<std::size_t>(args.get_int("apps", "REPRO_APPS", 5));
   const int step = static_cast<int>(args.get_int("step", "REPRO_STEP", 3));
   const auto elevations = bench::default_elevations(20, step);

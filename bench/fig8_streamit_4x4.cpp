@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace spgcmp;
   const util::Args args(argc, argv);
+  const auto obs = bench::obs_arg(args);
   std::cout << "Figure 8: normalized energy, StreamIt suite, 4x4 CMP\n";
   const auto rep =
       bench::streamit_report("fig8_streamit_4x4", 4, 4, bench::threads_arg(args),

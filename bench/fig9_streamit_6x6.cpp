@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace spgcmp;
   const util::Args args(argc, argv);
+  const auto obs = bench::obs_arg(args);
   std::cout << "Figure 9: normalized energy, StreamIt suite, 6x6 CMP\n";
   const auto rep =
       bench::streamit_report("fig9_streamit_6x6", 6, 6, bench::threads_arg(args),

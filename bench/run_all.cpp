@@ -61,6 +61,7 @@ int figure_number(const std::string& sweep_name) {
 
 int main(int argc, char** argv) try {
   const util::Args args(argc, argv);
+  const auto obs = bench::obs_arg(args);
   const auto threads = bench::threads_arg(args);
   const auto apps = static_cast<std::size_t>(args.get_int("apps", "REPRO_APPS", 5));
   const auto apps150 =

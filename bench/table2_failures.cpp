@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace spgcmp;
   const util::Args args(argc, argv);
+  const auto obs = bench::obs_arg(args);
   const auto threads = bench::threads_arg(args);
   const auto topology = bench::topology_arg(args);
   const auto solvers = bench::solvers_arg(args);

@@ -1,8 +1,13 @@
 #include "campaign/service.hpp"
 
+#include <chrono>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
 
 namespace spgcmp::campaign {
 
@@ -16,6 +21,68 @@ std::size_t StatusReport::shards_total() const noexcept {
   std::size_t n = 0;
   for (const auto& s : sweeps) n += s.shards_total;
   return n;
+}
+
+double StatusReport::wall_seconds() const noexcept {
+  double t = 0.0;
+  for (const auto& s : sweeps) t += s.wall_seconds;
+  return t;
+}
+
+std::size_t StatusReport::shards_timed() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : sweeps) n += s.shards_timed;
+  return n;
+}
+
+double StatusReport::shards_per_second() const noexcept {
+  const double wall = wall_seconds();
+  if (shards_timed() == 0 || wall <= 0.0) return 0.0;
+  return static_cast<double>(shards_timed()) / wall;
+}
+
+double StatusReport::eta_seconds() const noexcept {
+  const double rate = shards_per_second();
+  if (rate <= 0.0) return -1.0;
+  const std::size_t remaining = shards_total() - shards_done();
+  return static_cast<double>(remaining) / rate;
+}
+
+void render_status_json(const StatusReport& rep, std::ostream& os) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("campaign", rep.campaign);
+  w.kv("complete", rep.shards_done() == rep.shards_total());
+  w.kv("shards_done", static_cast<std::uint64_t>(rep.shards_done()));
+  w.kv("shards_total", static_cast<std::uint64_t>(rep.shards_total()));
+  w.kv("shards_timed", static_cast<std::uint64_t>(rep.shards_timed()));
+  w.kv("wall_seconds", rep.wall_seconds());
+  w.key("shards_per_second");
+  if (rep.shards_timed() == 0) {
+    w.null();
+  } else {
+    w.value(rep.shards_per_second());
+  }
+  w.key("eta_seconds");
+  if (rep.eta_seconds() < 0.0) {
+    w.null();
+  } else {
+    w.value(rep.eta_seconds());
+  }
+  w.key("sweeps");
+  w.begin_array();
+  for (const auto& s : rep.sweeps) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("shards_done", static_cast<std::uint64_t>(s.shards_done));
+    w.kv("shards_total", static_cast<std::uint64_t>(s.shards_total));
+    w.kv("instances_total", static_cast<std::uint64_t>(s.instances_total));
+    w.kv("shards_timed", static_cast<std::uint64_t>(s.shards_timed));
+    w.kv("wall_seconds", s.wall_seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // the indented writer terminates the document's newline
 }
 
 CampaignService::CampaignService(CampaignSpec spec, const std::string& dir)
@@ -44,6 +111,13 @@ RunSummary CampaignService::run(const ServiceOptions& opt) {
 
   std::size_t completed = done.size();
   summary.shards_skipped = completed;
+
+  // Seed the manifest's wall-clock total from already-persisted timings so
+  // throughput survives pause/resume cycles.
+  double wall_done = 0.0;
+  for (const auto& [key, rec] : done) {
+    if (rec.wall_seconds >= 0.0) wall_done += rec.wall_seconds;
+  }
 
   const std::size_t threads = harness::normalize_threads(opt.threads);
   bool stopped = false;
@@ -74,19 +148,41 @@ RunSummary CampaignService::run(const ServiceOptions& opt) {
                  << last - 1 << ", " << threads << " threads)\n";
         opt.log->flush();
       }
-      const auto results = plan.run_shard(shard, threads);
-      store_.append_shard(plan.spec().name, shard, results);
+      const auto t0 = std::chrono::steady_clock::now();
+      std::vector<InstanceResult> results;
+      {
+        // Begin/end so a killed campaign still shows the open shard in a
+        // partial trace.
+        obs::Span span("campaign.shard", obs::SpanMode::BeginEnd);
+        if (span.active()) {
+          span.detail("sweep", plan.spec().name);
+          span.detail("shard", static_cast<std::uint64_t>(shard));
+        }
+        results = plan.run_shard(shard, threads);
+      }
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      store_.append_shard(plan.spec().name, shard, results, wall);
+      wall_done += wall;
+      static auto& m_shards =
+          obs::Registry::instance().counter("campaign.shards");
+      static auto& m_wall =
+          obs::Registry::instance().histogram("campaign.shard_us");
+      m_shards.inc();
+      m_wall.observe(wall * 1e6);
       ++summary.shards_executed;
       ++completed;
       if (opt.checkpoint_every != 0 &&
           summary.shards_executed % opt.checkpoint_every == 0) {
-        store_.write_manifest({spec_.name, summary.shards_total, completed});
+        store_.write_manifest(
+            {spec_.name, summary.shards_total, completed, wall_done});
       }
     }
   }
 
   summary.complete = completed == summary.shards_total;
-  store_.write_manifest({spec_.name, summary.shards_total, completed});
+  store_.write_manifest({spec_.name, summary.shards_total, completed, wall_done});
   if (opt.log != nullptr) {
     *opt.log << "[campaign] " << completed << "/" << summary.shards_total
              << " shards done (" << summary.shards_executed << " executed, "
@@ -105,7 +201,13 @@ StatusReport CampaignService::status() const {
     s.shards_total = plan.shard_count();
     s.instances_total = plan.instance_count();
     for (std::size_t shard = 0; shard < plan.shard_count(); ++shard) {
-      if (done.count({s.name, shard}) != 0) ++s.shards_done;
+      const auto it = done.find({s.name, shard});
+      if (it == done.end()) continue;
+      ++s.shards_done;
+      if (it->second.wall_seconds >= 0.0) {
+        ++s.shards_timed;
+        s.wall_seconds += it->second.wall_seconds;
+      }
     }
     rep.sweeps.push_back(std::move(s));
   }
@@ -135,12 +237,13 @@ std::vector<harness::BenchReport> CampaignService::merged_reports() const {
                                  " (run or resume it first)");
       }
       const auto [first, last] = plan.shard_range(shard);
-      if (it->second.size() != last - first) {
+      if (it->second.results.size() != last - first) {
         throw std::runtime_error("sweep '" + plan.spec().name + "' shard " +
                                  std::to_string(shard) +
                                  ": instance count mismatch");
       }
-      results.insert(results.end(), it->second.begin(), it->second.end());
+      results.insert(results.end(), it->second.results.begin(),
+                     it->second.results.end());
     }
     reports.push_back(sweep_report(spec_.sweeps[i], spec_.topology, results));
   }

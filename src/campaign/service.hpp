@@ -56,6 +56,10 @@ struct SweepStatus {
   std::size_t shards_done = 0;
   std::size_t shards_total = 0;
   std::size_t instances_total = 0;
+  /// Wall-clock seconds summed over this sweep's *timed* done shards
+  /// (records written before shard timing existed don't contribute).
+  double wall_seconds = 0.0;
+  std::size_t shards_timed = 0;
 };
 
 struct StatusReport {
@@ -63,7 +67,19 @@ struct StatusReport {
   std::vector<SweepStatus> sweeps;
   [[nodiscard]] std::size_t shards_done() const noexcept;
   [[nodiscard]] std::size_t shards_total() const noexcept;
+  [[nodiscard]] double wall_seconds() const noexcept;
+  [[nodiscard]] std::size_t shards_timed() const noexcept;
+  /// Mean timed-shard throughput; 0 when nothing is timed yet.
+  [[nodiscard]] double shards_per_second() const noexcept;
+  /// Remaining shards over shards_per_second(); negative when unknown
+  /// (no timed shards to extrapolate from).
+  [[nodiscard]] double eta_seconds() const noexcept;
 };
+
+/// Render a status report as one stable JSON document (the `status --json`
+/// output; golden-tested, so field set and order are part of the tool's
+/// contract).  Unknown throughput/ETA render as null.
+void render_status_json(const StatusReport& rep, std::ostream& os);
 
 class CampaignService {
  public:

@@ -57,7 +57,12 @@ CampaignStore::ShardMap CampaignStore::load_shards() const {
     const std::string& sweep = rec.at("sweep").as_string("shard record 'sweep'");
     const auto shard =
         static_cast<std::size_t>(rec.at("shard").as_number("shard record 'shard'"));
-    std::vector<InstanceResult> results;
+    ShardRecord record;
+    // Optional: logs written before shard timing existed lack the field.
+    if (const auto* wall = rec.find("wall_seconds"); wall != nullptr) {
+      record.wall_seconds = wall->as_number("shard record 'wall_seconds'");
+    }
+    std::vector<InstanceResult>& results = record.results;
     for (const auto& inst : rec.at("instances").as_array("shard record 'instances'")) {
       InstanceResult r;
       r.period = inst.at("period").as_number("instance 'period'");
@@ -73,18 +78,20 @@ CampaignStore::ShardMap CampaignStore::load_shards() const {
       }
       results.push_back(std::move(r));
     }
-    shards.emplace(std::make_pair(sweep, shard), std::move(results));
+    shards.emplace(std::make_pair(sweep, shard), std::move(record));
   }
   return shards;
 }
 
 void CampaignStore::append_shard(const std::string& sweep, std::size_t shard,
-                                 const std::vector<InstanceResult>& results) {
+                                 const std::vector<InstanceResult>& results,
+                                 double wall_seconds) {
   util::JsonlWriter log(shards_path());
   log.append([&](util::JsonWriter& w) {
     w.begin_object();
     w.kv("sweep", sweep);
     w.kv("shard", static_cast<std::uint64_t>(shard));
+    if (wall_seconds >= 0.0) w.kv("wall_seconds", wall_seconds);
     w.key("instances");
     w.begin_array();
     for (const auto& r : results) {
@@ -116,6 +123,7 @@ void CampaignStore::write_manifest(const Manifest& m) const {
     w.kv("campaign", m.campaign);
     w.kv("shards_total", static_cast<std::uint64_t>(m.shards_total));
     w.kv("shards_done", static_cast<std::uint64_t>(m.shards_done));
+    w.kv("wall_seconds_done", m.wall_seconds_done);
     w.end_object();
     // The stream never threw, so a full disk surfaces only here: check
     // before the rename installs a truncated manifest over a good one.
@@ -149,6 +157,10 @@ std::optional<CampaignStore::Manifest> CampaignStore::read_manifest() const {
       doc.at("shards_total").as_number("manifest 'shards_total'"));
   m.shards_done = static_cast<std::size_t>(
       doc.at("shards_done").as_number("manifest 'shards_done'"));
+  // Optional: manifests written before shard timing existed lack it.
+  if (const auto* wall = doc.find("wall_seconds_done"); wall != nullptr) {
+    m.wall_seconds_done = wall->as_number("manifest 'wall_seconds_done'");
+  }
   return m;
 }
 

@@ -44,23 +44,36 @@ class CampaignStore {
   /// Re-parse the stored spec.
   [[nodiscard]] CampaignSpec load_spec() const;
 
+  /// One persisted shard: its instance results plus the wall-clock seconds
+  /// the executing run spent on it (steady clock).  `wall_seconds < 0`
+  /// means the record predates shard timing — the field is optional on
+  /// read so logs written before it existed stay loadable.
+  struct ShardRecord {
+    std::vector<InstanceResult> results;
+    double wall_seconds = -1.0;
+  };
+
   /// Results of completed shards, keyed by (sweep name, shard index).
   /// Tolerates a truncated final JSONL record (mid-write kill); a record
   /// for the same shard appearing twice keeps the first (both are
   /// deterministic replays of the same instances).
-  using ShardMap = std::map<std::pair<std::string, std::size_t>,
-                            std::vector<InstanceResult>>;
+  using ShardMap = std::map<std::pair<std::string, std::size_t>, ShardRecord>;
   [[nodiscard]] ShardMap load_shards() const;
 
-  /// Append one completed shard and flush.
+  /// Append one completed shard and flush.  `wall_seconds < 0` omits the
+  /// timing field.
   void append_shard(const std::string& sweep, std::size_t shard,
-                    const std::vector<InstanceResult>& results);
+                    const std::vector<InstanceResult>& results,
+                    double wall_seconds = -1.0);
 
   /// Checkpoint manifest.
   struct Manifest {
     std::string campaign;
     std::size_t shards_total = 0;
     std::size_t shards_done = 0;
+    /// Sum of wall_seconds over timed done shards; optional on read (old
+    /// manifests report 0) so `status` can estimate throughput cheaply.
+    double wall_seconds_done = 0.0;
   };
   /// Written atomically (temp file + rename) so readers never see a torn
   /// manifest.

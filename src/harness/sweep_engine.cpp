@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -35,6 +36,8 @@ std::vector<Campaign> SweepEngine::run_generated(
   util::parallel_for(
       0, count,
       [&](std::size_t w) {
+        obs::Span span("sweep.instance");
+        if (span.active()) span.detail("index", static_cast<std::uint64_t>(w));
         util::Rng rng(instance_seed(seed_base, w));
         const spg::Spg g = make(w, rng);
         const HeuristicSet hs = make_heuristics();
@@ -63,6 +66,8 @@ std::vector<Campaign> SweepEngine::run_task_slice(
   util::parallel_for(
       begin, end,
       [&](std::size_t t) {
+        obs::Span span("sweep.instance");
+        if (span.active()) span.detail("index", static_cast<std::uint64_t>(t));
         util::Rng rng(tasks[t].seed);
         const spg::Spg g = tasks[t].make(rng);
         const HeuristicSet hs = make_heuristics();
@@ -79,6 +84,8 @@ std::vector<Campaign> SweepEngine::run_fixed(
   util::parallel_for(
       0, workloads.size(),
       [&](std::size_t w) {
+        obs::Span span("sweep.instance");
+        if (span.active()) span.detail("index", static_cast<std::uint64_t>(w));
         const HeuristicSet hs = make_heuristics();
         campaigns[w] = run_campaign(workloads[w], p, hs, opt_.period);
       },

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mapping/evaluator.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace spgcmp::heuristics {
@@ -67,6 +68,12 @@ Result AnnealHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
   double best_energy = cur_energy;
 
   for (std::size_t chain = 0; chain < opt_.restarts; ++chain) {
+    // One span per restart chain — each chain is one temperature epoch
+    // (the temperature resets to t0 at the top of every chain).
+    obs::Span chain_span("anneal.chain");
+    if (chain_span.active()) {
+      chain_span.detail("chain", static_cast<std::uint64_t>(chain));
+    }
     if (chain > 0) {
       // Restart from the incumbent with the temperature reset: a fresh
       // high-temperature walk out of the current basin.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/trace.hpp"
+
 namespace spgcmp::heuristics {
 
 namespace {
@@ -323,11 +325,20 @@ Result ExactSolver::run(const spg::Spg& g, const cmp::Platform& p, double T) con
     place(place, 0);
   };
 
-  if (options_.require_dag_partition) {
-    PartitionEnumerator en(g, cores, &fuel);
-    en.enumerate(try_partition);
-  } else {
-    enumerate_set_partitions(g.size(), cores, &fuel, try_partition);
+  {
+    // One span for the whole enumeration; per-partition spans would swamp
+    // the trace (candidate counts run into the tens of thousands).
+    obs::Span span("exact.enumerate");
+    if (options_.require_dag_partition) {
+      PartitionEnumerator en(g, cores, &fuel);
+      en.enumerate(try_partition);
+    } else {
+      enumerate_set_partitions(g.size(), cores, &fuel, try_partition);
+    }
+    if (span.active()) {
+      span.detail("candidates",
+                  static_cast<std::uint64_t>(options_.max_candidates - fuel));
+    }
   }
 
   if (options_.evaluated_out != nullptr) {

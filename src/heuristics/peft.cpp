@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mapping/evaluator.hpp"
+#include "obs/trace.hpp"
 
 namespace spgcmp::heuristics {
 
@@ -18,6 +19,7 @@ PeftHeuristic::PeftHeuristic(PeftOptions options) : opt_(options) {}
 
 Result PeftHeuristic::run(const spg::Spg& g, const cmp::Platform& p,
                           double T) const {
+  const obs::Span span("peft");
   const std::size_t n = g.size();
   const auto cores = static_cast<std::size_t>(p.grid().core_count());
   const auto& topo = p.topology;

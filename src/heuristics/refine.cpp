@@ -3,11 +3,13 @@
 #include <stdexcept>
 
 #include "mapping/evaluator.hpp"
+#include "obs/trace.hpp"
 
 namespace spgcmp::heuristics {
 
 Result refine_mapping(const spg::Spg& g, const cmp::Platform& p, double T,
                       const mapping::Mapping& seed, const RefineOptions& options) {
+  obs::Span span("refine");
   // Re-route the seed placement onto topology default routes; this is the
   // state the local moves operate on.
   mapping::Mapping cur = seed;

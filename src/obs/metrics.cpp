@@ -1,0 +1,149 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace spgcmp::obs {
+
+namespace {
+
+double bits_to_double(std::uint64_t bits) noexcept {
+  double d;
+  std::memcpy(&d, &bits, sizeof d);
+  return d;
+}
+
+std::uint64_t double_to_bits(double d) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof bits);
+  return bits;
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_of(double v) noexcept {
+  if (!(v >= 1.0)) return 0;  // negatives, sub-1 and NaN all land in bucket 0
+  if (std::isinf(v)) return kBuckets - 1;  // frexp's exponent is unspecified
+  int e = 0;
+  const double m = std::frexp(v, &e);  // v = m * 2^e, m in [0.5, 1)
+  (void)m;
+  // smallest b with v < 2^b: frexp's e, since 2^(e-1) <= v < 2^e.
+  const auto b = static_cast<std::size_t>(e);
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+double Histogram::bucket_upper_edge(std::size_t b) noexcept {
+  if (b + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(b));
+}
+
+void Histogram::observe(double v) noexcept {
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double add = std::isfinite(v) && v > 0.0 ? v : 0.0;
+  std::uint64_t cur = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      cur, double_to_bits(bits_to_double(cur) + add), std::memory_order_relaxed,
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const noexcept {
+  return bits_to_double(sum_bits_.load(std::memory_order_relaxed));
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  // Leaked deliberately: instrumented layers (thread pools, trace buffers)
+  // may still bump counters during static destruction.
+  static Registry* reg = new Registry();
+  return *reg;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+void Registry::snapshot(std::ostream& os, int indent) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  util::JsonWriter w(os, indent);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) w.kv(name, g->value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h->count());
+    w.kv("sum", h->sum());
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h->bucket_count(b);
+      if (n == 0) continue;  // sparse: only occupied buckets are rendered
+      w.begin_array();
+      w.value(Histogram::bucket_upper_edge(b));  // infinity renders as null
+      w.value(n);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::snapshot_json(int indent) const {
+  std::ostringstream os;
+  snapshot(os, indent);
+  return os.str();
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace spgcmp::obs

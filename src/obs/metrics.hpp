@@ -1,0 +1,126 @@
+#pragma once
+
+// Lock-cheap process-wide metrics registry.
+//
+// Three instrument kinds, all updated with relaxed atomics after a one-time
+// named resolution through the Registry (instrumentation sites keep the
+// returned reference in a function-local static, so the steady-state cost
+// of a counter bump is one relaxed fetch_add — no lock, no lookup):
+//
+//   Counter    monotonic uint64 (events, evaluator calls, requests)
+//   Gauge      signed level (queue depth, in-flight requests)
+//   Histogram  fixed 64-bucket log2 histogram of a nonnegative double
+//              (wall times in microseconds, batch sizes); bucket b counts
+//              values in [2^(b-1), 2^b) — bucket 0 is v < 1, the last
+//              bucket is open-ended
+//
+// snapshot() renders the whole registry as one deterministic JSON object
+// (names sorted, util/json number formatting), the document behind
+// --metrics=FILE, `spgcmp_serve --stats-out`, and the daemon's in-band
+// {"stats":true} answer.  Snapshots are safe against concurrent updates:
+// they read each atomic once; a torn multi-instrument view is acceptable
+// by design (metrics, not accounting).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace spgcmp::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  void inc() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { v_.fetch_add(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Bucket of a sample: 0 for v < 1 (and any non-positive or non-finite
+  /// input), otherwise the smallest b with v < 2^b, clamped to the last
+  /// bucket.  Pure so tests can pin the edges.
+  [[nodiscard]] static std::size_t bucket_of(double v) noexcept;
+
+  /// Exclusive upper edge of bucket b (2^b); the last bucket reports
+  /// infinity (rendered as null in JSON).
+  [[nodiscard]] static double bucket_upper_edge(std::size_t b) noexcept;
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const noexcept {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  // Bit-punned double accumulated by CAS: GCC 12's libstdc++ lacks
+  // atomic<double>::fetch_add on every target we build.
+  std::atomic<std::uint64_t> sum_bits_{0};
+};
+
+/// The process-wide registry.  Name resolution takes a mutex once per
+/// instrumentation site; handles stay valid for the process lifetime
+/// (reset() zeroes values but never invalidates handles).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Render a snapshot as one JSON object:
+  ///   {"counters":{...},"gauges":{...},
+  ///    "histograms":{"name":{"count":N,"sum":S,"buckets":[[edge,count]...]}}}
+  /// Names are sorted and numbers use util/json formatting, so two
+  /// snapshots of the same values are byte-identical.  `indent < 0` emits
+  /// the compact single-line form (the serve daemon's in-band answer).
+  void snapshot(std::ostream& os, int indent = 2) const;
+  [[nodiscard]] std::string snapshot_json(int indent = 2) const;
+
+  /// Zero every registered instrument (tests); handles stay valid.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace spgcmp::obs

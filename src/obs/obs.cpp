@@ -1,0 +1,79 @@
+#include "obs/obs.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "util/cli.hpp"
+#include "util/fsync.hpp"
+
+namespace spgcmp::obs {
+
+namespace fs = std::filesystem;
+
+bool write_text_file_durable(const std::string& path,
+                             std::string_view content) noexcept {
+  try {
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc);
+      if (!os) {
+        std::cerr << "obs: cannot write " << tmp << "\n";
+        return false;
+      }
+      os << content;
+      os.flush();
+      if (!os.good()) {
+        std::cerr << "obs: error writing " << tmp << " (disk full?)\n";
+        return false;
+      }
+    }
+    util::fsync_file(tmp);
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+      std::cerr << "obs: cannot install " << path << ": " << ec.message()
+                << "\n";
+      return false;
+    }
+    util::fsync_parent_dir(path);
+    return true;
+  } catch (const std::exception& e) {
+    std::cerr << "obs: failed to write " << path << ": " << e.what() << "\n";
+    return false;
+  }
+}
+
+ScopedFiles::ScopedFiles(std::string trace_path, std::string metrics_path)
+    : trace_path_(std::move(trace_path)),
+      metrics_path_(std::move(metrics_path)) {
+  if (!trace_path_.empty()) {
+    trace_start();
+    tracing_ = true;
+  }
+}
+
+ScopedFiles::~ScopedFiles() {
+  if (tracing_) {
+    std::ostringstream doc;
+    trace_stop(doc);
+    if (const std::uint64_t dropped = trace_dropped(); dropped != 0) {
+      std::cerr << "obs: trace buffers overflowed, dropped " << dropped
+                << " events\n";
+    }
+    write_text_file_durable(trace_path_, doc.str());
+  }
+  if (!metrics_path_.empty()) {
+    write_text_file_durable(metrics_path_,
+                            Registry::instance().snapshot_json(2) + "\n");
+  }
+}
+
+ScopedFiles ScopedFiles::from_args(const util::Args& args) {
+  return ScopedFiles(args.get_string("trace", "REPRO_TRACE", ""),
+                     args.get_string("metrics", "REPRO_METRICS", ""));
+}
+
+}  // namespace spgcmp::obs

@@ -1,0 +1,242 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+namespace spgcmp::obs {
+
+namespace {
+
+struct Event {
+  const char* name;     // static-storage string from the instrumentation site
+  std::string args;     // pre-rendered `"k":v` pairs, comma-joined; may be empty
+  std::uint64_t ts_us;  // microseconds since trace_start
+  std::uint64_t dur_us; // "X" events only
+  std::uint32_t parent_tid;  // submitting thread's track, 0 when none/self
+  char ph;              // 'X', 'B', 'E', 'i'
+};
+
+/// Cap per thread: a runaway instrumentation loop degrades to dropped
+/// events (counted) instead of unbounded memory growth.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct ThreadBuffer {
+  std::mutex mutex;  // uncontended in steady state: owner appends, stop drains
+  std::vector<Event> events;
+  std::uint32_t tid = 0;
+};
+
+struct BufferRegistry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::int64_t> g_t0_ns{0};
+std::atomic<std::uint64_t> g_dropped{0};
+
+BufferRegistry& registry() {
+  // Leaked: worker threads may emit events during static destruction.
+  static BufferRegistry* reg = new BufferRegistry();
+  return *reg;
+}
+
+thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+thread_local std::uint32_t t_tid = 0;         // 0 until a buffer is assigned
+thread_local std::uint32_t t_parent_tid = 0;  // submitting thread, via propagator
+
+/// The pool/parallel_for propagator: carry the submitting thread's tid onto
+/// workers so fanned-out events can point back at the submitting track.
+/// capture() runs on every submit even with tracing off, so it is a bare
+/// thread-local read.
+[[maybe_unused]] const bool g_propagator_registered = [] {
+  util::ThreadContextPropagator p;
+  p.capture = []() noexcept -> void* {
+    return reinterpret_cast<void*>(static_cast<std::uintptr_t>(t_tid));
+  };
+  p.install = [](void* ctx) noexcept -> void* {
+    void* prev =
+        reinterpret_cast<void*>(static_cast<std::uintptr_t>(t_parent_tid));
+    t_parent_tid =
+        static_cast<std::uint32_t>(reinterpret_cast<std::uintptr_t>(ctx));
+    return prev;
+  };
+  p.restore = [](void* prev) noexcept {
+    t_parent_tid =
+        static_cast<std::uint32_t>(reinterpret_cast<std::uintptr_t>(prev));
+  };
+  util::register_thread_context(p);
+  return true;
+}();
+
+std::uint64_t now_us() noexcept {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const std::int64_t ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() -
+      g_t0_ns.load(std::memory_order_relaxed);
+  return ns > 0 ? static_cast<std::uint64_t>(ns) / 1000u : 0u;
+}
+
+ThreadBuffer& local_buffer() {
+  if (!t_buffer) {
+    auto buf = std::make_shared<ThreadBuffer>();
+    BufferRegistry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    buf->tid = reg.next_tid++;
+    reg.buffers.push_back(buf);
+    t_buffer = std::move(buf);
+    t_tid = t_buffer->tid;
+  }
+  return *t_buffer;
+}
+
+void emit(char ph, const char* name, std::uint64_t ts, std::uint64_t dur,
+          std::string args) {
+  ThreadBuffer& buf = local_buffer();
+  const std::uint32_t parent = t_parent_tid == buf.tid ? 0 : t_parent_tid;
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buf.events.push_back(Event{name, std::move(args), ts, dur, parent, ph});
+}
+
+void render_event(std::ostream& os, const Event& e, std::uint32_t tid) {
+  os << "{\"name\":\"" << util::json_escape(e.name)
+     << "\",\"cat\":\"spgcmp\",\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":" << tid
+     << ",\"ts\":" << e.ts_us;
+  if (e.ph == 'X') os << ",\"dur\":" << e.dur_us;
+  if (e.ph == 'i') os << ",\"s\":\"t\"";
+  const bool has_parent = e.parent_tid != 0;
+  if (has_parent || !e.args.empty()) {
+    os << ",\"args\":{";
+    if (has_parent) os << "\"parent_tid\":" << e.parent_tid;
+    if (!e.args.empty()) {
+      if (has_parent) os << ',';
+      os << e.args;
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_dropped() noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void trace_start() {
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& buf : reg.buffers) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    buf->events.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_t0_ns.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count(),
+                std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+std::size_t trace_stop(std::ostream& os) {
+  g_enabled.store(false, std::memory_order_release);
+  BufferRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::size_t written = 0;
+  for (const auto& buf : reg.buffers) {
+    std::vector<Event> events;
+    {
+      const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      events.swap(buf->events);
+    }
+    if (events.empty()) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << buf->tid
+       << ",\"args\":{\"name\":\"thread-" << buf->tid << "\"}}";
+    for (const Event& e : events) {
+      os << ',';
+      render_event(os, e, buf->tid);
+      ++written;
+    }
+  }
+  os << "]}\n";
+  return written;
+}
+
+void trace_instant(const char* name) noexcept {
+  if (!trace_enabled()) return;
+  try {
+    emit('i', name, now_us(), 0, std::string());
+  } catch (...) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Span::Span(const char* name, SpanMode mode) noexcept {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  name_ = name;
+  start_us_ = now_us();
+  state_ = mode == SpanMode::Complete ? 1 : 2;
+  if (state_ == 2) {
+    try {
+      emit('B', name_, start_us_, 0, std::string());
+    } catch (...) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+      state_ = 0;
+    }
+  }
+}
+
+Span::~Span() {
+  if (state_ == 0) return;
+  const std::uint64_t end = now_us();
+  try {
+    if (state_ == 1) {
+      emit('X', name_, start_us_, end > start_us_ ? end - start_us_ : 0,
+           std::move(args_));
+    } else {
+      emit('E', name_, end, 0, std::move(args_));
+    }
+  } catch (...) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Span::detail(std::string_view key, std::string_view value) {
+  if (state_ == 0) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += util::json_escape(key);
+  args_ += "\":\"";
+  args_ += util::json_escape(value);
+  args_ += '"';
+}
+
+void Span::detail(std::string_view key, std::uint64_t value) {
+  if (state_ == 0) return;
+  if (!args_.empty()) args_ += ',';
+  args_ += '"';
+  args_ += util::json_escape(key);
+  args_ += "\":";
+  args_ += std::to_string(value);
+}
+
+}  // namespace spgcmp::obs

@@ -272,4 +272,32 @@ std::string render_error(const std::string& id_json, int code,
   return os.str();
 }
 
+std::string render_stats(const std::string& id_json,
+                         const MemoCache::Stats& cache,
+                         const std::string& metrics_json) {
+  std::ostringstream os;
+  {
+    util::JsonWriter w(os, /*indent=*/-1);
+    w.begin_object();
+    w.key("id");
+    w.raw(id_json.empty() ? "null" : id_json);
+    w.kv("status", "ok");
+    w.key("stats");
+    w.begin_object();
+    w.key("cache");
+    w.begin_object();
+    w.kv("hits", cache.hits);
+    w.kv("misses", cache.misses);
+    w.kv("evictions", cache.evictions);
+    w.kv("size", static_cast<std::uint64_t>(cache.size));
+    w.kv("capacity", static_cast<std::uint64_t>(cache.capacity));
+    w.end_object();
+    w.key("metrics");
+    w.raw(metrics_json);
+    w.end_object();
+    w.end_object();
+  }
+  return os.str();
+}
+
 }  // namespace spgcmp::serve

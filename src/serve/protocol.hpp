@@ -18,6 +18,14 @@
 // Unknown top-level keys are rejected — a typoed knob must not silently
 // select a default.
 //
+// Control request:
+//   {"id": 9, "stats": true}
+// Answered in-band, in order, with a live observability snapshot:
+//   {"id":9,"status":"ok","stats":{"cache":{...},"metrics":{...}}}
+// `cache` holds the MemoCache counters, `metrics` the full obs::Registry
+// snapshot (counters/gauges/histograms).  A request carrying "stats" is a
+// control frame: its other members besides "id" are not interpreted.
+//
 // Response (ok):
 //   {"id":7,"status":"ok","cache":"hit"|"miss","key":"<16-hex digest>",
 //    "request_evals":N,"wall_us":X,"report":{...}}
@@ -39,6 +47,7 @@
 #include <string>
 
 #include "cmp/cmp.hpp"
+#include "serve/cache.hpp"
 #include "solve/solve.hpp"
 #include "spg/spg.hpp"
 #include "util/json.hpp"
@@ -80,5 +89,12 @@ struct Request {
 /// Render a complete error-response line (no trailing newline).
 [[nodiscard]] std::string render_error(const std::string& id_json, int code,
                                        const std::string& message);
+
+/// Render the answer to an in-band `{"stats":true}` control request.
+/// `metrics_json` must be one well-formed compact JSON value (the
+/// obs::Registry snapshot); it is spliced in verbatim.
+[[nodiscard]] std::string render_stats(const std::string& id_json,
+                                       const MemoCache::Stats& cache,
+                                       const std::string& metrics_json);
 
 }  // namespace spgcmp::serve

@@ -11,6 +11,8 @@
 #include <streambuf>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/canonical.hpp"
 #include "serve/protocol.hpp"
 #include "solve/solve.hpp"
@@ -43,7 +45,7 @@ std::string id_of(const util::JsonValue& doc) {
   }
 }
 
-enum class Kind { OkMiss, OkHit, Error, Shutdown };
+enum class Kind { OkMiss, OkHit, Error, Shutdown, Stats };
 
 struct Outcome {
   std::string line;
@@ -126,6 +128,7 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
 
     util::JsonValue doc;
     try {
+      const obs::Span span("serve.parse");
       doc = util::parse_json(line);
     } catch (const util::JsonParseError& e) {
       register_turn(nullptr);
@@ -134,10 +137,23 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
               Kind::Error};
     }
     const std::string id = id_of(doc);
+    // In-band stats control frame: answered from live state, in order,
+    // without touching the solve path.
+    if (const util::JsonValue* st = doc.find("stats");
+        st != nullptr && st->type == util::JsonValue::Type::Bool &&
+        st->boolean) {
+      register_turn(nullptr);
+      return {render_stats(id, cache_.stats(),
+                           obs::Registry::instance().snapshot_json(-1)),
+              Kind::Stats};
+    }
     bool registered = false;
     try {
       const auto t0 = Clock::now();
-      Request req = parse_request(doc);
+      Request req = [&] {
+        const obs::Span span("serve.parse_request");
+        return parse_request(doc);
+      }();
       register_turn(&req.key);
       registered = true;
 
@@ -174,6 +190,7 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
           return solving.count(req.key) == 0 &&
                  *key_queue.find(req.key)->second.begin() == s;
         });
+        const obs::Span lookup_span("serve.lookup");
         if (auto cached = cache_.lookup(req.key)) {
           return {render_ok(req, *cached, /*hit=*/true, 0, us_since(t0)),
                   Kind::OkHit};
@@ -192,7 +209,10 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
       sreq.platform = &req.platform;
       sreq.period = req.period;
       sreq.seed = fnv1a64(req.key);  // identical problems solve identically
-      const auto report = solve::run(req.solver, sreq);
+      const auto report = [&] {
+        const obs::Span span("serve.solve");
+        return solve::run(req.solver, sreq);
+      }();
       std::string payload = render_report(req, report);
       cache_.insert(req.key, payload);
       return {render_ok(req, payload, /*hit=*/false,
@@ -215,6 +235,12 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
 
   // Emit every ready outcome that is next in request order; called under
   // the lock by whichever worker filled the gap.
+  static auto& m_hits = obs::Registry::instance().counter("serve.hits");
+  static auto& m_misses = obs::Registry::instance().counter("serve.misses");
+  static auto& m_errors = obs::Registry::instance().counter("serve.errors");
+  static auto& m_refused = obs::Registry::instance().counter("serve.refused");
+  static auto& m_stats = obs::Registry::instance().counter("serve.stats_requests");
+  static auto& g_inflight = obs::Registry::instance().gauge("serve.inflight");
   const auto emit_ready = [&] {
     while (true) {
       const auto it = ready.find(next_emit);
@@ -222,17 +248,33 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
       out << it->second.line << '\n';
       ++summary.answered;
       switch (it->second.kind) {
-        case Kind::OkMiss: ++summary.ok; break;
+        case Kind::OkMiss:
+          ++summary.ok;
+          m_misses.inc();
+          break;
         case Kind::OkHit:
           ++summary.ok;
           ++summary.hits;
+          m_hits.inc();
           break;
-        case Kind::Error: ++summary.errors; break;
-        case Kind::Shutdown: ++summary.shutdown_refused; break;
+        case Kind::Error:
+          ++summary.errors;
+          m_errors.inc();
+          break;
+        case Kind::Shutdown:
+          ++summary.shutdown_refused;
+          m_refused.inc();
+          break;
+        case Kind::Stats:
+          ++summary.ok;
+          ++summary.stats_requests;
+          m_stats.inc();
+          break;
       }
       ready.erase(it);
       ++next_emit;
       --inflight;
+      g_inflight.add(-1);
     }
     out.flush();
   };
@@ -248,14 +290,24 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
     ++summary.accepted;
     if (log_requests && log_.has_value()) log_->append_raw(line);
 
+    static auto& m_requests = obs::Registry::instance().counter("serve.requests");
+    static auto& m_request_us =
+        obs::Registry::instance().histogram("serve.request_us");
+    m_requests.inc();
     const std::uint64_t s = seq++;
     {
       std::unique_lock<std::mutex> lock(mutex);
       cv_slot.wait(lock, [&] { return inflight < max_inflight; });
       ++inflight;
+      g_inflight.add(1);
     }
     pool_.submit([&, s, line] {
-      Outcome outcome = handle(line, s);
+      const auto t0 = Clock::now();
+      Outcome outcome = [&] {
+        const obs::Span span("serve.request");
+        return handle(line, s);
+      }();
+      m_request_us.observe(us_since(t0));
       const std::lock_guard<std::mutex> lock(mutex);
       ready.emplace(s, std::move(outcome));
       emit_ready();

@@ -50,6 +50,7 @@ struct ServerSummary {
   std::uint64_t hits = 0;       ///< ok responses served from the cache
   std::uint64_t errors = 0;     ///< status:error responses (codes 1/2)
   std::uint64_t shutdown_refused = 0;  ///< code-3 responses during drain
+  std::uint64_t stats_requests = 0;    ///< in-band {"stats":true} answers
   bool interrupted = false;     ///< the stop flag ended the read loop
   MemoCache::Stats cache;       ///< cache counters at return time
 };

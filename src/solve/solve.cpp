@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "mapping/evaluator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace spgcmp::solve {
 
@@ -30,6 +32,8 @@ SolveReport run(const heuristics::Heuristic& solver,
 
   SolveReport report;
   {
+    obs::Span span("solve");
+    if (span.active()) span.detail("solver", solver.name());
     const mapping::ScopedEvalSink scope(&sink);
     report.result = solver.run(*request.spg, *request.platform, request.period);
   }
@@ -42,6 +46,25 @@ SolveReport run(const heuristics::Heuristic& solver,
   report.stats.placement_evals = calls.placement;
   report.stats.incremental_evals = calls.incremental;
   report.stats.batch_evals = calls.batch;
+
+  // Handles resolved once; steady-state cost per solve is a few relaxed
+  // atomic adds on top of the sink totals already gathered above.
+  static auto& m_solves = obs::Registry::instance().counter("solve.count");
+  static auto& m_failures = obs::Registry::instance().counter("solve.failures");
+  static auto& m_full = obs::Registry::instance().counter("solve.evals.full");
+  static auto& m_placement =
+      obs::Registry::instance().counter("solve.evals.placement");
+  static auto& m_incremental =
+      obs::Registry::instance().counter("solve.evals.incremental");
+  static auto& m_batch = obs::Registry::instance().counter("solve.evals.batch");
+  static auto& m_wall = obs::Registry::instance().histogram("solve.wall_us");
+  m_solves.inc();
+  if (!report.result.success) m_failures.inc();
+  m_full.add(calls.full);
+  m_placement.add(calls.placement);
+  m_incremental.add(calls.incremental);
+  m_batch.add(calls.batch);
+  m_wall.observe(report.stats.wall_seconds * 1e6);
   return report;
 }
 

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 #ifndef _WIN32
 #include <csignal>
 #include <pthread.h>
@@ -51,6 +54,11 @@ class ThreadContextScope {
   std::size_t n_;
 };
 
+obs::Gauge& queue_depth_gauge() {
+  static auto& g = obs::Registry::instance().gauge("pool.queue_depth");
+  return g;
+}
+
 }  // namespace
 
 void register_thread_context(const ThreadContextPropagator& propagator) {
@@ -77,11 +85,13 @@ ThreadPool::ThreadPool(std::size_t threads) {
   // stop signal is always delivered to the spawning (intake) thread and
   // interrupts its blocking read — without this, the kernel may pick a
   // worker, the stop flag is set, and a daemon blocked reading a FIFO
-  // never notices until its next input line.
+  // never notices until its next input line.  SIGUSR1 (the serve daemon's
+  // stats-dump request) is blocked for the same reason.
   sigset_t block, prev;
   sigemptyset(&block);
   sigaddset(&block, SIGINT);
   sigaddset(&block, SIGTERM);
+  sigaddset(&block, SIGUSR1);
   pthread_sigmask(SIG_BLOCK, &block, &prev);
 #endif
   workers_.reserve(threads);
@@ -117,6 +127,9 @@ void ThreadPool::submit(std::function<void()> task) {
     if (stop_) throw std::logic_error("ThreadPool::submit after shutdown");
     queue_.push(std::move(wrapped));
   }
+  static auto& m_tasks = obs::Registry::instance().counter("pool.tasks");
+  m_tasks.inc();
+  queue_depth_gauge().add(1);
   cv_task_.notify_one();
 }
 
@@ -136,7 +149,13 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
-    task();
+    queue_depth_gauge().add(-1);
+    {
+      // Begin/end (not complete) events so an interrupted worker still
+      // leaves its open task visible in a partial trace.
+      const obs::Span span("pool.task", obs::SpanMode::BeginEnd);
+      task();
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;
@@ -170,6 +189,7 @@ void parallel_for(std::size_t begin, std::size_t end,
   const std::size_t ctx_n = capture_thread_context(ctx);
   auto run = [&] {
     const ThreadContextScope scope(ctx, ctx_n);
+    const obs::Span span("pool.parallel_for", obs::SpanMode::BeginEnd);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= end) return;

@@ -550,6 +550,138 @@ TEST(CampaignStore, WriteManifestReplacesStaleTmpAtomically) {
   EXPECT_EQ(m->shards_done, 2u);
 }
 
+TEST(CampaignStore, ShardWallSecondsPersistAndOldLogsStayLoadable) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+  CampaignDir dir("walltime");
+  campaign::CampaignService service(spec, dir.str());
+  campaign::ServiceOptions opt;
+  opt.threads = 1;
+  ASSERT_TRUE(service.run(opt).complete);
+
+  // Every freshly executed shard carries a nonnegative wall timing, and
+  // the manifest checkpoints their sum.
+  const auto shards = service.store().load_shards();
+  ASSERT_EQ(shards.size(), 3u);
+  double sum = 0.0;
+  for (const auto& [key, rec] : shards) {
+    EXPECT_GE(rec.wall_seconds, 0.0) << key.first;
+    sum += rec.wall_seconds;
+  }
+  const auto manifest = service.store().read_manifest();
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_DOUBLE_EQ(manifest->wall_seconds_done, sum);
+  const auto timed = service.status();
+  EXPECT_EQ(timed.shards_timed(), 3u);
+  EXPECT_GT(timed.shards_per_second(), 0.0);
+
+  // A log written before shard timing existed has no wall_seconds field:
+  // strip it from every record and re-open.  The records must still load
+  // (field optional on read), reporting -1 / untimed.
+  const std::string shards_path = service.store().shards_path();
+  std::string log;
+  {
+    std::ifstream is(shards_path);
+    std::ostringstream os;
+    os << is.rdbuf();
+    log = os.str();
+  }
+  for (std::string::size_type pos; (pos = log.find("\"wall_seconds\":")) !=
+                                   std::string::npos;) {
+    const auto comma = log.find(',', pos);
+    ASSERT_NE(comma, std::string::npos);
+    log.erase(pos, comma - pos + 1);
+  }
+  {
+    std::ofstream os(shards_path, std::ios::trunc);
+    os << log;
+  }
+  const auto reopened = campaign::CampaignService::open(dir.str());
+  const auto old = reopened.store().load_shards();
+  ASSERT_EQ(old.size(), 3u);
+  for (const auto& [key, rec] : old) {
+    EXPECT_LT(rec.wall_seconds, 0.0) << key.first;
+    EXPECT_FALSE(rec.results.empty()) << key.first;
+  }
+  const auto untimed = reopened.status();
+  EXPECT_EQ(untimed.shards_done(), 3u);
+  EXPECT_EQ(untimed.shards_timed(), 0u);
+  EXPECT_EQ(untimed.shards_per_second(), 0.0);
+  EXPECT_LT(untimed.eta_seconds(), 0.0);
+}
+
+TEST(CampaignService, RenderStatusJsonGolden) {
+  // `spgcmp_campaign status --json` output on a hand-built report; the
+  // exact bytes are the machine-consumer contract.
+  campaign::StatusReport rep;
+  rep.campaign = "tiny";
+  rep.sweeps.push_back({"alpha", 2, 2, 8, 4.0, 2});
+  rep.sweeps.push_back({"beta", 1, 3, 12, 2.0, 1});
+  std::ostringstream os;
+  campaign::render_status_json(rep, os);
+  EXPECT_EQ(os.str(), R"({
+  "campaign": "tiny",
+  "complete": false,
+  "shards_done": 3,
+  "shards_total": 5,
+  "shards_timed": 3,
+  "wall_seconds": 6,
+  "shards_per_second": 0.5,
+  "eta_seconds": 4,
+  "sweeps": [
+    {
+      "name": "alpha",
+      "shards_done": 2,
+      "shards_total": 2,
+      "instances_total": 8,
+      "shards_timed": 2,
+      "wall_seconds": 4
+    },
+    {
+      "name": "beta",
+      "shards_done": 1,
+      "shards_total": 3,
+      "instances_total": 12,
+      "shards_timed": 1,
+      "wall_seconds": 2
+    }
+  ]
+}
+)");
+
+  // Untimed report: throughput and ETA are unknown, rendered as null.
+  campaign::StatusReport untimed;
+  untimed.campaign = "tiny";
+  untimed.sweeps.push_back({"alpha", 2, 2, 8, 0.0, 0});
+  std::ostringstream os2;
+  campaign::render_status_json(untimed, os2);
+  EXPECT_EQ(os2.str(), R"({
+  "campaign": "tiny",
+  "complete": true,
+  "shards_done": 2,
+  "shards_total": 2,
+  "shards_timed": 0,
+  "wall_seconds": 0,
+  "shards_per_second": null,
+  "eta_seconds": null,
+  "sweeps": [
+    {
+      "name": "alpha",
+      "shards_done": 2,
+      "shards_total": 2,
+      "instances_total": 8,
+      "shards_timed": 0,
+      "wall_seconds": 0
+    }
+  ]
+}
+)");
+  // The document parses and agrees with the report's accessors.
+  const auto doc = util::parse_json(os.str());
+  EXPECT_EQ(doc.at("shards_per_second").as_number("sps"),
+            rep.shards_per_second());
+  EXPECT_EQ(doc.at("eta_seconds").as_number("eta"), rep.eta_seconds());
+}
+
 TEST(CampaignService, ManifestCheckpointsProgress) {
   const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
   CampaignDir dir("manifest");

@@ -295,6 +295,40 @@ TEST(Server, HitsAreFreeAndByteIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(Server, StatsRequestAnswersLiveSnapshotInOrder) {
+  serve::ServerOptions opt;
+  opt.threads = 2;
+  serve::Server server(opt);
+  const auto run = run_lines(server, {gen_request(1, 5, "greedy"),
+                                      R"({"id":2,"stats":true})"});
+
+  ASSERT_EQ(run.lines.size(), 2u);
+  EXPECT_EQ(run.summary.accepted, 2u);
+  EXPECT_EQ(run.summary.ok, 2u);
+  EXPECT_EQ(run.summary.stats_requests, 1u);
+  EXPECT_EQ(run.summary.errors, 0u);
+
+  // The stats answer arrives in request order, after the solve's answer.
+  EXPECT_EQ(util::parse_json(run.lines[0]).at("status").as_string("status"),
+            "ok");
+  const auto stats = util::parse_json(run.lines[1]);
+  EXPECT_EQ(stats.at("id").as_number("id"), 2.0);
+  EXPECT_EQ(stats.at("status").as_string("status"), "ok");
+  const auto& body = stats.at("stats");
+  const auto& cache = body.at("cache");
+  // One solve ran before the stats request was answered (in-order reorder
+  // buffer), so the cache already counts its miss.
+  EXPECT_EQ(cache.at("misses").as_number("misses"), 1.0);
+  EXPECT_EQ(cache.at("size").as_number("size"), 1.0);
+  // The embedded metrics snapshot is the live registry document; the
+  // registry is process-global, so only shape is asserted here.
+  const auto& metrics = body.at("metrics");
+  EXPECT_NE(metrics.find("histograms"), nullptr);
+  const auto* counters = metrics.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("serve.requests"), nullptr);
+}
+
 TEST(Server, AnswersMalformedRequestsInOrderWithCode2) {
   serve::ServerOptions opt;
   opt.threads = 2;

@@ -3,8 +3,11 @@
 //   spgcmp_campaign run    --spec=FILE|paper --dir=DIR [--threads=N]
 //                          [--max-shards=K]
 //   spgcmp_campaign resume --dir=DIR [--threads=N] [--max-shards=K]
-//   spgcmp_campaign status --dir=DIR
+//   spgcmp_campaign status --dir=DIR [--json]
 //   spgcmp_campaign merge  --dir=DIR [--out=DIR]
+// All subcommands accept --trace=FILE / --metrics=FILE (REPRO_TRACE /
+// REPRO_METRICS) to record a Chrome trace-event timeline and a metrics
+// snapshot for the invocation.
 //
 // `run` binds a campaign spec to a directory and executes its shards in
 // deterministic order, appending each finished shard to <dir>/shards.jsonl
@@ -21,12 +24,19 @@
 // every sweep's solver subset at `run` time; `--list-solvers` prints the
 // registry.
 //
+// `status` reports progress plus throughput (shards/sec over the persisted
+// per-shard wall timings) and an ETA; `status --json` emits the same data
+// as one stable JSON document for machine consumers (render_status_json —
+// golden-tested, so its shape is part of this tool's contract).
+//
 // Exit codes: 0 = requested work done, 1 = error, 2 = usage or unknown
 // solver/topology/spec key (with the matching listing; see tool_common.hpp),
 // 3 = run/resume stopped early with shards still pending — either the
 // --max-shards quantum was reached or a SIGINT/SIGTERM paused the run
 // (the in-flight shard finishes, the manifest is checkpointed and fsynced;
 // a second signal hard-kills, which torn-tail recovery survives).
+// `status` mirrors that convention: 0 when the campaign is complete, 3
+// while shards are still pending, so schedulers can poll it directly.
 
 #include <cstdio>
 #include <fstream>
@@ -34,6 +44,7 @@
 #include <string>
 
 #include "campaign/service.hpp"
+#include "obs/obs.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
 #include "util/stop_signal.hpp"
@@ -49,8 +60,9 @@ int usage() {
                "  run    --spec=FILE|paper --dir=DIR [--threads=N] [--max-shards=K]\n"
                "         [--heuristics=random,dpa2d1d,...]\n"
                "  resume --dir=DIR [--threads=N] [--max-shards=K]\n"
-               "  status --dir=DIR\n"
+               "  status --dir=DIR [--json]   (exit 0 complete, 3 pending)\n"
                "  merge  --dir=DIR [--out=DIR]\n"
+               "  --trace=FILE / --metrics=FILE record a Chrome trace / metrics\n"
                "  --list-solvers lists the solver registry\n"
                "see the header of tools/spgcmp_campaign.cpp for details\n");
   return 2;
@@ -134,6 +146,11 @@ int cmd_resume(const util::Args& args) {
 int cmd_status(const util::Args& args) {
   const auto service = campaign::CampaignService::open(dir_arg(args));
   const auto rep = service.status();
+  const bool complete = rep.shards_done() == rep.shards_total();
+  if (args.has("json")) {
+    campaign::render_status_json(rep, std::cout);
+    return complete ? 0 : 3;
+  }
   std::printf("campaign: %s\n", rep.campaign.c_str());
   util::Table t({"sweep", "shards", "instances", "state"});
   for (const auto& s : rep.sweeps) {
@@ -144,7 +161,13 @@ int cmd_status(const util::Args& args) {
   }
   t.print(std::cout);
   std::printf("total: %zu/%zu shards\n", rep.shards_done(), rep.shards_total());
-  return 0;
+  if (rep.shards_timed() > 0) {
+    std::printf("throughput: %.3f shards/sec over %zu timed shards (%.1f s)\n",
+                rep.shards_per_second(), rep.shards_timed(),
+                rep.wall_seconds());
+    if (!complete) std::printf("eta: %.1f s\n", rep.eta_seconds());
+  }
+  return complete ? 0 : 3;
 }
 
 int cmd_merge(const util::Args& args) {
@@ -163,6 +186,7 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const std::string cmd = argv[1];
   return tools::run_tool("spgcmp_campaign", [&]() -> int {
+    const auto obs_files = obs::ScopedFiles::from_args(args);
     if (tools::handle_list_solvers(args)) return 0;
     if (cmd == "run") return cmd_run(args);
     if (cmd == "resume") return cmd_resume(args);

@@ -18,6 +18,9 @@
 // (REPRO_TOPOLOGY) to select the platform interconnect.  --list-solvers
 // prints the solver registry.  Unknown solvers or topologies exit 2 with
 // the matching listing (the shared tools contract; see tool_common.hpp).
+// Every subcommand accepts --trace=FILE / --metrics=FILE (REPRO_TRACE /
+// REPRO_METRICS) to record a Chrome trace-event timeline and a metrics
+// snapshot for the invocation.
 
 #include <cstdio>
 #include <cstring>
@@ -27,6 +30,7 @@
 
 #include "harness/experiment.hpp"
 #include "heuristics/ilp.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "spg/generator.hpp"
 #include "spg/sp_tree.hpp"
@@ -226,6 +230,7 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const std::string cmd = argv[1];
   return tools::run_tool("spgcmp", [&]() -> int {
+    const auto obs_files = obs::ScopedFiles::from_args(args);
     if (tools::handle_list_solvers(args)) return 0;
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "info") return cmd_info(args);

@@ -2,6 +2,7 @@
 //
 //   spgcmp_serve [--in=PATH] [--threads=N] [--cache=N] [--max-inflight=N]
 //                [--log=FILE] [--replay=FILE] [--list-solvers]
+//                [--trace=FILE] [--metrics=FILE] [--stats-out=FILE]
 //
 // Reads newline-delimited JSON solve requests (see src/serve/protocol.hpp
 // for the schema) from --in (a file or FIFO) or stdin, and writes one JSON
@@ -21,22 +22,34 @@
 // 0 = EOF reached, 3 = stopped by a signal (after the drain), 2 = usage
 // or configuration error, 1 = internal error.  Per-request failures are
 // answered in-band and do not affect the exit code.
+//
+// Observability: --trace=FILE records a Chrome trace-event timeline,
+// --metrics=FILE writes the metrics-registry snapshot at exit, and
+// --stats-out=FILE atomically (tmp+fsync+rename) writes a final
+// summary/cache/metrics document on both the clean-EOF and signal-drain
+// exits.  A live snapshot is available in-band via a `{"stats":true}`
+// request line, and SIGUSR1 dumps the metrics snapshot to stderr without
+// disturbing the daemon.
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <streambuf>
 
 #ifndef _WIN32
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <fcntl.h>
 #include <unistd.h>
 #endif
 
+#include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/stop_signal.hpp"
 
 namespace {
@@ -44,6 +57,27 @@ namespace {
 using namespace spgcmp;
 
 #ifndef _WIN32
+
+/// SIGUSR1 requests a live metrics dump to stderr.  No SA_RESTART, so the
+/// signal interrupts the blocking request read and the intake loop notices
+/// the flag immediately.
+std::atomic<bool> g_usr1{false};
+
+void on_usr1(int) { g_usr1.store(true, std::memory_order_relaxed); }
+
+void install_usr1_handler() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_usr1;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGUSR1, &sa, nullptr);
+}
+
+void maybe_dump_metrics() {
+  if (!g_usr1.exchange(false, std::memory_order_relaxed)) return;
+  std::fputs((obs::Registry::instance().snapshot_json(-1) + "\n").c_str(),
+             stderr);
+}
 
 /// Raw-fd input buffer that honours EINTR: libstdc++'s filebuf retries
 /// interrupted reads internally, so a daemon blocked reading a FIFO would
@@ -57,6 +91,7 @@ class StopAwareFdBuf final : public std::streambuf {
  protected:
   int underflow() override {
     for (;;) {
+      maybe_dump_metrics();
       if (stop_.load(std::memory_order_relaxed)) return traits_type::eof();
       const ssize_t n = ::read(fd_, buf_, sizeof buf_);
       if (n > 0) {
@@ -110,6 +145,7 @@ void print_summary(const char* what, const serve::ServerSummary& s) {
 }
 
 int serve_main(const util::Args& args) {
+  const auto obs_files = obs::ScopedFiles::from_args(args);
   serve::ServerOptions opt;
   opt.threads =
       static_cast<std::size_t>(args.get_int("threads", "REPRO_THREADS", 0));
@@ -121,7 +157,46 @@ int serve_main(const util::Args& args) {
 
   serve::Server server(std::move(opt));
   util::install_stop_handlers();
+#ifndef _WIN32
+  install_usr1_handler();
+#endif
   const std::atomic<bool>& stop = util::stop_flag();
+
+  // Final summary/cache/metrics snapshot, installed durably at exit on
+  // both the clean-EOF and the signal-drain paths.
+  const std::string stats_out = args.get_string("stats-out", "", "");
+  const auto write_stats = [&](const serve::ServerSummary& s) {
+    if (stats_out.empty()) return;
+    std::ostringstream os;
+    {
+      util::JsonWriter w(os);
+      w.begin_object();
+      w.key("summary");
+      w.begin_object();
+      w.kv("accepted", s.accepted);
+      w.kv("answered", s.answered);
+      w.kv("ok", s.ok);
+      w.kv("hits", s.hits);
+      w.kv("errors", s.errors);
+      w.kv("shutdown_refused", s.shutdown_refused);
+      w.kv("stats_requests", s.stats_requests);
+      w.kv("interrupted", s.interrupted);
+      w.end_object();
+      w.key("cache");
+      w.begin_object();
+      w.kv("hits", s.cache.hits);
+      w.kv("misses", s.cache.misses);
+      w.kv("evictions", s.cache.evictions);
+      w.kv("size", static_cast<std::uint64_t>(s.cache.size));
+      w.kv("capacity", static_cast<std::uint64_t>(s.cache.capacity));
+      w.end_object();
+      w.key("metrics");
+      w.raw(obs::Registry::instance().snapshot_json(-1));
+      w.end_object();
+    }
+    os << "\n";
+    obs::write_text_file_durable(stats_out, os.str());
+  };
 
   const std::string replay = args.get_string("replay", "", "");
   if (!replay.empty()) {
@@ -129,7 +204,10 @@ int serve_main(const util::Args& args) {
   }
 
   const std::string in_path = args.get_string("in", "", "");
-  if (in_path.empty() && !replay.empty()) return 0;  // replay-only run
+  if (in_path.empty() && !replay.empty()) {
+    write_stats(serve::ServerSummary{});  // replay-only run
+    return 0;
+  }
 
   serve::ServerSummary summary;
 #ifndef _WIN32
@@ -141,7 +219,13 @@ int serve_main(const util::Args& args) {
     // A FIFO blocks open() until a writer appears; opened fresh here so
     // the daemon can be started before its first client.
     const int fd = open_request_input(in_path, stop);
-    if (fd < 0) return 3;  // stopped while waiting for a writer
+    if (fd < 0) {
+      // Stopped while waiting for a writer: still a signal-drain exit.
+      serve::ServerSummary none;
+      none.interrupted = true;
+      write_stats(none);
+      return 3;
+    }
     StopAwareFdBuf buf(fd, stop);
     std::istream is(&buf);
     summary = server.serve(is, std::cout, &stop);
@@ -157,6 +241,7 @@ int serve_main(const util::Args& args) {
   }
 #endif
   print_summary("served", summary);
+  write_stats(summary);
   return summary.interrupted ? 3 : 0;
 }
 
@@ -164,7 +249,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: spgcmp_serve [--in=PATH] [--threads=N] [--cache=N]\n"
                "                    [--max-inflight=N] [--log=FILE] [--replay=FILE]\n"
+               "                    [--trace=FILE] [--metrics=FILE] [--stats-out=FILE]\n"
                "  --list-solvers lists the solver registry\n"
+               "  --trace/--metrics record a Chrome trace / metrics snapshot;\n"
+               "  --stats-out writes a final summary+cache+metrics document;\n"
+               "  a {\"stats\":true} request answers live stats in-band and\n"
+               "  SIGUSR1 dumps the metrics snapshot to stderr\n"
                "see the header of tools/spgcmp_serve.cpp for the protocol\n");
   return 2;
 }
