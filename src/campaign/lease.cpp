@@ -1,0 +1,203 @@
+#include "campaign/lease.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/json.hpp"
+
+namespace spgcmp::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string this_host() {
+  char buf[256] = {};
+  if (::gethostname(buf, sizeof buf - 1) != 0) return "?";
+  return buf;
+}
+
+/// Sweep names land in filenames; anything outside the safe set becomes
+/// '_'.  Collisions are harmless — the JSON body carries the exact name,
+/// and a shared filename only makes two different shards contend for one
+/// lease slot (a liveness, not a correctness, concern).
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Seconds since the file was last stamped; negative when stat fails
+/// (file vanished — treated as "not in the way" by callers).
+double age_seconds(const std::string& path) {
+  struct stat st = {};
+  if (::stat(path.c_str(), &st) != 0) return -1.0;
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const double now_s = std::chrono::duration<double>(now).count();
+  return now_s - static_cast<double>(st.st_mtime);
+}
+
+/// True when the lease at `path` is held by a live worker: younger than
+/// the TTL, and (when it was taken on this host) its pid still runs.
+bool lease_fresh(const std::string& path, double ttl, const std::string& host) {
+  const double age = age_seconds(path);
+  if (age < 0.0) return false;  // vanished: released or reclaimed
+  if (age > ttl) return false;
+  std::ifstream is(path);
+  if (!is) return false;
+  std::ostringstream text;
+  text << is.rdbuf();
+  try {
+    const util::JsonValue doc = util::parse_json(text.str());
+    const util::JsonValue* h = doc.find("host");
+    const util::JsonValue* pid = doc.find("pid");
+    if (h != nullptr && pid != nullptr && h->string == host) {
+      const auto p = static_cast<pid_t>(pid->number);
+      if (p > 0 && ::kill(p, 0) != 0 && errno == ESRCH) return false;
+    }
+  } catch (const util::JsonParseError&) {
+    // Torn mid-create write: trust the mtime alone.
+  }
+  return true;
+}
+
+}  // namespace
+
+LeaseManager::LeaseManager(std::string dir, std::string worker,
+                           double ttl_seconds)
+    : dir_(std::move(dir) + "/leases"),
+      worker_(std::move(worker)),
+      ttl_(ttl_seconds) {
+  if (worker_.empty()) throw std::invalid_argument("lease worker id is empty");
+  if (ttl_ <= 0.0) throw std::invalid_argument("lease TTL must be positive");
+  fs::create_directories(dir_);
+}
+
+LeaseManager::~LeaseManager() { release_all(); }
+
+std::string LeaseManager::lease_path(const std::string& sweep,
+                                     std::size_t shard) const {
+  return dir_ + "/" + sanitize(sweep) + "__" + std::to_string(shard) + ".lease";
+}
+
+bool LeaseManager::create(const std::string& path, const std::string& sweep,
+                          std::size_t shard) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;
+    throw std::runtime_error("cannot create lease " + path + ": " +
+                             std::strerror(errno));
+  }
+  std::ostringstream os;
+  {
+    util::JsonWriter w(os, -1);
+    w.begin_object();
+    w.kv("sweep", sweep);
+    w.kv("shard", static_cast<std::uint64_t>(shard));
+    w.kv("worker", worker_);
+    w.kv("pid", static_cast<std::int64_t>(::getpid()));
+    w.kv("host", this_host());
+    w.end_object();
+  }
+  const std::string body = os.str() + "\n";
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    break;  // short lease body: freshness falls back to the mtime
+  }
+  ::close(fd);
+  held_.insert({sweep, shard});
+  return true;
+}
+
+bool LeaseManager::acquire(const std::string& sweep, std::size_t shard) {
+  const std::string path = lease_path(sweep, shard);
+  if (create(path, sweep, shard)) return true;
+
+  // Someone holds it.  Live holder → back off; expired holder → reclaim
+  // via an atomic rename so concurrent reclaimers elect exactly one
+  // winner, then retry the normal O_EXCL acquire.
+  if (lease_fresh(path, ttl_, this_host())) return false;
+  const std::string claimed = path + ".reclaim-" + sanitize(worker_);
+  if (::rename(path.c_str(), claimed.c_str()) == 0) {
+    ::unlink(claimed.c_str());
+  }
+  // Whether we won the rename, lost it, or the holder released meanwhile,
+  // one fresh create attempt settles it.
+  return create(path, sweep, shard);
+}
+
+void LeaseManager::heartbeat() {
+  for (const auto& [sweep, shard] : held_) {
+    // Touch: the mtime is the heartbeat stamp freshness checks read.
+    ::utimensat(AT_FDCWD, lease_path(sweep, shard).c_str(), nullptr, 0);
+  }
+}
+
+void LeaseManager::release(const std::string& sweep, std::size_t shard) {
+  const auto it = held_.find({sweep, shard});
+  if (it == held_.end()) return;
+  ::unlink(lease_path(sweep, shard).c_str());
+  held_.erase(it);
+}
+
+void LeaseManager::release_all() {
+  for (const auto& [sweep, shard] : held_) {
+    ::unlink(lease_path(sweep, shard).c_str());
+  }
+  held_.clear();
+}
+
+std::map<std::pair<std::string, std::size_t>, LeaseInfo> scan_leases(
+    const std::string& campaign_dir, double ttl_seconds) {
+  std::map<std::pair<std::string, std::size_t>, LeaseInfo> out;
+  const std::string dir = campaign_dir + "/leases";
+  std::error_code ec;
+  const std::string host = this_host();
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string path = entry.path().string();
+    if (path.size() < 6 || path.substr(path.size() - 6) != ".lease") continue;
+    std::ifstream is(path);
+    if (!is) continue;
+    std::ostringstream text;
+    text << is.rdbuf();
+    try {
+      const util::JsonValue doc = util::parse_json(text.str());
+      const std::string& sweep = doc.at("sweep").as_string("lease 'sweep'");
+      const auto shard = static_cast<std::size_t>(
+          doc.at("shard").as_number("lease 'shard'"));
+      LeaseInfo info;
+      if (const auto* w = doc.find("worker"); w != nullptr) info.worker = w->string;
+      if (const auto* p = doc.find("pid"); p != nullptr) {
+        info.pid = static_cast<std::int64_t>(p->number);
+      }
+      info.fresh = lease_fresh(path, ttl_seconds, host);
+      out.emplace(std::make_pair(sweep, shard), std::move(info));
+    } catch (const std::exception&) {
+      // Torn mid-create or foreign file: not a claim we can report.
+    }
+  }
+  return out;
+}
+
+}  // namespace spgcmp::campaign

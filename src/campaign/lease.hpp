@@ -1,0 +1,94 @@
+#pragma once
+
+// Per-shard lease files: crash-tolerant work claiming for multi-worker
+// campaigns.
+//
+// N workers (spgcmp_campaign run --workers, or independently launched
+// processes pointed at the same --dir) share one campaign directory.
+// Before executing a shard a worker claims it by creating
+// <dir>/leases/<sweep>__<shard>.lease with O_CREAT|O_EXCL — the kernel
+// makes exactly one creator win.  The file carries {sweep, shard, worker,
+// pid, host, stamp}; while the worker executes, a heartbeat re-stamps the
+// file (mtime) every ttl/3, and after the shard is persisted the lease is
+// unlinked.
+//
+// A crashed worker leaves its lease behind; any worker finding a lease
+// whose mtime is older than the TTL (or whose same-host pid is gone)
+// reclaims it through an atomic rename to a per-worker name — two
+// concurrent reclaimers race on rename(2) and exactly one wins, the loser
+// just moves on.  The winner unlinks the renamed file and re-acquires
+// through the normal O_EXCL path.
+//
+// Leases are advisory, not correctness-critical: shards are deterministic
+// and the shard-log loader keeps the first record per (sweep, shard), so
+// the worst outcome of a lost race — two workers executing the same shard
+// — wastes cycles but still merges byte-identical to a single-process
+// run.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace spgcmp::campaign {
+
+/// What a scan found in one lease file.
+struct LeaseInfo {
+  std::string worker;
+  std::int64_t pid = 0;
+  bool fresh = false;  ///< within TTL and (same host) the pid still runs
+};
+
+class LeaseManager {
+ public:
+  /// `dir` is the campaign directory (leases live in <dir>/leases/),
+  /// `worker` a unique worker id (also the reclaim-rename suffix), and
+  /// `ttl_seconds` the staleness horizon.
+  LeaseManager(std::string dir, std::string worker, double ttl_seconds);
+
+  /// Destructor releases every still-held lease (normal-exit hygiene; a
+  /// crash relies on TTL reclamation instead).
+  ~LeaseManager();
+
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
+
+  /// Try to claim (sweep, shard).  Reclaims an expired lease if one is in
+  /// the way.  Returns false when another live worker holds it.
+  [[nodiscard]] bool acquire(const std::string& sweep, std::size_t shard);
+
+  /// Re-stamp every held lease; call at least every ttl/3 while shards
+  /// execute so a slow shard is not reclaimed out from under its worker.
+  void heartbeat();
+
+  /// Unlink one held lease (after the shard record is persisted).
+  void release(const std::string& sweep, std::size_t shard);
+
+  void release_all();
+
+  [[nodiscard]] const std::string& worker() const noexcept { return worker_; }
+  [[nodiscard]] double ttl_seconds() const noexcept { return ttl_; }
+
+ private:
+  [[nodiscard]] std::string lease_path(const std::string& sweep,
+                                       std::size_t shard) const;
+  /// Create the lease file with O_EXCL and write its JSON body.
+  [[nodiscard]] bool create(const std::string& path, const std::string& sweep,
+                            std::size_t shard);
+
+  std::string dir_;     ///< <campaign>/leases
+  std::string worker_;
+  double ttl_;
+  std::set<std::pair<std::string, std::size_t>> held_;
+};
+
+/// Scan <dir>/leases for the currently-claimed shards; key is the exact
+/// (sweep, shard) from each file's JSON body.  Unreadable or torn files
+/// (a concurrent writer mid-create) are skipped.  Used by `status` to
+/// report shards_leased.
+[[nodiscard]] std::map<std::pair<std::string, std::size_t>, LeaseInfo>
+scan_leases(const std::string& campaign_dir, double ttl_seconds);
+
+}  // namespace spgcmp::campaign

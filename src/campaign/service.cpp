@@ -1,10 +1,15 @@
 #include "campaign/service.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "campaign/lease.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
@@ -35,6 +40,12 @@ std::size_t StatusReport::shards_timed() const noexcept {
   return n;
 }
 
+std::size_t StatusReport::shards_leased() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : sweeps) n += s.shards_leased;
+  return n;
+}
+
 double StatusReport::shards_per_second() const noexcept {
   const double wall = wall_seconds();
   if (shards_timed() == 0 || wall <= 0.0) return 0.0;
@@ -55,6 +66,7 @@ void render_status_json(const StatusReport& rep, std::ostream& os) {
   w.kv("complete", rep.shards_done() == rep.shards_total());
   w.kv("shards_done", static_cast<std::uint64_t>(rep.shards_done()));
   w.kv("shards_total", static_cast<std::uint64_t>(rep.shards_total()));
+  w.kv("shards_leased", static_cast<std::uint64_t>(rep.shards_leased()));
   w.kv("shards_timed", static_cast<std::uint64_t>(rep.shards_timed()));
   w.kv("wall_seconds", rep.wall_seconds());
   w.key("shards_per_second");
@@ -76,6 +88,7 @@ void render_status_json(const StatusReport& rep, std::ostream& os) {
     w.kv("name", s.name);
     w.kv("shards_done", static_cast<std::uint64_t>(s.shards_done));
     w.kv("shards_total", static_cast<std::uint64_t>(s.shards_total));
+    w.kv("shards_leased", static_cast<std::uint64_t>(s.shards_leased));
     w.kv("instances_total", static_cast<std::uint64_t>(s.instances_total));
     w.kv("shards_timed", static_cast<std::uint64_t>(s.shards_timed));
     w.kv("wall_seconds", s.wall_seconds);
@@ -102,7 +115,45 @@ std::vector<SweepPlan> CampaignService::plans() const {
   return out;
 }
 
+double CampaignService::execute_shard(const SweepPlan& plan, std::size_t shard,
+                                      std::size_t threads,
+                                      const ServiceOptions& opt) {
+  const auto [first, last] = plan.shard_range(shard);
+  if (opt.log != nullptr) {
+    *opt.log << "[campaign] " << plan.spec().name << " shard " << shard + 1
+             << "/" << plan.shard_count() << " (instances " << first << ".."
+             << last - 1 << ", " << threads << " threads)\n";
+    opt.log->flush();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<InstanceResult> results;
+  {
+    // Begin/end so a killed campaign still shows the open shard in a
+    // partial trace.
+    obs::Span span("campaign.shard", obs::SpanMode::BeginEnd);
+    if (span.active()) {
+      span.detail("sweep", plan.spec().name);
+      span.detail("shard", static_cast<std::uint64_t>(shard));
+    }
+    results = plan.run_shard(shard, threads);
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  store_.append_shard(plan.spec().name, shard, results, wall);
+  static auto& m_shards = obs::Registry::instance().counter("campaign.shards");
+  static auto& m_wall = obs::Registry::instance().histogram("campaign.shard_us");
+  m_shards.inc();
+  m_wall.observe(wall * 1e6);
+  return wall;
+}
+
 RunSummary CampaignService::run(const ServiceOptions& opt) {
+  if (opt.worker.empty()) return run_single(opt);
+  return run_leased(opt);
+}
+
+RunSummary CampaignService::run_single(const ServiceOptions& opt) {
   const auto all = plans();
   const auto done = store_.load_shards();
 
@@ -141,36 +192,7 @@ RunSummary CampaignService::run(const ServiceOptions& opt) {
         stopped = true;
         break;
       }
-      const auto [first, last] = plan.shard_range(shard);
-      if (opt.log != nullptr) {
-        *opt.log << "[campaign] " << plan.spec().name << " shard " << shard + 1
-                 << "/" << plan.shard_count() << " (instances " << first << ".."
-                 << last - 1 << ", " << threads << " threads)\n";
-        opt.log->flush();
-      }
-      const auto t0 = std::chrono::steady_clock::now();
-      std::vector<InstanceResult> results;
-      {
-        // Begin/end so a killed campaign still shows the open shard in a
-        // partial trace.
-        obs::Span span("campaign.shard", obs::SpanMode::BeginEnd);
-        if (span.active()) {
-          span.detail("sweep", plan.spec().name);
-          span.detail("shard", static_cast<std::uint64_t>(shard));
-        }
-        results = plan.run_shard(shard, threads);
-      }
-      const double wall = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
-      store_.append_shard(plan.spec().name, shard, results, wall);
-      wall_done += wall;
-      static auto& m_shards =
-          obs::Registry::instance().counter("campaign.shards");
-      static auto& m_wall =
-          obs::Registry::instance().histogram("campaign.shard_us");
-      m_shards.inc();
-      m_wall.observe(wall * 1e6);
+      wall_done += execute_shard(plan, shard, threads, opt);
       ++summary.shards_executed;
       ++completed;
       if (opt.checkpoint_every != 0 &&
@@ -191,8 +213,160 @@ RunSummary CampaignService::run(const ServiceOptions& opt) {
   return summary;
 }
 
-StatusReport CampaignService::status() const {
+RunSummary CampaignService::run_leased(const ServiceOptions& opt) {
+  const auto all = plans();
+  store_.set_worker(opt.worker);
+  LeaseManager leases(store_.dir(), opt.worker, opt.lease_ttl);
+
+  RunSummary summary;
+  for (const auto& plan : all) summary.shards_total += plan.shard_count();
+  bool skipped_recorded = false;
+
+  // Heartbeat: re-stamp held leases every ttl/3 so a long shard is not
+  // reclaimed out from under us.  The lease mutex serializes the stamp
+  // against acquire/release on the main thread.
+  std::mutex lease_mutex;
+  std::mutex hb_mutex;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::thread heartbeat([&] {
+    const auto period =
+        std::chrono::duration<double>(std::max(opt.lease_ttl / 3.0, 0.2));
+    std::unique_lock<std::mutex> lk(hb_mutex);
+    while (!hb_cv.wait_for(lk, period, [&] { return hb_stop; })) {
+      const std::lock_guard<std::mutex> lg(lease_mutex);
+      leases.heartbeat();
+    }
+  });
+  const auto stop_heartbeat = [&] {
+    {
+      const std::lock_guard<std::mutex> lk(hb_mutex);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    if (heartbeat.joinable()) heartbeat.join();
+  };
+
+  const std::size_t threads = harness::normalize_threads(opt.threads);
+  std::size_t completed = 0;
+  double wall_done = 0.0;
+  bool stopped = false;
+  try {
+    // Rescan until the campaign is complete or stopped: each pass reloads
+    // the shard logs (other workers persist shards concurrently), claims
+    // pending unleased shards in deterministic order, and when only other
+    // live workers' shards remain, waits a beat and rescans — a worker
+    // that crashed mid-shard leaves an expiring lease that a later pass
+    // reclaims.
+    while (!stopped) {
+      const auto done = store_.load_shards();
+      completed = done.size();
+      wall_done = 0.0;
+      for (const auto& [key, rec] : done) {
+        if (rec.wall_seconds >= 0.0) wall_done += rec.wall_seconds;
+      }
+      if (!skipped_recorded) {
+        summary.shards_skipped = completed;
+        skipped_recorded = true;
+      }
+      if (completed == summary.shards_total) break;
+
+      bool progress = false;
+      bool blocked = false;
+      for (const auto& plan : all) {
+        if (stopped) break;
+        for (std::size_t shard = 0; shard < plan.shard_count(); ++shard) {
+          if (done.count({plan.spec().name, shard}) != 0) continue;
+          if (opt.stop != nullptr &&
+              opt.stop->load(std::memory_order_relaxed)) {
+            summary.interrupted = true;
+            stopped = true;
+            if (opt.log != nullptr) {
+              *opt.log << "[campaign] stop requested; pausing after "
+                       << summary.shards_executed << " shards\n";
+              opt.log->flush();
+            }
+            break;
+          }
+          if (opt.max_shards != 0 &&
+              summary.shards_executed >= opt.max_shards) {
+            stopped = true;
+            break;
+          }
+          bool ours;
+          {
+            const std::lock_guard<std::mutex> lg(lease_mutex);
+            ours = leases.acquire(plan.spec().name, shard);
+          }
+          if (!ours) {
+            blocked = true;
+            continue;
+          }
+          // A worker that finished this shard between our reload and this
+          // acquire makes us re-execute it; the keep-first log dedup makes
+          // the duplicate record harmless (deterministic replay).
+          wall_done += execute_shard(plan, shard, threads, opt);
+          {
+            const std::lock_guard<std::mutex> lg(lease_mutex);
+            leases.release(plan.spec().name, shard);
+          }
+          ++summary.shards_executed;
+          ++completed;
+          progress = true;
+          if (opt.checkpoint_every != 0 &&
+              summary.shards_executed % opt.checkpoint_every == 0) {
+            store_.write_manifest(
+                {spec_.name, summary.shards_total, completed, wall_done});
+          }
+        }
+      }
+      if (stopped) break;
+      if (!blocked && !progress) break;  // nothing pending anywhere
+      if (!progress) {
+        // Only other live workers' shards remain: wait (stop-aware) for
+        // them to finish or their leases to expire, then rescan.
+        const double wait_s = std::max(opt.lease_ttl / 3.0, 0.2);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::duration<double>(wait_s);
+        while (std::chrono::steady_clock::now() < deadline) {
+          if (opt.stop != nullptr &&
+              opt.stop->load(std::memory_order_relaxed)) {
+            summary.interrupted = true;
+            stopped = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    }
+  } catch (...) {
+    stop_heartbeat();
+    throw;
+  }
+  stop_heartbeat();
+
+  // Final truth from the logs: other workers kept finishing while we ran.
+  {
+    const auto done = store_.load_shards();
+    completed = done.size();
+    wall_done = 0.0;
+    for (const auto& [key, rec] : done) {
+      if (rec.wall_seconds >= 0.0) wall_done += rec.wall_seconds;
+    }
+  }
+  summary.complete = completed == summary.shards_total;
+  store_.write_manifest({spec_.name, summary.shards_total, completed, wall_done});
+  if (opt.log != nullptr) {
+    *opt.log << "[campaign] worker " << opt.worker << ": " << completed << "/"
+             << summary.shards_total << " shards done ("
+             << summary.shards_executed << " executed here)\n";
+  }
+  return summary;
+}
+
+StatusReport CampaignService::status(double lease_ttl) const {
   const auto done = store_.load_shards();
+  const auto leased = scan_leases(store_.dir(), lease_ttl);
   StatusReport rep;
   rep.campaign = spec_.name;
   for (const auto& plan : plans()) {
@@ -202,12 +376,17 @@ StatusReport CampaignService::status() const {
     s.instances_total = plan.instance_count();
     for (std::size_t shard = 0; shard < plan.shard_count(); ++shard) {
       const auto it = done.find({s.name, shard});
-      if (it == done.end()) continue;
-      ++s.shards_done;
-      if (it->second.wall_seconds >= 0.0) {
-        ++s.shards_timed;
-        s.wall_seconds += it->second.wall_seconds;
+      if (it != done.end()) {
+        ++s.shards_done;
+        if (it->second.wall_seconds >= 0.0) {
+          ++s.shards_timed;
+          s.wall_seconds += it->second.wall_seconds;
+        }
+        continue;
       }
+      // Pending: leased iff a live worker currently claims it.
+      const auto lease = leased.find({s.name, shard});
+      if (lease != leased.end() && lease->second.fresh) ++s.shards_leased;
     }
     rep.sweeps.push_back(std::move(s));
   }

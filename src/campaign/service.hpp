@@ -39,6 +39,16 @@ struct ServiceOptions {
   /// is persisted, the manifest is checkpointed, and run() returns with
   /// `interrupted` set — the graceful-pause path behind SIGINT/SIGTERM.
   const std::atomic<bool>* stop = nullptr;
+  /// Multi-worker scale-out: a non-empty worker id makes this run claim
+  /// shards through per-shard lease files (campaign/lease.hpp) so N
+  /// processes can share one campaign directory, and routes its shard
+  /// records to <dir>/shards-<worker>.jsonl.  Results merge
+  /// byte-identical to a single-process run.  Empty = classic
+  /// single-worker execution, no leases.
+  std::string worker;
+  /// Lease staleness horizon: a lease not re-stamped for this long (its
+  /// worker crashed) is reclaimed by whoever finds it next.
+  double lease_ttl = 30.0;
 };
 
 /// What one run() call did.
@@ -60,6 +70,8 @@ struct SweepStatus {
   /// (records written before shard timing existed don't contribute).
   double wall_seconds = 0.0;
   std::size_t shards_timed = 0;
+  /// Pending shards currently claimed by a live worker's lease.
+  std::size_t shards_leased = 0;
 };
 
 struct StatusReport {
@@ -67,6 +79,7 @@ struct StatusReport {
   std::vector<SweepStatus> sweeps;
   [[nodiscard]] std::size_t shards_done() const noexcept;
   [[nodiscard]] std::size_t shards_total() const noexcept;
+  [[nodiscard]] std::size_t shards_leased() const noexcept;
   [[nodiscard]] double wall_seconds() const noexcept;
   [[nodiscard]] std::size_t shards_timed() const noexcept;
   /// Mean timed-shard throughput; 0 when nothing is timed yet.
@@ -95,9 +108,14 @@ class CampaignService {
   [[nodiscard]] const CampaignStore& store() const noexcept { return store_; }
 
   /// Execute pending shards in deterministic order; see ServiceOptions.
+  /// With a worker id set, shards are claimed through leases and the run
+  /// keeps rescanning until the campaign completes or only other live
+  /// workers' shards remain.
   RunSummary run(const ServiceOptions& opt);
 
-  [[nodiscard]] StatusReport status() const;
+  /// Progress snapshot; `lease_ttl` bounds which leases still count as
+  /// live claims for shards_leased.
+  [[nodiscard]] StatusReport status(double lease_ttl = 30.0) const;
 
   /// Merge completed shards into BENCH_*.json files under `out_dir`
   /// (sweep reports first, then derived tables, in spec order).  Throws if
@@ -109,6 +127,11 @@ class CampaignService {
 
  private:
   [[nodiscard]] std::vector<SweepPlan> plans() const;
+  RunSummary run_single(const ServiceOptions& opt);
+  RunSummary run_leased(const ServiceOptions& opt);
+  /// Execute one shard and persist its record; returns its wall seconds.
+  double execute_shard(const SweepPlan& plan, std::size_t shard,
+                       std::size_t threads, const ServiceOptions& opt);
 
   CampaignSpec spec_;
   CampaignStore store_;

@@ -1,5 +1,6 @@
 #include "campaign/store.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -8,6 +9,10 @@
 #include "util/fsync.hpp"
 #include "util/json.hpp"
 #include "util/jsonl.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 namespace spgcmp::campaign {
 
@@ -20,6 +25,21 @@ CampaignStore::CampaignStore(std::string dir) : dir_(std::move(dir)) {
 std::string CampaignStore::spec_path() const { return dir_ + "/spec.campaign"; }
 std::string CampaignStore::shards_path() const { return dir_ + "/shards.jsonl"; }
 std::string CampaignStore::manifest_path() const { return dir_ + "/MANIFEST.json"; }
+
+void CampaignStore::set_worker(const std::string& worker) {
+  std::string safe = worker;
+  for (char& c : safe) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  worker_ = safe;
+}
+
+std::string CampaignStore::append_path() const {
+  if (worker_.empty()) return shards_path();
+  return dir_ + "/shards-" + worker_ + ".jsonl";
+}
 
 bool CampaignStore::initialized() const { return fs::exists(spec_path()); }
 
@@ -37,9 +57,31 @@ void CampaignStore::initialize(const CampaignSpec& spec) {
     }
     return;  // same spec: idempotent init, keep completed shards
   }
-  std::ofstream os(spec_path());
-  if (!os) throw std::runtime_error("cannot write " + spec_path());
-  os << text;
+  // Written to a per-process temp and renamed into place: N workers
+  // initializing the same directory concurrently each install a complete
+  // spec (same bytes — they parsed the same input), and no reader ever
+  // sees a half-written one.
+#ifndef _WIN32
+  const std::string tmp =
+      spec_path() + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+  const std::string tmp = spec_path() + ".tmp";
+#endif
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) throw std::runtime_error("cannot write " + tmp);
+    os << text;
+    os.flush();
+    if (!os.good()) throw std::runtime_error("error writing " + tmp);
+  }
+  util::fsync_file(tmp);
+  std::error_code ec;
+  fs::rename(tmp, spec_path(), ec);
+  if (ec) {
+    throw std::runtime_error("cannot install " + spec_path() + ": " +
+                             ec.message());
+  }
+  util::fsync_parent_dir(spec_path());
 }
 
 CampaignSpec CampaignStore::load_spec() const {
@@ -52,8 +94,35 @@ CampaignSpec CampaignStore::load_spec() const {
 }
 
 CampaignStore::ShardMap CampaignStore::load_shards() const {
+  // The shared log first, then every worker log in sorted order: a fixed
+  // read order plus keep-first dedup makes the loaded map deterministic
+  // for any interleaving of workers (duplicate records are deterministic
+  // replays of the same instances anyway).
+  std::vector<std::string> logs{shards_path()};
+  {
+    std::error_code ec;
+    std::vector<std::string> worker_logs;
+    for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() > 13 && name.rfind("shards-", 0) == 0 &&
+          name.substr(name.size() - 6) == ".jsonl") {
+        worker_logs.push_back(entry.path().string());
+      }
+    }
+    std::sort(worker_logs.begin(), worker_logs.end());
+    logs.insert(logs.end(), worker_logs.begin(), worker_logs.end());
+  }
+
   ShardMap shards;
-  for (const auto& rec : util::read_jsonl(shards_path())) {
+  for (const auto& log_path : logs) {
+    load_shard_log(log_path, shards);
+  }
+  return shards;
+}
+
+void CampaignStore::load_shard_log(const std::string& path,
+                                   ShardMap& shards) const {
+  for (const auto& rec : util::read_jsonl(path)) {
     const std::string& sweep = rec.at("sweep").as_string("shard record 'sweep'");
     const auto shard =
         static_cast<std::size_t>(rec.at("shard").as_number("shard record 'shard'"));
@@ -73,20 +142,19 @@ CampaignStore::ShardMap CampaignStore::load_shards() const {
         r.success.push_back(s.as_number("instance 'success' entry") != 0.0);
       }
       if (r.success.size() != r.energy.size()) {
-        throw std::runtime_error(shards_path() + ": instance arity mismatch in '" +
+        throw std::runtime_error(path + ": instance arity mismatch in '" +
                                  sweep + "' shard " + std::to_string(shard));
       }
       results.push_back(std::move(r));
     }
     shards.emplace(std::make_pair(sweep, shard), std::move(record));
   }
-  return shards;
 }
 
 void CampaignStore::append_shard(const std::string& sweep, std::size_t shard,
                                  const std::vector<InstanceResult>& results,
                                  double wall_seconds) {
-  util::JsonlWriter log(shards_path());
+  util::JsonlWriter log(append_path());
   log.append([&](util::JsonWriter& w) {
     w.begin_object();
     w.kv("sweep", sweep);

@@ -2,16 +2,26 @@
 
 // On-disk state of one campaign directory.
 //
-//   <dir>/spec.campaign   the campaign spec (written once at init; resume
-//                         re-parses it and refuses a mismatching --spec)
-//   <dir>/shards.jsonl    append-only log: one compact JSON record per
-//                         completed shard, flushed per record
-//   <dir>/MANIFEST.json   periodic checkpoint summary (progress counters);
-//                         advisory — the JSONL log is the source of truth,
-//                         so a stale manifest after a kill is harmless
+//   <dir>/spec.campaign        the campaign spec (written once at init —
+//                              atomically, so concurrent worker inits are
+//                              safe; resume re-parses it and refuses a
+//                              mismatching --spec)
+//   <dir>/shards.jsonl         append-only log: one compact JSON record
+//                              per completed shard, flushed per record
+//   <dir>/shards-<worker>.jsonl   the same, one per multi-worker campaign
+//                              worker (set_worker); loaders read all logs
+//   <dir>/MANIFEST.json        periodic checkpoint summary (progress
+//                              counters); advisory — the JSONL logs are
+//                              the source of truth, so a stale manifest
+//                              after a kill is harmless
+//   <dir>/leases/              per-shard worker leases (campaign/lease.hpp)
 //
 // The store knows nothing about scheduling; it only persists and restores
-// (sweep, shard) -> results records and the spec text.
+// (sweep, shard) -> results records and the spec text.  Multi-worker
+// campaigns give each worker its own shard log so appends never interleave
+// within a record; load_shards() folds all logs together, keeping the
+// first record per shard (every record is a deterministic replay of the
+// same instances, so which one wins is immaterial).
 
 #include <cstddef>
 #include <map>
@@ -33,6 +43,12 @@ class CampaignStore {
   [[nodiscard]] std::string spec_path() const;
   [[nodiscard]] std::string shards_path() const;
   [[nodiscard]] std::string manifest_path() const;
+
+  /// Route this store's appends to <dir>/shards-<worker>.jsonl instead of
+  /// the shared shards.jsonl (multi-worker campaigns: one log per worker,
+  /// so concurrent appends never share a file).  Empty restores the
+  /// single-worker path.  Loading always reads every log.
+  void set_worker(const std::string& worker);
 
   /// True when the directory holds an initialized campaign (spec present).
   [[nodiscard]] bool initialized() const;
@@ -81,7 +97,14 @@ class CampaignStore {
   [[nodiscard]] std::optional<Manifest> read_manifest() const;
 
  private:
+  /// The log append_shard writes to (worker log when a worker is set).
+  [[nodiscard]] std::string append_path() const;
+
+  /// Fold one JSONL shard log into `shards` (keep-first per shard).
+  void load_shard_log(const std::string& path, ShardMap& shards) const;
+
   std::string dir_;
+  std::string worker_;
 };
 
 }  // namespace spgcmp::campaign

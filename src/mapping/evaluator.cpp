@@ -209,6 +209,7 @@ const Evaluation& Evaluator::evaluate_full(const Mapping& m) {
   count_eval(&EvalCounters::full, &EvalCounterSink::full);
   bound_ = false;
   have_pending_ = false;
+  move_closure_.valid = false;
   reset_scalars(ev_);
 
   const auto& grid = p_->grid();
@@ -291,6 +292,7 @@ const Evaluation& Evaluator::evaluate_placement(
   count_eval(&EvalCounters::placement, &EvalCounterSink::placement);
   bound_ = false;
   have_pending_ = false;
+  move_closure_.valid = false;
   reset_scalars(ev_);
 
   const auto& grid = p_->grid();
@@ -432,12 +434,56 @@ const Evaluation& Evaluator::evaluate_move(spg::StageId s, int to) {
     epoch_ = 1;
   }
 
-  // Acyclicity via the maintained quotient: shift the O(deg) incident
-  // quotient edges, word-parallel reachability check, shift back — no
-  // O(edges) rebuild.
-  shift_quotient(s, from, to);
-  const bool dag_ok = q_.acyclic();
-  shift_quotient(s, to, from);
+  // Acyclicity via the frozen bound-state closure: the first move of a
+  // stage detaches its quotient edges, snapshots the base closure with one
+  // acyclic(), and re-attaches; every further candidate for the same stage
+  // answers with O(deg) word operations against the frozen rows instead of
+  // a fresh shift/acyclic/shift-back — bit-identical, since the test is
+  // exactly the batch paths' per-candidate case analysis.
+  if (!move_closure_.valid || move_closure_.stage != s ||
+      move_closure_.from != from) {
+    move_edges_.clear();
+    for (const spg::EdgeId e : g_->in_edges(s)) {
+      move_edges_.emplace_back(m_.core_of[g_->edge(e).src], true);
+    }
+    for (const spg::EdgeId e : g_->out_edges(s)) {
+      move_edges_.emplace_back(m_.core_of[g_->edge(e).dst], false);
+    }
+    for (const auto& [other, incoming] : move_edges_) {
+      if (other == from) continue;
+      if (incoming) q_.remove_edge(other, from); else q_.remove_edge(from, other);
+    }
+    move_closure_.base_acyclic = q_.acyclic();
+    for (const auto& [other, incoming] : move_edges_) {
+      if (other == from) continue;
+      if (incoming) q_.add_edge(other, from); else q_.add_edge(from, other);
+    }
+    move_pred_ =
+        util::DynBitset(static_cast<std::size_t>(p_->grid().core_count()));
+    for (const auto& [other, incoming] : move_edges_) {
+      if (incoming) move_pred_.set(static_cast<std::size_t>(other));
+    }
+    move_closure_.stage = s;
+    move_closure_.from = from;
+    move_closure_.valid = true;
+  }
+  bool dag_ok = move_closure_.base_acyclic;
+  if (dag_ok) {
+    const auto kt = static_cast<std::size_t>(to);
+    const bool pred_t = move_pred_.test(kt);
+    if (pred_t) move_pred_.reset(kt);  // a colocated edge, never added
+    if (q_.closure_row(to).intersects(move_pred_)) dag_ok = false;
+    for (const auto& [other, incoming] : move_edges_) {
+      if (!dag_ok) break;
+      if (incoming || other == to) continue;
+      const auto& rv = q_.closure_row(other);
+      if (rv.test(kt) || move_pred_.test(static_cast<std::size_t>(other)) ||
+          rv.intersects(move_pred_)) {
+        dag_ok = false;
+      }
+    }
+    if (pred_t) move_pred_.set(kt);
+  }
 
   // Link deltas: the moved stage's incident edges lose their bound paths
   // and gain topology default routes, with every touched link journaled
@@ -540,6 +586,7 @@ const Evaluation& Evaluator::commit_move() {
 
   copy_scalars(ev_, move_ev_);
   have_pending_ = false;
+  move_closure_.valid = false;  // the mapping (and quotient) changed
   return ev_;
 }
 
@@ -553,6 +600,7 @@ void Evaluator::apply_move(spg::StageId s, int to) {
     throw std::invalid_argument("Evaluator: stage already on the target core");
   }
   have_pending_ = false;  // a pending evaluate_move is invalidated
+  move_closure_.valid = false;
 
   shift_quotient(s, from, to);
   // No journaling: the change is permanent, there is nothing to roll back.
@@ -580,6 +628,7 @@ const Evaluation& Evaluator::refresh() {
   if (!bound_) throw std::logic_error("Evaluator: refresh without bind");
   count_eval(&EvalCounters::incremental, &EvalCounterSink::incremental);
   have_pending_ = false;
+  move_closure_.valid = false;  // acyclic() below rewrites the closure rows
   accumulate_work(m_.core_of);
   const int cores = p_->grid().core_count();
   for (int c = 0; c < cores; ++c) {
@@ -615,6 +664,7 @@ const std::vector<BatchScore>& Evaluator::evaluate_placement_batch(
   count_eval_n(targets.size(), &EvalCounters::batch, &EvalCounterSink::batch);
   bound_ = false;
   have_pending_ = false;
+  move_closure_.valid = false;
 
   // Per-core work in scalar accumulation order, twice: excluding stage s
   // (the base), and with s's work added at its stage position (the value a
@@ -810,6 +860,7 @@ const std::vector<BatchScore>& Evaluator::evaluate_move_batch(
   }
   count_eval_n(targets.size(), &EvalCounters::batch, &EvalCounterSink::batch);
   have_pending_ = false;  // any pending evaluate_move is invalidated
+  move_closure_.valid = false;  // this batch re-detaches and reruns acyclic()
 
   // Cache the incident edges in the scalar processing order (in-edges, then
   // out-edges) with their bound drop operations precompiled from the bound

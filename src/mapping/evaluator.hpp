@@ -298,6 +298,25 @@ class Evaluator {
   /// bitset probed against the base closure for the per-candidate cycle test.
   util::DynBitset batch_pred_;
 
+  /// Scalar-move closure cache: evaluate_move freezes the bound quotient's
+  /// closure once per (stage, from) — detach the stage's quotient edges,
+  /// one acyclic() to snapshot the base closure, re-attach — and answers
+  /// every subsequent candidate for that stage with O(deg) word operations
+  /// against the frozen rows, the scalar analogue of the batch paths' cycle
+  /// test.  Invalidated by anything that mutates the quotient or recomputes
+  /// its closure snapshot (bind, full/placement evaluation, commit/apply,
+  /// refresh, either batch entry point).
+  struct MoveClosure {
+    bool valid = false;
+    spg::StageId stage = 0;
+    int from = -1;
+    bool base_acyclic = false;
+  };
+  MoveClosure move_closure_;
+  util::DynBitset move_pred_;  ///< cores feeding the cached stage
+  /// (other endpoint's core, incoming) per incident edge of the cached stage.
+  std::vector<std::pair<int, bool>> move_edges_;
+
   // Move journal / pending move.
   struct LinkDelta {
     int index;

@@ -1,0 +1,372 @@
+#include "net/socket_server.hpp"
+
+#ifndef _WIN32
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+
+namespace spgcmp::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int ms_between(Clock::time_point from, Clock::time_point to) {
+  return static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(to - from).count());
+}
+
+/// One client connection.  Owned by the loop thread; `ready`, `wbuf` and
+/// `inflight` are also touched by engine completion callbacks, always
+/// under the server-wide mutex.
+struct Conn {
+  int fd = -1;
+  std::string rbuf;   ///< partial-frame accumulator
+  std::string wbuf;   ///< bytes waiting for the socket to accept them
+  std::uint64_t next_submit = 0;  ///< per-connection request sequence
+  std::uint64_t next_emit = 0;    ///< next sequence to append to wbuf
+  std::map<std::uint64_t, serve::Engine::Result> ready;  ///< out-of-order done
+  std::size_t inflight = 0;  ///< submitted, not yet moved into wbuf
+  Clock::time_point last_activity;
+  bool read_closed = false;  ///< EOF seen (or reading abandoned at drain)
+  bool discarding = false;   ///< oversize frame: skip until next newline
+};
+
+}  // namespace
+
+SocketServer::SocketServer(Listener& listener, serve::Engine& engine,
+                           SocketServerOptions opt)
+    : listener_(listener), engine_(engine), opt_(opt) {}
+
+SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
+  SocketSummary summary;
+
+  static auto& m_conns = obs::Registry::instance().counter("net.connections");
+  static auto& m_refused =
+      obs::Registry::instance().counter("net.refused_connections");
+  static auto& m_idle = obs::Registry::instance().counter("net.idle_closed");
+  static auto& g_open = obs::Registry::instance().gauge("net.open_connections");
+
+  // Self-pipe: engine completions run on pool workers; a byte here wakes
+  // the poll loop to flush freshly completed responses.
+  int wake[2] = {-1, -1};
+  if (::pipe(wake) != 0) throw NetError("cannot create self-pipe");
+  set_nonblocking(wake[0]);
+  set_nonblocking(wake[1]);
+
+  std::mutex mutex;  // guards conns, summary.serve, engine_inflight
+  std::map<std::uint64_t, std::unique_ptr<Conn>> conns;
+  std::uint64_t next_conn_id = 0;
+  // Requests handed to the engine whose completion callback has not fired
+  // yet.  Callbacks reference this frame's locals, so run() only returns
+  // once this reaches zero — even for requests whose connection died.
+  std::size_t engine_inflight = 0;
+  bool draining = false;
+
+  // Move in-order completed responses into the connection's write buffer;
+  // caller holds the mutex.
+  const auto drain_ready = [&](Conn& c) {
+    while (true) {
+      const auto it = c.ready.find(c.next_emit);
+      if (it == c.ready.end()) break;
+      c.wbuf += it->second.line;
+      c.wbuf += '\n';
+      serve::count_response(it->second.kind, summary.serve);
+      c.ready.erase(it);
+      ++c.next_emit;
+      --c.inflight;
+    }
+  };
+
+  const auto wake_loop = [&] {
+    const char b = 0;
+    // A full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t rc = ::write(wake[1], &b, 1);
+  };
+
+  // Submit one framed line to the engine; caller holds the mutex.
+  const auto submit_line = [&](std::uint64_t conn_id, Conn& c,
+                               const std::string& line) {
+    const std::uint64_t s = c.next_submit++;
+    ++c.inflight;
+    ++engine_inflight;
+    ++summary.serve.accepted;
+    engine_.submit(line, /*log_line=*/true, stop,
+                   [&, conn_id, s](serve::Engine::Result result) {
+                     const std::lock_guard<std::mutex> lk(mutex);
+                     --engine_inflight;
+                     const auto it = conns.find(conn_id);
+                     if (it != conns.end()) {
+                       // A vanished client's answer has no destination.
+                       it->second->ready.emplace(s, std::move(result));
+                       drain_ready(*it->second);
+                     }
+                     wake_loop();
+                   });
+  };
+
+  // Answer a transport-level error (oversize frame) in order without
+  // touching the engine: it occupies a sequence slot like any request.
+  const auto submit_error = [&](Conn& c, const std::string& line) {
+    const std::uint64_t s = c.next_submit++;
+    ++c.inflight;
+    c.ready.emplace(s, serve::Engine::Result{line, serve::ResponseKind::Error});
+    drain_ready(c);
+  };
+
+  // Frame and submit everything complete in the read accumulator; caller
+  // holds the mutex.  `final_flush` also submits a torn trailing frame
+  // (EOF mid-line), matching the stream transport's last-line handling.
+  const auto process_rbuf = [&](std::uint64_t conn_id, Conn& c,
+                                bool final_flush) {
+    std::size_t start = 0;
+    while (true) {
+      const auto nl = c.rbuf.find('\n', start);
+      if (nl == std::string::npos) break;
+      if (c.discarding) {
+        c.discarding = false;  // oversize frame ends here; resync
+      } else if (nl > start) {
+        submit_line(conn_id, c, c.rbuf.substr(start, nl - start));
+      }
+      start = nl + 1;
+    }
+    c.rbuf.erase(0, start);
+    if (!c.discarding && opt_.max_frame_bytes != 0 &&
+        c.rbuf.size() > opt_.max_frame_bytes) {
+      submit_error(c, serve::render_error(
+                          "null", 2,
+                          "request line exceeds " +
+                              std::to_string(opt_.max_frame_bytes) +
+                              " bytes"));
+      c.rbuf.clear();
+      c.discarding = true;
+    }
+    if (final_flush && !c.rbuf.empty()) {
+      if (!c.discarding) submit_line(conn_id, c, c.rbuf);
+      c.rbuf.clear();
+      c.discarding = false;
+    }
+  };
+
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn;  // conn id per pollfd entry (0 = none)
+  std::vector<std::uint64_t> dead;
+  char buf[1 << 16];
+
+  while (true) {
+    const bool stopping =
+        stop != nullptr && stop->load(std::memory_order_relaxed);
+    if (stopping && !draining) {
+      draining = true;
+      // Reading stops here: partial frames are abandoned, exactly like
+      // FIFO input unread past the signal.  In-flight requests drain
+      // through the engine (code-3 refusals for fresh solves).
+      const std::lock_guard<std::mutex> lk(mutex);
+      for (auto& [id, c] : conns) {
+        c->read_closed = true;
+        c->rbuf.clear();
+      }
+    }
+
+    // Build the poll set and find the nearest idle deadline.
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake[0], POLLIN, 0});
+    fd_conn.push_back(0);
+    if (!draining) {
+      fds.push_back({listener_.fd(), POLLIN, 0});
+      fd_conn.push_back(0);
+    }
+    int timeout = opt_.poll_interval_ms;
+    bool all_drained;
+    {
+      const std::lock_guard<std::mutex> lk(mutex);
+      all_drained = engine_inflight == 0;
+      const bool gate_reads =
+          opt_.max_inflight != 0 && engine_inflight >= opt_.max_inflight;
+      const auto now = Clock::now();
+      for (auto& [id, c] : conns) {
+        short events = 0;
+        if (!c->read_closed && !gate_reads) events |= POLLIN;
+        if (!c->wbuf.empty()) events |= POLLOUT;
+        if (!c->read_closed || !c->wbuf.empty() || c->inflight != 0) {
+          all_drained = false;
+        }
+        if (opt_.idle_timeout_ms > 0 && !c->read_closed) {
+          const int left = opt_.idle_timeout_ms - ms_between(c->last_activity, now);
+          timeout = std::min(timeout, std::max(left, 0));
+        }
+        fds.push_back({c->fd, events, 0});
+        fd_conn.push_back(id);
+      }
+    }
+    if (draining && all_drained) break;
+
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout);
+    if (rc < 0 && errno != EINTR) {
+      throw NetError(std::string("poll failed: ") + std::strerror(errno));
+    }
+
+    // Drain the wakeup pipe.
+    if (rc > 0 && (fds[0].revents & POLLIN) != 0) {
+      while (::read(wake[0], buf, sizeof buf) > 0) {
+      }
+    }
+
+    // Accept new connections (fds[1] is the listener while not draining).
+    if (!draining && rc > 0 && (fds[1].revents & POLLIN) != 0) {
+      while (true) {
+        const int cfd = listener_.accept_one();
+        if (cfd < 0) break;
+        std::size_t open;
+        {
+          const std::lock_guard<std::mutex> lk(mutex);
+          open = conns.size();
+        }
+        if (opt_.max_connections != 0 && open >= opt_.max_connections) {
+          // In-band refusal: the same code-3 class as the drain refusal,
+          // so clients can tell "busy" from a protocol mistake.
+          const std::string line =
+              serve::render_error("null", 3,
+                                  "server at connection capacity (" +
+                                      std::to_string(opt_.max_connections) +
+                                      "); retry later") +
+              "\n";
+          [[maybe_unused]] const ssize_t wr =
+              ::send(cfd, line.data(), line.size(), MSG_NOSIGNAL);
+          ::close(cfd);
+          ++summary.refused_connections;
+          m_refused.inc();
+          continue;
+        }
+        set_nonblocking(cfd);
+        auto conn = std::make_unique<Conn>();
+        conn->fd = cfd;
+        conn->last_activity = Clock::now();
+        {
+          const std::lock_guard<std::mutex> lk(mutex);
+          conns.emplace(++next_conn_id, std::move(conn));
+        }
+        ++summary.connections;
+        m_conns.inc();
+        g_open.add(1);
+      }
+    }
+
+    // Per-connection I/O.
+    dead.clear();
+    {
+      const std::lock_guard<std::mutex> lk(mutex);
+      for (std::size_t i = draining ? 1 : 2; i < fds.size(); ++i) {
+        const auto it = conns.find(fd_conn[i]);
+        if (it == conns.end()) continue;
+        Conn& c = *it->second;
+        bool kill = false;
+
+        if ((fds[i].revents & POLLIN) != 0) {
+          while (true) {
+            const ssize_t n = ::read(c.fd, buf, sizeof buf);
+            if (n > 0) {
+              c.rbuf.append(buf, static_cast<std::size_t>(n));
+              c.last_activity = Clock::now();
+              // Frame per chunk so an endless unterminated blast hits the
+              // oversize answer instead of growing the accumulator.
+              process_rbuf(it->first, c, /*final_flush=*/false);
+              continue;
+            }
+            if (n == 0) {
+              c.read_closed = true;
+              process_rbuf(it->first, c, /*final_flush=*/true);
+            } else if (errno == EINTR) {
+              continue;
+            }
+            // EAGAIN, EOF handled, or a hard error poll surfaces later.
+            break;
+          }
+        }
+
+        if (!c.wbuf.empty()) {
+          // Opportunistic flush: completions may have filled wbuf after
+          // this cycle's poll set was armed.
+          while (!c.wbuf.empty()) {
+            const ssize_t n =
+                ::send(c.fd, c.wbuf.data(), c.wbuf.size(), MSG_NOSIGNAL);
+            if (n > 0) {
+              c.wbuf.erase(0, static_cast<std::size_t>(n));
+              c.last_activity = Clock::now();
+              continue;
+            }
+            if (n < 0 && errno == EINTR) continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+            // Broken pipe: the client disconnected without reading its
+            // answers.  Drop the connection; still-solving requests find
+            // it gone and are discarded.
+            kill = true;
+            break;
+          }
+        }
+
+        if ((fds[i].revents & (POLLERR | POLLNVAL)) != 0) kill = true;
+
+        const bool drained =
+            c.read_closed && c.wbuf.empty() && c.inflight == 0;
+        if (!kill && !drained && opt_.idle_timeout_ms > 0 && !c.read_closed &&
+            c.inflight == 0 && c.wbuf.empty() &&
+            ms_between(c.last_activity, Clock::now()) >= opt_.idle_timeout_ms) {
+          ++summary.idle_closed;
+          m_idle.inc();
+          kill = true;
+        }
+        if (kill || drained) dead.push_back(it->first);
+      }
+      for (const std::uint64_t id : dead) {
+        const auto it = conns.find(id);
+        if (it == conns.end()) continue;
+        ::close(it->second->fd);
+        conns.erase(it);
+        g_open.add(-1);
+      }
+    }
+  }
+
+  {
+    const std::lock_guard<std::mutex> lk(mutex);
+    for (auto& [id, c] : conns) {
+      ::close(c->fd);
+      g_open.add(-1);
+    }
+    conns.clear();
+  }
+  ::close(wake[0]);
+  ::close(wake[1]);
+
+  summary.serve.interrupted =
+      stop != nullptr && stop->load(std::memory_order_relaxed);
+  summary.serve.cache = engine_.cache().stats();
+  return summary;
+}
+
+}  // namespace spgcmp::net
+
+#endif  // !_WIN32

@@ -1,0 +1,81 @@
+#pragma once
+
+// The serve daemon's socket transport: a poll(2) event loop carrying the
+// newline-delimited JSON request protocol over a net::Listener (Unix or
+// TCP), answering through the same serve::Engine as the stream transport
+// — one cache, one request log, one deterministic coalescing order.
+//
+// One thread runs the loop; solves happen on the engine's pool and
+// completions are handed back through a self-pipe wakeup.  Per connection
+// the server keeps a read accumulator (partial frames survive short
+// reads), a write buffer (short writes survive full kernel buffers), and
+// a reorder map so responses leave in that connection's request order —
+// connections are independent streams, each with the stream transport's
+// ordering guarantee.
+//
+// Protocol edges, all answered in-band:
+//   - a frame longer than max_frame_bytes is answered with a code-2 error
+//     and the connection resyncs at the next newline;
+//   - a torn final frame (client closed mid-line) is processed like the
+//     stream transport's unterminated last line — malformed JSON answers
+//     code 2;
+//   - a connection over the max_connections cap is answered with one
+//     code-3 error line and closed;
+//   - when the stop flag rises the server stops accepting and reading,
+//     queued requests drain through the engine (cache hits answer, fresh
+//     solves are refused code 3), write buffers flush, and run() returns
+//     with `interrupted` set — the FIFO transport's drain semantics.
+//
+// Idle connections (no activity for idle_timeout_ms, nothing in flight)
+// are closed quietly, so a forgotten client cannot hold a connection slot
+// forever.
+
+#include <atomic>
+#include <cstdint>
+
+#include "net/net.hpp"
+#include "serve/engine.hpp"
+
+namespace spgcmp::net {
+
+#ifndef _WIN32
+
+struct SocketServerOptions {
+  std::size_t max_connections = 64;   ///< concurrent clients; 0 = unlimited
+  /// Max accepted-but-unanswered requests across all connections before
+  /// the server stops reading (0 = unlimited); the socket-side analogue
+  /// of the stream transport's reorder-buffer bound.
+  std::size_t max_inflight = 0;
+  std::size_t max_frame_bytes = 1 << 20;  ///< request line length cap
+  int idle_timeout_ms = 0;            ///< close idle connections; 0 = never
+  /// Stop-flag poll cadence: the loop wakes at least this often, so a
+  /// signal landing in another thread still drains promptly.
+  int poll_interval_ms = 200;
+};
+
+struct SocketSummary {
+  serve::ServerSummary serve;           ///< responses written, all connections
+  std::uint64_t connections = 0;        ///< accepted (served) connections
+  std::uint64_t refused_connections = 0;  ///< over-cap, answered code 3
+  std::uint64_t idle_closed = 0;        ///< closed by the idle timeout
+};
+
+class SocketServer {
+ public:
+  SocketServer(Listener& listener, serve::Engine& engine,
+               SocketServerOptions opt);
+
+  /// Run the event loop until the stop flag rises; see the header
+  /// comment.  Returns after every accepted request was answered and
+  /// every write buffer flushed (or its connection died).
+  SocketSummary run(const std::atomic<bool>* stop);
+
+ private:
+  Listener& listener_;
+  serve::Engine& engine_;
+  SocketServerOptions opt_;
+};
+
+#endif  // !_WIN32
+
+}  // namespace spgcmp::net

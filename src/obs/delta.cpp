@@ -1,0 +1,52 @@
+#include "obs/delta.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/json.hpp"
+
+namespace spgcmp::obs {
+
+std::string DeltaTracker::sample() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  auto cur = Registry::instance().counter_values();
+
+  const bool first = seq_ == 0;
+  const double window =
+      first ? 0.0 : std::chrono::duration<double>(now - last_).count();
+
+  std::ostringstream os;
+  {
+    util::JsonWriter w(os, /*indent=*/-1);
+    w.begin_object();
+    w.kv("seq", static_cast<std::uint64_t>(++seq_));
+    w.kv("wall_ms", static_cast<std::uint64_t>(wall_ms));
+    w.key("window_seconds");
+    if (first) {
+      w.null();
+    } else {
+      w.value(window);
+    }
+    w.key("rates");
+    w.begin_object();
+    if (!first && window > 0.0) {
+      for (const auto& [name, value] : cur) {
+        const auto it = prev_.find(name);
+        const std::uint64_t before = it == prev_.end() ? 0 : it->second;
+        if (value <= before) continue;  // idle (or reset) counters are elided
+        w.kv(name, static_cast<double>(value - before) / window);
+      }
+    }
+    w.end_object();
+    w.end_object();
+  }
+  last_ = now;
+  prev_ = std::move(cur);
+  return os.str();
+}
+
+}  // namespace spgcmp::obs

@@ -1,0 +1,47 @@
+#pragma once
+
+// Counter deltas between metrics snapshots.
+//
+// The registry's counters are monotonic totals; a long-lived daemon wants
+// *rates* — requests per second over the window since the last scrape.  A
+// DeltaTracker remembers the counter values of its previous sample and
+// renders, per sample, one JSON document:
+//
+//   {"seq":3,"wall_ms":1723459200123,"window_seconds":1.52,
+//    "rates":{"serve.hits":12.5,"serve.requests":13.1}}
+//
+// `seq` is a monotonic per-tracker sample sequence, `wall_ms` the wall
+// clock at sample time (Unix epoch milliseconds), `window_seconds` the
+// steady-clock width of the window (null on the first sample, which has no
+// predecessor), and `rates` the per-second delta of every counter that
+// moved during the window (empty on the first sample).  Counters that
+// appear mid-stream rate from zero; a reset registry (tests) clamps
+// negative deltas to zero.
+//
+// One tracker serves one consumer stream: the serve daemon holds a single
+// tracker shared by the in-band {"stats":true} answer and --stats-out, so
+// every scrape advances the same window.  sample() is thread-safe.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include <chrono>
+#include <mutex>
+
+namespace spgcmp::obs {
+
+class DeltaTracker {
+ public:
+  /// Sample the registry's counters and render the delta document
+  /// (compact, single line, no trailing newline); advances the window.
+  [[nodiscard]] std::string sample();
+
+ private:
+  std::mutex mutex_;
+  std::uint64_t seq_ = 0;
+  std::chrono::steady_clock::time_point last_;
+  std::map<std::string, std::uint64_t> prev_;
+};
+
+}  // namespace spgcmp::obs

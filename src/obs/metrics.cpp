@@ -139,6 +139,13 @@ std::string Registry::snapshot_json(int indent) const {
   return os.str();
 }
 
+std::map<std::string, std::uint64_t> Registry::counter_values() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
 void Registry::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();

@@ -111,6 +111,11 @@ class Registry {
   void snapshot(std::ostream& os, int indent = 2) const;
   [[nodiscard]] std::string snapshot_json(int indent = 2) const;
 
+  /// Current value of every registered counter, by name.  The sampled
+  /// view behind obs::DeltaTracker's per-window rates; same torn-read
+  /// caveat as snapshot().
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
+
   /// Zero every registered instrument (tests); handles stay valid.
   void reset();
 

@@ -273,8 +273,7 @@ std::string render_error(const std::string& id_json, int code,
 }
 
 std::string render_stats(const std::string& id_json,
-                         const MemoCache::Stats& cache,
-                         const std::string& metrics_json) {
+                         const std::string& stats_doc_json) {
   std::ostringstream os;
   {
     util::JsonWriter w(os, /*indent=*/-1);
@@ -283,18 +282,7 @@ std::string render_stats(const std::string& id_json,
     w.raw(id_json.empty() ? "null" : id_json);
     w.kv("status", "ok");
     w.key("stats");
-    w.begin_object();
-    w.key("cache");
-    w.begin_object();
-    w.kv("hits", cache.hits);
-    w.kv("misses", cache.misses);
-    w.kv("evictions", cache.evictions);
-    w.kv("size", static_cast<std::uint64_t>(cache.size));
-    w.kv("capacity", static_cast<std::uint64_t>(cache.capacity));
-    w.end_object();
-    w.key("metrics");
-    w.raw(metrics_json);
-    w.end_object();
+    w.raw(stats_doc_json);
     w.end_object();
   }
   return os.str();

@@ -21,10 +21,16 @@
 // Control request:
 //   {"id": 9, "stats": true}
 // Answered in-band, in order, with a live observability snapshot:
-//   {"id":9,"status":"ok","stats":{"cache":{...},"metrics":{...}}}
-// `cache` holds the MemoCache counters, `metrics` the full obs::Registry
-// snapshot (counters/gauges/histograms).  A request carrying "stats" is a
-// control frame: its other members besides "id" are not interpreted.
+//   {"id":9,"status":"ok",
+//    "stats":{"summary":{...},"cache":{...},"metrics":{...},"deltas":{...}}}
+// The "stats" member is the shared stats document rendered by
+// serve::render_stats_document — the same shape `--stats-out` writes and
+// spgcmp_serve_client scrapes: `summary` the engine's lifetime response
+// counters, `cache` the MemoCache counters, `metrics` the full
+// obs::Registry snapshot (counters/gauges/histograms), `deltas` the
+// per-window counter rates (obs::DeltaTracker).  A request carrying
+// "stats" is a control frame: its other members besides "id" are not
+// interpreted.
 //
 // Response (ok):
 //   {"id":7,"status":"ok","cache":"hit"|"miss","key":"<16-hex digest>",
@@ -91,10 +97,11 @@ struct Request {
                                        const std::string& message);
 
 /// Render the answer to an in-band `{"stats":true}` control request.
-/// `metrics_json` must be one well-formed compact JSON value (the
-/// obs::Registry snapshot); it is spliced in verbatim.
+/// `stats_doc_json` must be one well-formed compact JSON value — the
+/// shared stats document of serve::render_stats_document (summary, cache,
+/// metrics, deltas), spliced in verbatim so in-band scrapes and
+/// `--stats-out` consumers parse one shape.
 [[nodiscard]] std::string render_stats(const std::string& id_json,
-                                       const MemoCache::Stats& cache,
-                                       const std::string& metrics_json);
+                                       const std::string& stats_doc_json);
 
 }  // namespace spgcmp::serve

@@ -1,56 +1,19 @@
 #include "serve/server.hpp"
 
-#include <chrono>
 #include <condition_variable>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <ostream>
-#include <set>
 #include <stdexcept>
 #include <streambuf>
 #include <utility>
 
 #include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-#include "serve/canonical.hpp"
-#include "serve/protocol.hpp"
-#include "solve/solve.hpp"
 
 namespace spgcmp::serve {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double us_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
-}
-
-/// The "id" member of a possibly-malformed request document, re-rendered
-/// as JSON for the error frame; "null" whenever that is not possible.
-std::string id_of(const util::JsonValue& doc) {
-  const util::JsonValue* id = doc.find("id");
-  if (id == nullptr) return "null";
-  switch (id->type) {
-    case util::JsonValue::Type::Number: return util::json_number(id->number);
-    case util::JsonValue::Type::String: {
-      // Append, not operator+ chains: GCC 12 -Wrestrict false positive.
-      std::string s = "\"";
-      s += util::json_escape(id->string);
-      s += '"';
-      return s;
-    }
-    default: return "null";
-  }
-}
-
-enum class Kind { OkMiss, OkHit, Error, Shutdown, Stats };
-
-struct Outcome {
-  std::string line;
-  Kind kind = Kind::Error;
-};
 
 /// Discards everything; backs replay()'s response stream.
 class NullBuf final : public std::streambuf {
@@ -64,9 +27,11 @@ class NullBuf final : public std::streambuf {
 Server::Server(ServerOptions opt)
     : opt_(std::move(opt)),
       cache_(opt_.cache_capacity),
-      pool_(opt_.threads) {
-  if (!opt_.log_path.empty()) log_.emplace(opt_.log_path);
-}
+      pool_(opt_.threads),
+      log_(opt_.log_path.empty()
+               ? std::optional<util::JsonlWriter>()
+               : std::optional<util::JsonlWriter>(std::in_place, opt_.log_path)),
+      engine_(pool_, cache_, log_.has_value() ? &*log_ : nullptr) {}
 
 ServerSummary Server::serve(std::istream& in, std::ostream& out,
                             const std::atomic<bool>* stop) {
@@ -85,192 +50,24 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
                                  const std::atomic<bool>* stop,
                                  bool log_requests) {
   ServerSummary summary;
-
-  const std::size_t max_inflight =
-      opt_.max_inflight != 0 ? opt_.max_inflight : 4 * pool_.thread_count();
+  const std::size_t limit = max_inflight();
 
   std::mutex mutex;
   std::condition_variable cv_slot;
-  std::map<std::uint64_t, Outcome> ready;
+  std::map<std::uint64_t, Engine::Result> ready;
   std::uint64_t next_emit = 0;
   std::uint64_t inflight = 0;
 
-  // Identical concurrent requests are coalesced deterministically: every
-  // request registers its cache key in submission order, the lowest-numbered
-  // in-flight request for a key is the one that solves it, and later ones
-  // wait and serve the memoized payload as ordinary hits.  Without this,
-  // which of two identical in-flight requests misses (and pays the solve)
-  // would depend on worker scheduling.  The ordered-registration wait is
-  // deadlock-free because the pool starts tasks in submission order: a task
-  // waiting for its turn only waits on earlier tasks, all already running.
-  std::mutex solve_mutex;
-  std::condition_variable cv_solved;
-  std::uint64_t next_register = 0;
-  std::map<std::string, std::set<std::uint64_t>> key_queue;
-  std::set<std::string> solving;
-
-  // Runs on a pool worker: materialize, memoize or solve, render.  Every
-  // failure mode renders an error response — nothing escapes, so every
-  // accepted request is answered.
-  const auto handle = [this, stop, &solve_mutex, &cv_solved, &next_register,
-                       &key_queue,
-                       &solving](const std::string& line,
-                                 std::uint64_t s) -> Outcome {
-    // Take request s's registration turn; keyless requests (malformed or
-    // failed parses) just cede it so later requests can register.
-    const auto register_turn = [&](const std::string* key) {
-      std::unique_lock<std::mutex> lk(solve_mutex);
-      cv_solved.wait(lk, [&] { return next_register == s; });
-      if (key != nullptr) key_queue[*key].insert(s);
-      ++next_register;
-      cv_solved.notify_all();
-    };
-
-    util::JsonValue doc;
-    try {
-      const obs::Span span("serve.parse");
-      doc = util::parse_json(line);
-    } catch (const util::JsonParseError& e) {
-      register_turn(nullptr);
-      return {render_error("null", 2,
-                           std::string("malformed request JSON: ") + e.what()),
-              Kind::Error};
-    }
-    const std::string id = id_of(doc);
-    // In-band stats control frame: answered from live state, in order,
-    // without touching the solve path.
-    if (const util::JsonValue* st = doc.find("stats");
-        st != nullptr && st->type == util::JsonValue::Type::Bool &&
-        st->boolean) {
-      register_turn(nullptr);
-      return {render_stats(id, cache_.stats(),
-                           obs::Registry::instance().snapshot_json(-1)),
-              Kind::Stats};
-    }
-    bool registered = false;
-    try {
-      const auto t0 = Clock::now();
-      Request req = [&] {
-        const obs::Span span("serve.parse_request");
-        return parse_request(doc);
-      }();
-      register_turn(&req.key);
-      registered = true;
-
-      // Releases this request's queue slot (and solver claim) on every exit,
-      // including solver exceptions — a waiter stuck behind a dead request
-      // would deadlock the drain.
-      struct Ticket {
-        std::mutex& m;
-        std::condition_variable& cv;
-        std::map<std::string, std::set<std::uint64_t>>& queue;
-        std::set<std::string>& solving;
-        const std::string& key;
-        std::uint64_t s;
-        bool claimed = false;
-        ~Ticket() {
-          {
-            const std::lock_guard<std::mutex> lk(m);
-            const auto it = queue.find(key);
-            it->second.erase(s);
-            if (it->second.empty()) queue.erase(it);
-            if (claimed) solving.erase(key);
-          }
-          cv.notify_all();
-        }
-      } ticket{solve_mutex, cv_solved, key_queue, solving, req.key, s};
-
-      {
-        // Wait until no one is solving this key and every earlier request
-        // for it is done, then probe exactly once: a coalesced waiter sees
-        // the fresh entry as an ordinary hit, and per-request lookup counts
-        // stay deterministic.
-        std::unique_lock<std::mutex> lk(solve_mutex);
-        cv_solved.wait(lk, [&] {
-          return solving.count(req.key) == 0 &&
-                 *key_queue.find(req.key)->second.begin() == s;
-        });
-        const obs::Span lookup_span("serve.lookup");
-        if (auto cached = cache_.lookup(req.key)) {
-          return {render_ok(req, *cached, /*hit=*/true, 0, us_since(t0)),
-                  Kind::OkHit};
-        }
-        if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
-          // Draining: don't start new solves; the cache-hit path above
-          // still answers what it can.
-          return {render_error(id, 3, "daemon is shutting down; solve refused"),
-                  Kind::Shutdown};
-        }
-        solving.insert(req.key);
-        ticket.claimed = true;
-      }
-      solve::SolveRequest sreq;
-      sreq.spg = &req.spg;
-      sreq.platform = &req.platform;
-      sreq.period = req.period;
-      sreq.seed = fnv1a64(req.key);  // identical problems solve identically
-      const auto report = [&] {
-        const obs::Span span("serve.solve");
-        return solve::run(req.solver, sreq);
-      }();
-      std::string payload = render_report(req, report);
-      cache_.insert(req.key, payload);
-      return {render_ok(req, payload, /*hit=*/false,
-                        report.stats.evaluator_calls(), us_since(t0)),
-              Kind::OkMiss};
-    } catch (const RequestError& e) {
-      if (!registered) register_turn(nullptr);
-      return {render_error(id, 2, e.what()), Kind::Error};
-    } catch (const solve::SolverError& e) {
-      if (!registered) register_turn(nullptr);
-      return {render_error(id, 2, e.what()), Kind::Error};
-    } catch (const cmp::TopologyError& e) {
-      if (!registered) register_turn(nullptr);
-      return {render_error(id, 2, e.what()), Kind::Error};
-    } catch (const std::exception& e) {
-      if (!registered) register_turn(nullptr);
-      return {render_error(id, 1, e.what()), Kind::Error};
-    }
-  };
+  static auto& g_inflight = obs::Registry::instance().gauge("serve.inflight");
 
   // Emit every ready outcome that is next in request order; called under
   // the lock by whichever worker filled the gap.
-  static auto& m_hits = obs::Registry::instance().counter("serve.hits");
-  static auto& m_misses = obs::Registry::instance().counter("serve.misses");
-  static auto& m_errors = obs::Registry::instance().counter("serve.errors");
-  static auto& m_refused = obs::Registry::instance().counter("serve.refused");
-  static auto& m_stats = obs::Registry::instance().counter("serve.stats_requests");
-  static auto& g_inflight = obs::Registry::instance().gauge("serve.inflight");
   const auto emit_ready = [&] {
     while (true) {
       const auto it = ready.find(next_emit);
       if (it == ready.end()) break;
       out << it->second.line << '\n';
-      ++summary.answered;
-      switch (it->second.kind) {
-        case Kind::OkMiss:
-          ++summary.ok;
-          m_misses.inc();
-          break;
-        case Kind::OkHit:
-          ++summary.ok;
-          ++summary.hits;
-          m_hits.inc();
-          break;
-        case Kind::Error:
-          ++summary.errors;
-          m_errors.inc();
-          break;
-        case Kind::Shutdown:
-          ++summary.shutdown_refused;
-          m_refused.inc();
-          break;
-        case Kind::Stats:
-          ++summary.ok;
-          ++summary.stats_requests;
-          m_stats.inc();
-          break;
-      }
+      count_response(it->second.kind, summary);
       ready.erase(it);
       ++next_emit;
       --inflight;
@@ -288,36 +85,25 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
     if (!std::getline(in, line)) break;
     if (line.empty()) continue;
     ++summary.accepted;
-    if (log_requests && log_.has_value()) log_->append_raw(line);
 
-    static auto& m_requests = obs::Registry::instance().counter("serve.requests");
-    static auto& m_request_us =
-        obs::Registry::instance().histogram("serve.request_us");
-    m_requests.inc();
     const std::uint64_t s = seq++;
     {
       std::unique_lock<std::mutex> lock(mutex);
-      cv_slot.wait(lock, [&] { return inflight < max_inflight; });
+      cv_slot.wait(lock, [&] { return inflight < limit; });
       ++inflight;
       g_inflight.add(1);
     }
-    pool_.submit([&, s, line] {
-      const auto t0 = Clock::now();
-      Outcome outcome = [&] {
-        const obs::Span span("serve.request");
-        return handle(line, s);
-      }();
-      m_request_us.observe(us_since(t0));
+    engine_.submit(line, log_requests, stop, [&, s](Engine::Result result) {
       const std::lock_guard<std::mutex> lock(mutex);
-      ready.emplace(s, std::move(outcome));
+      ready.emplace(s, std::move(result));
       emit_ready();
       cv_slot.notify_all();
     });
   }
 
-  // Drain: every submitted request runs (or is refused by `handle`'s stop
+  // Drain: every submitted request runs (or is refused by the engine's stop
   // check) and is emitted before the pool goes idle.
-  pool_.wait_idle();
+  engine_.wait_idle();
 
   summary.interrupted =
       stop != nullptr && stop->load(std::memory_order_relaxed);

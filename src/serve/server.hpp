@@ -1,12 +1,14 @@
 #pragma once
 
-// The memoizing solve server behind tools/spgcmp_serve.
+// The memoizing solve server behind tools/spgcmp_serve — the stream
+// transport over the shared serve::Engine.
 //
-// serve() reads newline-delimited request documents from a stream, fans
-// the solves out onto a util::ThreadPool, and writes one response line per
-// accepted request to the output stream *in request order* (a bounded
-// reorder buffer matches completions back to their sequence numbers, and
-// bounds how far the reader may run ahead of the solvers).
+// serve() reads newline-delimited request documents from a stream, submits
+// them to the Engine (which coalesces, memoizes and solves them on a
+// util::ThreadPool), and writes one response line per accepted request to
+// the output stream *in request order* (a bounded reorder buffer matches
+// completions back to their sequence numbers, and bounds how far the
+// reader may run ahead of the solvers).
 //
 // Results are memoized in a MemoCache keyed by canonical keys, so a
 // repeated or re-seeded-identical request is answered from the cache with
@@ -21,6 +23,10 @@
 // normally, queued requests are answered from the cache when possible and
 // otherwise refused with a clean code-3 "shutting down" error.  Every
 // accepted request gets exactly one response before serve() returns.
+//
+// The Engine (and with it the cache, the request log and the coalescing
+// order) is shared with the socket transport (net::SocketServer) when the
+// daemon listens on a socket as well: engine() hands it out.
 
 #include <atomic>
 #include <cstdint>
@@ -29,6 +35,7 @@
 #include <string>
 
 #include "serve/cache.hpp"
+#include "serve/engine.hpp"
 #include "util/jsonl.hpp"
 #include "util/thread_pool.hpp"
 
@@ -40,19 +47,6 @@ struct ServerOptions {
   /// Max accepted-but-unanswered requests; 0 = 4x the pool size.
   std::size_t max_inflight = 0;
   std::string log_path;  ///< append-only request log (empty = no log)
-};
-
-/// What one serve() call did.
-struct ServerSummary {
-  std::uint64_t accepted = 0;   ///< non-blank request lines read
-  std::uint64_t answered = 0;   ///< response lines written
-  std::uint64_t ok = 0;         ///< status:ok responses (hits + misses)
-  std::uint64_t hits = 0;       ///< ok responses served from the cache
-  std::uint64_t errors = 0;     ///< status:error responses (codes 1/2)
-  std::uint64_t shutdown_refused = 0;  ///< code-3 responses during drain
-  std::uint64_t stats_requests = 0;    ///< in-band {"stats":true} answers
-  bool interrupted = false;     ///< the stop flag ended the read loop
-  MemoCache::Stats cache;       ///< cache counters at return time
 };
 
 class Server {
@@ -73,6 +67,15 @@ class Server {
 
   [[nodiscard]] MemoCache& cache() noexcept { return cache_; }
 
+  /// The shared request engine, for a co-hosted socket transport.
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+
+  /// The effective request-backpressure bound (resolved from options).
+  [[nodiscard]] std::size_t max_inflight() const noexcept {
+    return opt_.max_inflight != 0 ? opt_.max_inflight
+                                  : 4 * pool_.thread_count();
+  }
+
  private:
   ServerSummary serve_impl(std::istream& in, std::ostream& out,
                            const std::atomic<bool>* stop, bool log_requests);
@@ -81,6 +84,7 @@ class Server {
   MemoCache cache_;
   util::ThreadPool pool_;
   std::optional<util::JsonlWriter> log_;
+  Engine engine_;
 };
 
 }  // namespace spgcmp::serve

@@ -8,13 +8,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
 
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include "../bench/bench_common.hpp"
+#include "campaign/lease.hpp"
 #include "campaign/service.hpp"
 #include "harness/sweep_engine.hpp"
 #include "util/json.hpp"
@@ -615,7 +622,7 @@ TEST(CampaignService, RenderStatusJsonGolden) {
   campaign::StatusReport rep;
   rep.campaign = "tiny";
   rep.sweeps.push_back({"alpha", 2, 2, 8, 4.0, 2});
-  rep.sweeps.push_back({"beta", 1, 3, 12, 2.0, 1});
+  rep.sweeps.push_back({"beta", 1, 3, 12, 2.0, 1, 1});  // one leased shard
   std::ostringstream os;
   campaign::render_status_json(rep, os);
   EXPECT_EQ(os.str(), R"({
@@ -623,6 +630,7 @@ TEST(CampaignService, RenderStatusJsonGolden) {
   "complete": false,
   "shards_done": 3,
   "shards_total": 5,
+  "shards_leased": 1,
   "shards_timed": 3,
   "wall_seconds": 6,
   "shards_per_second": 0.5,
@@ -632,6 +640,7 @@ TEST(CampaignService, RenderStatusJsonGolden) {
       "name": "alpha",
       "shards_done": 2,
       "shards_total": 2,
+      "shards_leased": 0,
       "instances_total": 8,
       "shards_timed": 2,
       "wall_seconds": 4
@@ -640,6 +649,7 @@ TEST(CampaignService, RenderStatusJsonGolden) {
       "name": "beta",
       "shards_done": 1,
       "shards_total": 3,
+      "shards_leased": 1,
       "instances_total": 12,
       "shards_timed": 1,
       "wall_seconds": 2
@@ -659,6 +669,7 @@ TEST(CampaignService, RenderStatusJsonGolden) {
   "complete": true,
   "shards_done": 2,
   "shards_total": 2,
+  "shards_leased": 0,
   "shards_timed": 0,
   "wall_seconds": 0,
   "shards_per_second": null,
@@ -668,6 +679,7 @@ TEST(CampaignService, RenderStatusJsonGolden) {
       "name": "alpha",
       "shards_done": 2,
       "shards_total": 2,
+      "shards_leased": 0,
       "instances_total": 8,
       "shards_timed": 0,
       "wall_seconds": 0
@@ -680,6 +692,163 @@ TEST(CampaignService, RenderStatusJsonGolden) {
   EXPECT_EQ(doc.at("shards_per_second").as_number("sps"),
             rep.shards_per_second());
   EXPECT_EQ(doc.at("eta_seconds").as_number("eta"), rep.eta_seconds());
+}
+
+// --------------------------------------------------------------- leases --
+
+/// Backdate a lease file so its holder looks crashed or hung.
+void backdate_lease(const fs::path& lease, int seconds) {
+  fs::last_write_time(lease, fs::file_time_type::clock::now() -
+                                 std::chrono::seconds(seconds));
+}
+
+TEST(LeaseManager, AcquireIsExclusiveUntilReleased) {
+  CampaignDir dir("lease_excl");
+  campaign::LeaseManager a(dir.str(), "w1", 30.0);
+  campaign::LeaseManager b(dir.str(), "w2", 30.0);
+  EXPECT_TRUE(a.acquire("s", 0));
+  EXPECT_FALSE(b.acquire("s", 0));  // a live foreign lease backs off
+  EXPECT_TRUE(b.acquire("s", 1));   // a different shard is free
+  a.release("s", 0);
+  EXPECT_TRUE(b.acquire("s", 0));
+
+  const auto held = campaign::scan_leases(dir.str(), 30.0);
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_EQ(held.at({"s", 0}).worker, "w2");
+  EXPECT_TRUE(held.at({"s", 0}).fresh);
+  b.release_all();
+  EXPECT_TRUE(campaign::scan_leases(dir.str(), 30.0).empty());
+}
+
+TEST(LeaseManager, StaleLeaseIsReclaimedButHeartbeatDefendsIt) {
+  CampaignDir dir("lease_stale");
+  campaign::LeaseManager a(dir.str(), "w1", 30.0);
+  ASSERT_TRUE(a.acquire("s", 0));
+  const fs::path lease = fs::path(dir.str()) / "leases" / "s__0.lease";
+  ASSERT_TRUE(fs::exists(lease));
+
+  // Past the TTL but freshly heartbeaten: still defended.
+  backdate_lease(lease, 120);
+  a.heartbeat();
+  campaign::LeaseManager b(dir.str(), "w2", 30.0);
+  EXPECT_FALSE(b.acquire("s", 0));
+
+  // Past the TTL with no heartbeat: the next worker reclaims it.
+  backdate_lease(lease, 120);
+  EXPECT_FALSE(campaign::scan_leases(dir.str(), 30.0).at({"s", 0}).fresh);
+  EXPECT_TRUE(b.acquire("s", 0));
+  const auto held = campaign::scan_leases(dir.str(), 30.0);
+  EXPECT_EQ(held.at({"s", 0}).worker, "w2");
+  EXPECT_TRUE(held.at({"s", 0}).fresh);
+}
+
+#ifndef _WIN32
+TEST(LeaseManager, DeadPidOnThisHostIsReclaimedBeforeTtl) {
+  // A lease stamped by a process that no longer exists (fork a child that
+  // exits immediately, reap it, reuse its pid) is reclaimable even while
+  // its mtime is fresh — the crash-recovery fast path.
+  CampaignDir dir("lease_pid");
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int st = 0;
+  ASSERT_EQ(::waitpid(child, &st, 0), child);
+
+  char host[256] = {};
+  ASSERT_EQ(::gethostname(host, sizeof host - 1), 0);
+  fs::create_directories(fs::path(dir.str()) / "leases");
+  {
+    std::ofstream os(fs::path(dir.str()) / "leases" / "s__0.lease");
+    os << R"({"sweep": "s", "shard": 0, "worker": "ghost", "pid": )" << child
+       << R"(, "host": ")" << host << "\"}\n";
+  }
+  ASSERT_FALSE(campaign::scan_leases(dir.str(), 3600.0).at({"s", 0}).fresh);
+  campaign::LeaseManager b(dir.str(), "w2", 3600.0);
+  EXPECT_TRUE(b.acquire("s", 0));
+}
+#endif
+
+TEST(CampaignService, StatusCountsOnlyFreshLeases) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+  CampaignDir dir("lease_status");
+  campaign::CampaignService service(spec, dir.str());
+  campaign::LeaseManager held(dir.str(), "w9", 30.0);
+  ASSERT_TRUE(held.acquire("tiny_random", 1));
+  EXPECT_EQ(service.status(30.0).shards_leased(), 1u);
+  backdate_lease(fs::path(dir.str()) / "leases" / "tiny_random__1.lease", 120);
+  EXPECT_EQ(service.status(30.0).shards_leased(), 0u);
+}
+
+TEST(CampaignService, TwoWorkersShareOneCampaignByteIdentically) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+
+  CampaignDir ref_dir("workers_ref");
+  campaign::CampaignService ref(spec, ref_dir.str());
+  campaign::ServiceOptions single;
+  single.threads = 1;
+  ASSERT_TRUE(ref.run(single).complete);
+  const std::string ref_bytes = merged_bytes(ref);
+
+  // Two workers race over one directory through per-shard leases; each
+  // shard record lands in its executor's own log, and the fold merges to
+  // the same bytes as the single-process run.
+  CampaignDir dir("workers");
+  campaign::CampaignService bind(spec, dir.str());
+  auto w1 = campaign::CampaignService::open(dir.str());
+  auto w2 = campaign::CampaignService::open(dir.str());
+  campaign::RunSummary s1, s2;
+  const auto run_worker = [](campaign::CampaignService& svc,
+                             const std::string& name,
+                             campaign::RunSummary& out) {
+    campaign::ServiceOptions o;
+    o.threads = 1;
+    o.worker = name;
+    o.lease_ttl = 1.0;  // keeps the blocked-worker backoff short
+    out = svc.run(o);
+  };
+  std::thread t1(run_worker, std::ref(w1), "w1", std::ref(s1));
+  std::thread t2(run_worker, std::ref(w2), "w2", std::ref(s2));
+  t1.join();
+  t2.join();
+  EXPECT_TRUE(s1.complete);
+  EXPECT_TRUE(s2.complete);
+  EXPECT_GE(s1.shards_executed + s2.shards_executed, 3u);
+  EXPECT_EQ(merged_bytes(w1), ref_bytes);
+  EXPECT_TRUE(campaign::scan_leases(dir.str(), 30.0).empty());
+
+  const auto status = campaign::CampaignService::open(dir.str()).status();
+  EXPECT_EQ(status.shards_done(), 3u);
+}
+
+TEST(CampaignService, WorkerReclaimsACrashedWorkersStaleLease) {
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+  CampaignDir dir("workers_crash");
+  campaign::CampaignService service(spec, dir.str());
+
+  // A worker died holding shard 0: its lease file survives, stale.
+  {
+    campaign::LeaseManager ghost(dir.str(), "ghost", 30.0);
+    ASSERT_TRUE(ghost.acquire("tiny_random", 0));
+    backdate_lease(fs::path(dir.str()) / "leases" / "tiny_random__0.lease", 120);
+
+    auto worker = campaign::CampaignService::open(dir.str());
+    campaign::ServiceOptions o;
+    o.threads = 1;
+    o.worker = "w1";
+    o.lease_ttl = 30.0;
+    const auto s = worker.run(o);
+    EXPECT_TRUE(s.complete);
+    EXPECT_EQ(s.shards_executed, 3u);  // the leased shard was reclaimed
+  }
+
+  // The single-worker reference is byte-identical.
+  CampaignDir ref_dir("workers_crash_ref");
+  campaign::CampaignService ref(spec, ref_dir.str());
+  campaign::ServiceOptions single;
+  single.threads = 1;
+  ASSERT_TRUE(ref.run(single).complete);
+  EXPECT_EQ(merged_bytes(campaign::CampaignService::open(dir.str())),
+            merged_bytes(ref));
 }
 
 TEST(CampaignService, ManifestCheckpointsProgress) {

@@ -1,8 +1,10 @@
 // spgcmp_serve — memoizing mapping-as-a-service daemon.
 //
-//   spgcmp_serve [--in=PATH] [--threads=N] [--cache=N] [--max-inflight=N]
-//                [--log=FILE] [--replay=FILE] [--list-solvers]
-//                [--trace=FILE] [--metrics=FILE] [--stats-out=FILE]
+//   spgcmp_serve [--in=PATH] [--listen=ADDR] [--threads=N] [--cache=N]
+//                [--max-inflight=N] [--log=FILE] [--replay=FILE]
+//                [--max-conns=N] [--idle-timeout-ms=N] [--max-frame-bytes=N]
+//                [--list-solvers] [--trace=FILE] [--metrics=FILE]
+//                [--stats-out=FILE]
 //
 // Reads newline-delimited JSON solve requests (see src/serve/protocol.hpp
 // for the schema) from --in (a file or FIFO) or stdin, and writes one JSON
@@ -10,6 +12,19 @@
 // onto a thread pool and memoized by canonical problem key: a repeated or
 // re-seeded-identical request answers with "cache": "hit", zero evaluator
 // calls, and a report payload byte-identical to the cold solve.
+//
+// --listen=ADDR (POSIX only) additionally serves the same protocol over a
+// socket — a Unix-domain path (contains '/' or no ':') or HOST:PORT TCP
+// endpoint.  Socket clients share the stream transport's cache, request
+// log and coalescing order, so a hit is byte-identical whichever door the
+// request came through.  Per connection, responses leave in that
+// connection's request order.  --listen may coexist with --in; with
+// --listen alone stdin is left untouched and the daemon runs until
+// SIGINT/SIGTERM.  --max-conns caps concurrent connections (excess ones
+// are answered with one code-3 error line and closed), --idle-timeout-ms
+// closes idle connections, and --max-frame-bytes bounds a request line
+// (oversized frames answer code 2 and the connection resyncs at the next
+// newline).
 //
 // --log=FILE appends every accepted request line verbatim to an
 // append-only JSONL log; --replay=FILE feeds such a log back through the
@@ -31,11 +46,14 @@
 // request line, and SIGUSR1 dumps the metrics snapshot to stderr without
 // disturbing the daemon.
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <streambuf>
+#include <thread>
 
 #ifndef _WIN32
 #include <cerrno>
@@ -45,7 +63,10 @@
 #include <unistd.h>
 #endif
 
+#include "net/net.hpp"
+#include "net/socket_server.hpp"
 #include "obs/obs.hpp"
+#include "serve/engine.hpp"
 #include "serve/server.hpp"
 #include "tool_common.hpp"
 #include "util/cli.hpp"
@@ -162,40 +183,18 @@ int serve_main(const util::Args& args) {
 #endif
   const std::atomic<bool>& stop = util::stop_flag();
 
-  // Final summary/cache/metrics snapshot, installed durably at exit on
-  // both the clean-EOF and the signal-drain paths.
+  // Final summary/cache/metrics/deltas snapshot, installed durably at
+  // exit on both the clean-EOF and the signal-drain paths.  Same document
+  // shape as the in-band {"stats":true} answer and the
+  // spgcmp_serve_client --stats scrape.
   const std::string stats_out = args.get_string("stats-out", "", "");
   const auto write_stats = [&](const serve::ServerSummary& s) {
     if (stats_out.empty()) return;
-    std::ostringstream os;
-    {
-      util::JsonWriter w(os);
-      w.begin_object();
-      w.key("summary");
-      w.begin_object();
-      w.kv("accepted", s.accepted);
-      w.kv("answered", s.answered);
-      w.kv("ok", s.ok);
-      w.kv("hits", s.hits);
-      w.kv("errors", s.errors);
-      w.kv("shutdown_refused", s.shutdown_refused);
-      w.kv("stats_requests", s.stats_requests);
-      w.kv("interrupted", s.interrupted);
-      w.end_object();
-      w.key("cache");
-      w.begin_object();
-      w.kv("hits", s.cache.hits);
-      w.kv("misses", s.cache.misses);
-      w.kv("evictions", s.cache.evictions);
-      w.kv("size", static_cast<std::uint64_t>(s.cache.size));
-      w.kv("capacity", static_cast<std::uint64_t>(s.cache.capacity));
-      w.end_object();
-      w.key("metrics");
-      w.raw(obs::Registry::instance().snapshot_json(-1));
-      w.end_object();
-    }
-    os << "\n";
-    obs::write_text_file_durable(stats_out, os.str());
+    obs::write_text_file_durable(
+        stats_out,
+        serve::render_stats_document(s, obs::Registry::instance().snapshot_json(-1),
+                                     server.engine().deltas().sample(), -1) +
+            "\n");
   };
 
   const std::string replay = args.get_string("replay", "", "");
@@ -203,35 +202,100 @@ int serve_main(const util::Args& args) {
     print_summary("replayed", server.replay(replay));
   }
 
+  const std::string listen = args.get_string("listen", "", "");
   const std::string in_path = args.get_string("in", "", "");
-  if (in_path.empty() && !replay.empty()) {
+  if (listen.empty() && in_path.empty() && !replay.empty()) {
     write_stats(serve::ServerSummary{});  // replay-only run
     return 0;
   }
 
-  serve::ServerSummary summary;
+  serve::ServerSummary summary;  // stream transport (when it ran)
+
 #ifndef _WIN32
-  if (in_path.empty()) {
+  // Socket transport: runs on its own thread so signals and the stream
+  // transport stay on the main thread; the loop re-checks the stop flag
+  // every poll interval, which bounds drain latency.
+  std::optional<net::Listener> listener;
+  net::SocketSummary sock_summary;
+  std::thread sock_thread;
+  if (!listen.empty()) {
+    const net::Address addr = net::parse_address(listen);
+    listener.emplace(addr);
+    net::SocketServerOptions sopt;
+    sopt.max_connections =
+        static_cast<std::size_t>(args.get_int("max-conns", "", 64));
+    sopt.max_inflight = server.max_inflight();
+    sopt.max_frame_bytes =
+        static_cast<std::size_t>(args.get_int("max-frame-bytes", "", 1 << 20));
+    sopt.idle_timeout_ms = static_cast<int>(args.get_int("idle-timeout-ms", "", 0));
+    std::fprintf(stderr, "[serve] listening on %s\n",
+                 listener->address().to_string().c_str());
+    sock_thread = std::thread([&listener, &server, sopt, &stop, &sock_summary] {
+      net::SocketServer sock(*listener, server.engine(), sopt);
+      sock_summary = sock.run(&stop);
+    });
+  }
+
+  bool ran_stream = false;
+  if (in_path.empty() && listen.empty()) {
     StopAwareFdBuf buf(STDIN_FILENO, stop);
     std::istream is(&buf);
     summary = server.serve(is, std::cout, &stop);
-  } else {
+    ran_stream = true;
+  } else if (!in_path.empty()) {
     // A FIFO blocks open() until a writer appears; opened fresh here so
     // the daemon can be started before its first client.
     const int fd = open_request_input(in_path, stop);
-    if (fd < 0) {
+    if (fd >= 0) {
+      StopAwareFdBuf buf(fd, stop);
+      std::istream is(&buf);
+      summary = server.serve(is, std::cout, &stop);
+      ::close(fd);
+      ran_stream = true;
+    } else if (listen.empty()) {
       // Stopped while waiting for a writer: still a signal-drain exit.
       serve::ServerSummary none;
       none.interrupted = true;
       write_stats(none);
       return 3;
     }
-    StopAwareFdBuf buf(fd, stop);
-    std::istream is(&buf);
-    summary = server.serve(is, std::cout, &stop);
-    ::close(fd);
   }
+  if (!ran_stream) summary.interrupted = stop.load(std::memory_order_relaxed);
+
+  if (sock_thread.joinable()) {
+    // With both transports, a clean stream EOF leaves the socket serving;
+    // the daemon then runs until SIGINT/SIGTERM like a listen-only run.
+    while (!stop.load(std::memory_order_relaxed)) {
+      maybe_dump_metrics();
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    sock_thread.join();
+    std::fprintf(stderr,
+                 "[serve] socket: %llu connections (%llu refused, %llu "
+                 "idle-closed)\n",
+                 static_cast<unsigned long long>(sock_summary.connections),
+                 static_cast<unsigned long long>(sock_summary.refused_connections),
+                 static_cast<unsigned long long>(sock_summary.idle_closed));
+  }
+
+  // One combined exit document covering both transports; the cache block
+  // is shared state, re-read last so it is the freshest view.
+  serve::ServerSummary total = summary;
+  const serve::ServerSummary& ss = sock_summary.serve;
+  total.accepted += ss.accepted;
+  total.answered += ss.answered;
+  total.ok += ss.ok;
+  total.hits += ss.hits;
+  total.errors += ss.errors;
+  total.shutdown_refused += ss.shutdown_refused;
+  total.stats_requests += ss.stats_requests;
+  total.interrupted = total.interrupted || ss.interrupted;
+  total.cache = server.engine().cache().stats();
 #else
+  if (!listen.empty()) {
+    std::fprintf(stderr, "spgcmp_serve: --listen is not supported on this platform\n");
+    return 2;
+  }
   if (in_path.empty()) {
     summary = server.serve(std::cin, std::cout, &stop);
   } else {
@@ -239,20 +303,25 @@ int serve_main(const util::Args& args) {
     if (!is) throw std::runtime_error("cannot open request input " + in_path);
     summary = server.serve(is, std::cout, &stop);
   }
+  const serve::ServerSummary total = summary;
 #endif
-  print_summary("served", summary);
-  write_stats(summary);
-  return summary.interrupted ? 3 : 0;
+  print_summary("served", total);
+  write_stats(total);
+  return total.interrupted ? 3 : 0;
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: spgcmp_serve [--in=PATH] [--threads=N] [--cache=N]\n"
-               "                    [--max-inflight=N] [--log=FILE] [--replay=FILE]\n"
+               "usage: spgcmp_serve [--in=PATH] [--listen=ADDR] [--threads=N]\n"
+               "                    [--cache=N] [--max-inflight=N] [--log=FILE]\n"
+               "                    [--replay=FILE] [--max-conns=N]\n"
+               "                    [--idle-timeout-ms=N] [--max-frame-bytes=N]\n"
                "                    [--trace=FILE] [--metrics=FILE] [--stats-out=FILE]\n"
+               "  --listen serves the protocol over a Unix socket PATH or a\n"
+               "  HOST:PORT TCP endpoint (may coexist with --in)\n"
                "  --list-solvers lists the solver registry\n"
                "  --trace/--metrics record a Chrome trace / metrics snapshot;\n"
-               "  --stats-out writes a final summary+cache+metrics document;\n"
+               "  --stats-out writes a final summary+cache+metrics+deltas document;\n"
                "  a {\"stats\":true} request answers live stats in-band and\n"
                "  SIGUSR1 dumps the metrics snapshot to stderr\n"
                "see the header of tools/spgcmp_serve.cpp for the protocol\n");
@@ -266,6 +335,17 @@ int main(int argc, char** argv) {
   if (args.has("help")) return usage();
   return tools::run_tool("spgcmp_serve", [&]() -> int {
     if (tools::handle_list_solvers(args)) return 0;
+#ifndef _WIN32
+    try {
+      return serve_main(args);
+    } catch (const net::NetError& e) {
+      // Bad --listen address or an unbindable endpoint is a configuration
+      // mistake, same exit class as a bad solver spec.
+      std::fprintf(stderr, "spgcmp_serve: %s\n", e.what());
+      return 2;
+    }
+#else
     return serve_main(args);
+#endif
   });
 }
