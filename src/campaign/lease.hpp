@@ -24,6 +24,12 @@
 // the worst outcome of a lost race — two workers executing the same shard
 // — wastes cycles but still merges byte-identical to a single-process
 // run.
+//
+// Thread safety: a LeaseManager is NOT internally synchronized — cross-
+// process exclusion comes from the filesystem (O_EXCL, rename), not from
+// locks.  Within one process every call must be externally serialized;
+// CampaignService::run_leased does so with a util::Mutex shared between
+// the claiming thread and the heartbeat thread.
 
 #include <cstddef>
 #include <cstdint>

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <thread>
@@ -13,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace spgcmp::campaign {
 
@@ -213,6 +212,20 @@ RunSummary CampaignService::run_single(const ServiceOptions& opt) {
   return summary;
 }
 
+namespace {
+
+/// Shared state between run_leased's claiming thread and its heartbeat
+/// thread: `lease_mutex` serializes every LeaseManager call, `hb_mutex` /
+/// `hb_cv` carry the heartbeat shutdown signal.
+struct LeaseSync {
+  spgcmp::util::Mutex lease_mutex;
+  spgcmp::util::Mutex hb_mutex;
+  spgcmp::util::CondVar hb_cv;
+  bool hb_stop SPGCMP_GUARDED_BY(hb_mutex) = false;
+};
+
+}  // namespace
+
 RunSummary CampaignService::run_leased(const ServiceOptions& opt) {
   const auto all = plans();
   store_.set_worker(opt.worker);
@@ -225,25 +238,28 @@ RunSummary CampaignService::run_leased(const ServiceOptions& opt) {
   // Heartbeat: re-stamp held leases every ttl/3 so a long shard is not
   // reclaimed out from under us.  The lease mutex serializes the stamp
   // against acquire/release on the main thread.
-  std::mutex lease_mutex;
-  std::mutex hb_mutex;
-  std::condition_variable hb_cv;
-  bool hb_stop = false;
+  LeaseSync sync;
   std::thread heartbeat([&] {
     const auto period =
         std::chrono::duration<double>(std::max(opt.lease_ttl / 3.0, 0.2));
-    std::unique_lock<std::mutex> lk(hb_mutex);
-    while (!hb_cv.wait_for(lk, period, [&] { return hb_stop; })) {
-      const std::lock_guard<std::mutex> lg(lease_mutex);
-      leases.heartbeat();
+    const util::MutexLock lk(sync.hb_mutex);
+    while (!sync.hb_stop) {
+      // A spurious wakeup without the stop flag just restarts the period —
+      // harmless for a keep-alive.
+      const bool timed_out = sync.hb_cv.wait_for(sync.hb_mutex, period);
+      if (sync.hb_stop) break;
+      if (timed_out) {
+        const util::MutexLock lg(sync.lease_mutex);
+        leases.heartbeat();
+      }
     }
   });
   const auto stop_heartbeat = [&] {
     {
-      const std::lock_guard<std::mutex> lk(hb_mutex);
-      hb_stop = true;
+      const util::MutexLock lk(sync.hb_mutex);
+      sync.hb_stop = true;
     }
-    hb_cv.notify_all();
+    sync.hb_cv.notify_all();
     if (heartbeat.joinable()) heartbeat.join();
   };
 
@@ -295,7 +311,7 @@ RunSummary CampaignService::run_leased(const ServiceOptions& opt) {
           }
           bool ours;
           {
-            const std::lock_guard<std::mutex> lg(lease_mutex);
+            const util::MutexLock lg(sync.lease_mutex);
             ours = leases.acquire(plan.spec().name, shard);
           }
           if (!ours) {
@@ -307,7 +323,7 @@ RunSummary CampaignService::run_leased(const ServiceOptions& opt) {
           // the duplicate record harmless (deterministic replay).
           wall_done += execute_shard(plan, shard, threads, opt);
           {
-            const std::lock_guard<std::mutex> lg(lease_mutex);
+            const util::MutexLock lg(sync.lease_mutex);
             leases.release(plan.spec().name, shard);
           }
           ++summary.shards_executed;

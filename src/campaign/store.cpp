@@ -1,6 +1,7 @@
 #include "campaign/store.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -17,6 +18,26 @@
 namespace spgcmp::campaign {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Temp-file name for an atomic rename install, unique per *writer*, not
+// per process: in-process worker threads share a pid, so pid alone would
+// make them share one temp file and the first rename would strand the
+// others with ENOENT.  pid keeps independent worker processes sharing a
+// campaign directory apart; the atomic sequence keeps threads apart.
+std::string unique_tmp_path(const std::string& base) {
+  static std::atomic<unsigned> tmp_seq{0};
+  const unsigned seq = tmp_seq.fetch_add(1, std::memory_order_relaxed);
+#ifndef _WIN32
+  return base + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+         std::to_string(seq);
+#else
+  return base + ".tmp." + std::to_string(seq);
+#endif
+}
+
+}  // namespace
 
 CampaignStore::CampaignStore(std::string dir) : dir_(std::move(dir)) {
   if (dir_.empty()) throw std::invalid_argument("campaign directory is empty");
@@ -57,16 +78,11 @@ void CampaignStore::initialize(const CampaignSpec& spec) {
     }
     return;  // same spec: idempotent init, keep completed shards
   }
-  // Written to a per-process temp and renamed into place: N workers
+  // Written to a per-writer temp and renamed into place: N workers
   // initializing the same directory concurrently each install a complete
   // spec (same bytes — they parsed the same input), and no reader ever
   // sees a half-written one.
-#ifndef _WIN32
-  const std::string tmp =
-      spec_path() + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-#else
-  const std::string tmp = spec_path() + ".tmp";
-#endif
+  const std::string tmp = unique_tmp_path(spec_path());
   {
     std::ofstream os(tmp, std::ios::trunc);
     if (!os) throw std::runtime_error("cannot write " + tmp);
@@ -180,7 +196,10 @@ void CampaignStore::append_shard(const std::string& sweep, std::size_t shard,
 }
 
 void CampaignStore::write_manifest(const Manifest& m) const {
-  const std::string tmp = manifest_path() + ".tmp";
+  // Per-writer temp name: concurrent leased workers (threads or
+  // processes) checkpoint the manifest independently; a shared temp
+  // would let one writer's rename strand another's with ENOENT.
+  const std::string tmp = unique_tmp_path(manifest_path());
   {
     // Truncate explicitly: a stale larger tmp from an earlier failed
     // attempt must not leave trailing bytes behind the new document.

@@ -22,6 +22,12 @@
 // within a record; load_shards() folds all logs together, keeping the
 // first record per shard (every record is a deterministic replay of the
 // same instances, so which one wins is immaterial).
+//
+// Thread safety: a CampaignStore holds no mutable shared state and no
+// locks — durability and mutual exclusion are delegated to the filesystem
+// (atomic rename for spec/manifest, O_APPEND per-worker logs), so there is
+// nothing for the thread-safety analysis to guard here.  Each worker
+// thread/process uses its own store handle.
 
 #include <cstddef>
 #include <map>

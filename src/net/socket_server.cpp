@@ -8,7 +8,6 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,6 +19,7 @@
 
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace spgcmp::net {
 
@@ -39,7 +39,7 @@ int ms_between(Clock::time_point from, Clock::time_point to) {
 
 /// One client connection.  Owned by the loop thread; `ready`, `wbuf` and
 /// `inflight` are also touched by engine completion callbacks, always
-/// under the server-wide mutex.
+/// under Loop::mutex.
 struct Conn {
   int fd = -1;
   std::string rbuf;   ///< partial-frame accumulator
@@ -53,6 +53,115 @@ struct Conn {
   bool discarding = false;   ///< oversize frame: skip until next newline
 };
 
+/// Everything shared between the poll-loop thread and engine completion
+/// callbacks on pool workers, under one server-wide mutex.
+struct Loop {
+  Loop(serve::Engine& eng, const SocketServerOptions& o,
+       const std::atomic<bool>* st, int wfd)
+      : engine(eng), opt(o), stop(st), wake_fd(wfd) {}
+
+  serve::Engine& engine;
+  const SocketServerOptions& opt;
+  const std::atomic<bool>* stop;
+  const int wake_fd;  ///< write end of the self-pipe (immutable)
+
+  util::Mutex mutex;
+  std::map<std::uint64_t, std::unique_ptr<Conn>> conns SPGCMP_GUARDED_BY(mutex);
+  std::uint64_t next_conn_id SPGCMP_GUARDED_BY(mutex) = 0;
+  /// Requests handed to the engine whose completion callback has not
+  /// fired yet.  Callbacks reference this struct, so run() only returns
+  /// once this reaches zero — even for requests whose connection died.
+  std::size_t engine_inflight SPGCMP_GUARDED_BY(mutex) = 0;
+  SocketSummary summary SPGCMP_GUARDED_BY(mutex);
+
+  /// Wake the poll loop to flush freshly completed responses.
+  void wake() const {
+    const char b = 0;
+    // A full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t rc = ::write(wake_fd, &b, 1);
+  }
+
+  /// Move in-order completed responses into the connection's write buffer.
+  void drain_ready(Conn& c) SPGCMP_REQUIRES(mutex) {
+    while (true) {
+      const auto it = c.ready.find(c.next_emit);
+      if (it == c.ready.end()) break;
+      c.wbuf += it->second.line;
+      c.wbuf += '\n';
+      serve::count_response(it->second.kind, summary.serve);
+      c.ready.erase(it);
+      ++c.next_emit;
+      --c.inflight;
+    }
+  }
+
+  /// Submit one framed line to the engine.
+  void submit_line(std::uint64_t conn_id, Conn& c, const std::string& line)
+      SPGCMP_REQUIRES(mutex) {
+    const std::uint64_t s = c.next_submit++;
+    ++c.inflight;
+    ++engine_inflight;
+    ++summary.serve.accepted;
+    engine.submit(line, /*log_line=*/true, stop,
+                  [this, conn_id, s](serve::Engine::Result result) {
+                    {
+                      const util::MutexLock lk(mutex);
+                      --engine_inflight;
+                      const auto it = conns.find(conn_id);
+                      if (it != conns.end()) {
+                        // A vanished client's answer has no destination.
+                        it->second->ready.emplace(s, std::move(result));
+                        drain_ready(*it->second);
+                      }
+                    }
+                    wake();
+                  });
+  }
+
+  /// Answer a transport-level error (oversize frame) in order without
+  /// touching the engine: it occupies a sequence slot like any request.
+  void submit_error(Conn& c, std::string line) SPGCMP_REQUIRES(mutex) {
+    const std::uint64_t s = c.next_submit++;
+    ++c.inflight;
+    c.ready.emplace(s, serve::Engine::Result{std::move(line),
+                                             serve::ResponseKind::Error});
+    drain_ready(c);
+  }
+
+  /// Frame and submit everything complete in the read accumulator.
+  /// `final_flush` also submits a torn trailing frame (EOF mid-line),
+  /// matching the stream transport's last-line handling.
+  void process_rbuf(std::uint64_t conn_id, Conn& c, bool final_flush)
+      SPGCMP_REQUIRES(mutex) {
+    std::size_t start = 0;
+    while (true) {
+      const auto nl = c.rbuf.find('\n', start);
+      if (nl == std::string::npos) break;
+      if (c.discarding) {
+        c.discarding = false;  // oversize frame ends here; resync
+      } else if (nl > start) {
+        submit_line(conn_id, c, c.rbuf.substr(start, nl - start));
+      }
+      start = nl + 1;
+    }
+    c.rbuf.erase(0, start);
+    if (!c.discarding && opt.max_frame_bytes != 0 &&
+        c.rbuf.size() > opt.max_frame_bytes) {
+      submit_error(c, serve::render_error(
+                          "null", 2,
+                          "request line exceeds " +
+                              std::to_string(opt.max_frame_bytes) + " bytes"));
+      c.rbuf.clear();
+      c.discarding = true;
+    }
+    if (final_flush && !c.rbuf.empty()) {
+      if (!c.discarding) submit_line(conn_id, c, c.rbuf);
+      c.rbuf.clear();
+      c.discarding = false;
+    }
+  }
+};
+
 }  // namespace
 
 SocketServer::SocketServer(Listener& listener, serve::Engine& engine,
@@ -60,8 +169,6 @@ SocketServer::SocketServer(Listener& listener, serve::Engine& engine,
     : listener_(listener), engine_(engine), opt_(opt) {}
 
 SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
-  SocketSummary summary;
-
   static auto& m_conns = obs::Registry::instance().counter("net.connections");
   static auto& m_refused =
       obs::Registry::instance().counter("net.refused_connections");
@@ -75,99 +182,8 @@ SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
   set_nonblocking(wake[0]);
   set_nonblocking(wake[1]);
 
-  std::mutex mutex;  // guards conns, summary.serve, engine_inflight
-  std::map<std::uint64_t, std::unique_ptr<Conn>> conns;
-  std::uint64_t next_conn_id = 0;
-  // Requests handed to the engine whose completion callback has not fired
-  // yet.  Callbacks reference this frame's locals, so run() only returns
-  // once this reaches zero — even for requests whose connection died.
-  std::size_t engine_inflight = 0;
+  Loop loop{engine_, opt_, stop, wake[1]};
   bool draining = false;
-
-  // Move in-order completed responses into the connection's write buffer;
-  // caller holds the mutex.
-  const auto drain_ready = [&](Conn& c) {
-    while (true) {
-      const auto it = c.ready.find(c.next_emit);
-      if (it == c.ready.end()) break;
-      c.wbuf += it->second.line;
-      c.wbuf += '\n';
-      serve::count_response(it->second.kind, summary.serve);
-      c.ready.erase(it);
-      ++c.next_emit;
-      --c.inflight;
-    }
-  };
-
-  const auto wake_loop = [&] {
-    const char b = 0;
-    // A full pipe already guarantees a pending wakeup.
-    [[maybe_unused]] const ssize_t rc = ::write(wake[1], &b, 1);
-  };
-
-  // Submit one framed line to the engine; caller holds the mutex.
-  const auto submit_line = [&](std::uint64_t conn_id, Conn& c,
-                               const std::string& line) {
-    const std::uint64_t s = c.next_submit++;
-    ++c.inflight;
-    ++engine_inflight;
-    ++summary.serve.accepted;
-    engine_.submit(line, /*log_line=*/true, stop,
-                   [&, conn_id, s](serve::Engine::Result result) {
-                     const std::lock_guard<std::mutex> lk(mutex);
-                     --engine_inflight;
-                     const auto it = conns.find(conn_id);
-                     if (it != conns.end()) {
-                       // A vanished client's answer has no destination.
-                       it->second->ready.emplace(s, std::move(result));
-                       drain_ready(*it->second);
-                     }
-                     wake_loop();
-                   });
-  };
-
-  // Answer a transport-level error (oversize frame) in order without
-  // touching the engine: it occupies a sequence slot like any request.
-  const auto submit_error = [&](Conn& c, const std::string& line) {
-    const std::uint64_t s = c.next_submit++;
-    ++c.inflight;
-    c.ready.emplace(s, serve::Engine::Result{line, serve::ResponseKind::Error});
-    drain_ready(c);
-  };
-
-  // Frame and submit everything complete in the read accumulator; caller
-  // holds the mutex.  `final_flush` also submits a torn trailing frame
-  // (EOF mid-line), matching the stream transport's last-line handling.
-  const auto process_rbuf = [&](std::uint64_t conn_id, Conn& c,
-                                bool final_flush) {
-    std::size_t start = 0;
-    while (true) {
-      const auto nl = c.rbuf.find('\n', start);
-      if (nl == std::string::npos) break;
-      if (c.discarding) {
-        c.discarding = false;  // oversize frame ends here; resync
-      } else if (nl > start) {
-        submit_line(conn_id, c, c.rbuf.substr(start, nl - start));
-      }
-      start = nl + 1;
-    }
-    c.rbuf.erase(0, start);
-    if (!c.discarding && opt_.max_frame_bytes != 0 &&
-        c.rbuf.size() > opt_.max_frame_bytes) {
-      submit_error(c, serve::render_error(
-                          "null", 2,
-                          "request line exceeds " +
-                              std::to_string(opt_.max_frame_bytes) +
-                              " bytes"));
-      c.rbuf.clear();
-      c.discarding = true;
-    }
-    if (final_flush && !c.rbuf.empty()) {
-      if (!c.discarding) submit_line(conn_id, c, c.rbuf);
-      c.rbuf.clear();
-      c.discarding = false;
-    }
-  };
 
   std::vector<pollfd> fds;
   std::vector<std::uint64_t> fd_conn;  // conn id per pollfd entry (0 = none)
@@ -182,8 +198,8 @@ SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
       // Reading stops here: partial frames are abandoned, exactly like
       // FIFO input unread past the signal.  In-flight requests drain
       // through the engine (code-3 refusals for fresh solves).
-      const std::lock_guard<std::mutex> lk(mutex);
-      for (auto& [id, c] : conns) {
+      const util::MutexLock lk(loop.mutex);
+      for (auto& [id, c] : loop.conns) {
         c->read_closed = true;
         c->rbuf.clear();
       }
@@ -201,12 +217,12 @@ SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
     int timeout = opt_.poll_interval_ms;
     bool all_drained;
     {
-      const std::lock_guard<std::mutex> lk(mutex);
-      all_drained = engine_inflight == 0;
+      const util::MutexLock lk(loop.mutex);
+      all_drained = loop.engine_inflight == 0;
       const bool gate_reads =
-          opt_.max_inflight != 0 && engine_inflight >= opt_.max_inflight;
+          opt_.max_inflight != 0 && loop.engine_inflight >= opt_.max_inflight;
       const auto now = Clock::now();
-      for (auto& [id, c] : conns) {
+      for (auto& [id, c] : loop.conns) {
         short events = 0;
         if (!c->read_closed && !gate_reads) events |= POLLIN;
         if (!c->wbuf.empty()) events |= POLLOUT;
@@ -214,7 +230,8 @@ SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
           all_drained = false;
         }
         if (opt_.idle_timeout_ms > 0 && !c->read_closed) {
-          const int left = opt_.idle_timeout_ms - ms_between(c->last_activity, now);
+          const int left =
+              opt_.idle_timeout_ms - ms_between(c->last_activity, now);
           timeout = std::min(timeout, std::max(left, 0));
         }
         fds.push_back({c->fd, events, 0});
@@ -239,12 +256,23 @@ SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
       while (true) {
         const int cfd = listener_.accept_one();
         if (cfd < 0) break;
-        std::size_t open;
+        bool refused = false;
         {
-          const std::lock_guard<std::mutex> lk(mutex);
-          open = conns.size();
+          const util::MutexLock lk(loop.mutex);
+          if (opt_.max_connections != 0 &&
+              loop.conns.size() >= opt_.max_connections) {
+            ++loop.summary.refused_connections;
+            refused = true;
+          } else {
+            set_nonblocking(cfd);
+            auto conn = std::make_unique<Conn>();
+            conn->fd = cfd;
+            conn->last_activity = Clock::now();
+            loop.conns.emplace(++loop.next_conn_id, std::move(conn));
+            ++loop.summary.connections;
+          }
         }
-        if (opt_.max_connections != 0 && open >= opt_.max_connections) {
+        if (refused) {
           // In-band refusal: the same code-3 class as the drain refusal,
           // so clients can tell "busy" from a protocol mistake.
           const std::string line =
@@ -256,19 +284,9 @@ SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
           [[maybe_unused]] const ssize_t wr =
               ::send(cfd, line.data(), line.size(), MSG_NOSIGNAL);
           ::close(cfd);
-          ++summary.refused_connections;
           m_refused.inc();
           continue;
         }
-        set_nonblocking(cfd);
-        auto conn = std::make_unique<Conn>();
-        conn->fd = cfd;
-        conn->last_activity = Clock::now();
-        {
-          const std::lock_guard<std::mutex> lk(mutex);
-          conns.emplace(++next_conn_id, std::move(conn));
-        }
-        ++summary.connections;
         m_conns.inc();
         g_open.add(1);
       }
@@ -277,10 +295,10 @@ SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
     // Per-connection I/O.
     dead.clear();
     {
-      const std::lock_guard<std::mutex> lk(mutex);
+      const util::MutexLock lk(loop.mutex);
       for (std::size_t i = draining ? 1 : 2; i < fds.size(); ++i) {
-        const auto it = conns.find(fd_conn[i]);
-        if (it == conns.end()) continue;
+        const auto it = loop.conns.find(fd_conn[i]);
+        if (it == loop.conns.end()) continue;
         Conn& c = *it->second;
         bool kill = false;
 
@@ -292,12 +310,12 @@ SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
               c.last_activity = Clock::now();
               // Frame per chunk so an endless unterminated blast hits the
               // oversize answer instead of growing the accumulator.
-              process_rbuf(it->first, c, /*final_flush=*/false);
+              loop.process_rbuf(it->first, c, /*final_flush=*/false);
               continue;
             }
             if (n == 0) {
               c.read_closed = true;
-              process_rbuf(it->first, c, /*final_flush=*/true);
+              loop.process_rbuf(it->first, c, /*final_flush=*/true);
             } else if (errno == EINTR) {
               continue;
             }
@@ -334,29 +352,31 @@ SocketSummary SocketServer::run(const std::atomic<bool>* stop) {
         if (!kill && !drained && opt_.idle_timeout_ms > 0 && !c.read_closed &&
             c.inflight == 0 && c.wbuf.empty() &&
             ms_between(c.last_activity, Clock::now()) >= opt_.idle_timeout_ms) {
-          ++summary.idle_closed;
+          ++loop.summary.idle_closed;
           m_idle.inc();
           kill = true;
         }
         if (kill || drained) dead.push_back(it->first);
       }
       for (const std::uint64_t id : dead) {
-        const auto it = conns.find(id);
-        if (it == conns.end()) continue;
+        const auto it = loop.conns.find(id);
+        if (it == loop.conns.end()) continue;
         ::close(it->second->fd);
-        conns.erase(it);
+        loop.conns.erase(it);
         g_open.add(-1);
       }
     }
   }
 
+  SocketSummary summary;
   {
-    const std::lock_guard<std::mutex> lk(mutex);
-    for (auto& [id, c] : conns) {
+    const util::MutexLock lk(loop.mutex);
+    for (auto& [id, c] : loop.conns) {
       ::close(c->fd);
       g_open.add(-1);
     }
-    conns.clear();
+    loop.conns.clear();
+    summary = loop.summary;
   }
   ::close(wake[0]);
   ::close(wake[1]);

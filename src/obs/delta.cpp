@@ -8,7 +8,7 @@
 namespace spgcmp::obs {
 
 std::string DeltaTracker::sample() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto now = std::chrono::steady_clock::now();
   const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                            std::chrono::system_clock::now().time_since_epoch())

@@ -22,12 +22,12 @@
 // tracker shared by the in-band {"stats":true} answer and --stats-out, so
 // every scrape advances the same window.  sample() is thread-safe.
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
 
-#include <chrono>
-#include <mutex>
+#include "util/thread_annotations.hpp"
 
 namespace spgcmp::obs {
 
@@ -35,13 +35,13 @@ class DeltaTracker {
  public:
   /// Sample the registry's counters and render the delta document
   /// (compact, single line, no trailing newline); advances the window.
-  [[nodiscard]] std::string sample();
+  [[nodiscard]] std::string sample() SPGCMP_EXCLUDES(mutex_);
 
  private:
-  std::mutex mutex_;
-  std::uint64_t seq_ = 0;
-  std::chrono::steady_clock::time_point last_;
-  std::map<std::string, std::uint64_t> prev_;
+  util::Mutex mutex_;
+  std::uint64_t seq_ SPGCMP_GUARDED_BY(mutex_) = 0;
+  std::chrono::steady_clock::time_point last_ SPGCMP_GUARDED_BY(mutex_);
+  std::map<std::string, std::uint64_t> prev_ SPGCMP_GUARDED_BY(mutex_);
 };
 
 }  // namespace spgcmp::obs

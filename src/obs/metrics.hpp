@@ -27,9 +27,10 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/thread_annotations.hpp"
 
 namespace spgcmp::obs {
 
@@ -98,9 +99,9 @@ class Registry {
  public:
   static Registry& instance();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) SPGCMP_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) SPGCMP_EXCLUDES(mutex_);
+  Histogram& histogram(std::string_view name) SPGCMP_EXCLUDES(mutex_);
 
   /// Render a snapshot as one JSON object:
   ///   {"counters":{...},"gauges":{...},
@@ -108,24 +109,31 @@ class Registry {
   /// Names are sorted and numbers use util/json formatting, so two
   /// snapshots of the same values are byte-identical.  `indent < 0` emits
   /// the compact single-line form (the serve daemon's in-band answer).
-  void snapshot(std::ostream& os, int indent = 2) const;
-  [[nodiscard]] std::string snapshot_json(int indent = 2) const;
+  void snapshot(std::ostream& os, int indent = 2) const SPGCMP_EXCLUDES(mutex_);
+  [[nodiscard]] std::string snapshot_json(int indent = 2) const
+      SPGCMP_EXCLUDES(mutex_);
 
   /// Current value of every registered counter, by name.  The sampled
   /// view behind obs::DeltaTracker's per-window rates; same torn-read
   /// caveat as snapshot().
-  [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const
+      SPGCMP_EXCLUDES(mutex_);
 
   /// Zero every registered instrument (tests); handles stay valid.
-  void reset();
+  void reset() SPGCMP_EXCLUDES(mutex_);
 
  private:
   Registry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The mutex guards the name->instrument maps only; the instruments
+  // themselves are atomics, updated without the lock after resolution.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SPGCMP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SPGCMP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SPGCMP_GUARDED_BY(mutex_);
 };
 
 }  // namespace spgcmp::obs

@@ -2,11 +2,11 @@
 
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace spgcmp::obs {
@@ -27,15 +27,15 @@ struct Event {
 constexpr std::size_t kMaxEventsPerThread = 1u << 20;
 
 struct ThreadBuffer {
-  std::mutex mutex;  // uncontended in steady state: owner appends, stop drains
-  std::vector<Event> events;
-  std::uint32_t tid = 0;
+  util::Mutex mutex;  // uncontended in steady state: owner appends, stop drains
+  std::vector<Event> events SPGCMP_GUARDED_BY(mutex);
+  std::uint32_t tid = 0;  // written once before publication, then immutable
 };
 
 struct BufferRegistry {
-  std::mutex mutex;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
-  std::uint32_t next_tid = 1;
+  util::Mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers SPGCMP_GUARDED_BY(mutex);
+  std::uint32_t next_tid SPGCMP_GUARDED_BY(mutex) = 1;
 };
 
 std::atomic<bool> g_enabled{false};
@@ -88,7 +88,7 @@ ThreadBuffer& local_buffer() {
   if (!t_buffer) {
     auto buf = std::make_shared<ThreadBuffer>();
     BufferRegistry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const util::MutexLock lock(reg.mutex);
     buf->tid = reg.next_tid++;
     reg.buffers.push_back(buf);
     t_buffer = std::move(buf);
@@ -101,7 +101,7 @@ void emit(char ph, const char* name, std::uint64_t ts, std::uint64_t dur,
           std::string args) {
   ThreadBuffer& buf = local_buffer();
   const std::uint32_t parent = t_parent_tid == buf.tid ? 0 : t_parent_tid;
-  const std::lock_guard<std::mutex> lock(buf.mutex);
+  const util::MutexLock lock(buf.mutex);
   if (buf.events.size() >= kMaxEventsPerThread) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -140,9 +140,9 @@ std::uint64_t trace_dropped() noexcept {
 
 void trace_start() {
   BufferRegistry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   for (const auto& buf : reg.buffers) {
-    const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+    const util::MutexLock buf_lock(buf->mutex);
     buf->events.clear();
   }
   g_dropped.store(0, std::memory_order_relaxed);
@@ -156,14 +156,14 @@ void trace_start() {
 std::size_t trace_stop(std::ostream& os) {
   g_enabled.store(false, std::memory_order_release);
   BufferRegistry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   std::size_t written = 0;
   for (const auto& buf : reg.buffers) {
     std::vector<Event> events;
     {
-      const std::lock_guard<std::mutex> buf_lock(buf->mutex);
+      const util::MutexLock buf_lock(buf->mutex);
       events.swap(buf->events);
     }
     if (events.empty()) continue;

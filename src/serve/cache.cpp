@@ -3,7 +3,7 @@
 namespace spgcmp::serve {
 
 std::optional<std::string> MemoCache::lookup(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -16,7 +16,7 @@ std::optional<std::string> MemoCache::lookup(const std::string& key) {
 
 void MemoCache::insert(const std::string& key, std::string payload) {
   if (capacity_ == 0) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     // Concurrent misses on the same key may both insert; the payloads are
@@ -34,7 +34,7 @@ void MemoCache::insert(const std::string& key, std::string payload) {
 }
 
 MemoCache::Stats MemoCache::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;

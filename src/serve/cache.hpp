@@ -12,11 +12,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+
+#include "util/thread_annotations.hpp"
 
 namespace spgcmp::serve {
 
@@ -36,24 +37,27 @@ class MemoCache {
 
   /// The cached payload for `key`, bumping it to most-recently-used;
   /// counts a hit or a miss.
-  [[nodiscard]] std::optional<std::string> lookup(const std::string& key);
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& key)
+      SPGCMP_EXCLUDES(mutex_);
 
   /// Insert (or refresh) a payload, evicting the least-recently-used
   /// entry when over capacity.
-  void insert(const std::string& key, std::string payload);
+  void insert(const std::string& key, std::string payload)
+      SPGCMP_EXCLUDES(mutex_);
 
-  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] Stats stats() const SPGCMP_EXCLUDES(mutex_);
 
  private:
   using Entry = std::pair<std::string, std::string>;  // key, payload
 
-  mutable std::mutex mutex_;
-  std::size_t capacity_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable util::Mutex mutex_;
+  const std::size_t capacity_;  // immutable after construction, unguarded
+  std::list<Entry> lru_ SPGCMP_GUARDED_BY(mutex_);  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      SPGCMP_GUARDED_BY(mutex_);
+  std::uint64_t hits_ SPGCMP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t misses_ SPGCMP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ SPGCMP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace spgcmp::serve

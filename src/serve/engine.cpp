@@ -120,7 +120,7 @@ void Engine::submit(const std::string& line, bool log_line,
                     std::function<void(Result)> done) {
   accepted_.fetch_add(1, std::memory_order_relaxed);
   if (log_line && log_ != nullptr) {
-    const std::lock_guard<std::mutex> lk(log_mutex_);
+    const util::MutexLock lk(log_mutex_);
     log_->append_raw(line);
   }
   static auto& m_requests = obs::Registry::instance().counter("serve.requests");
@@ -130,10 +130,10 @@ void Engine::submit(const std::string& line, bool log_line,
 
   // Sequence assignment and pool enqueue under one lock: workers start
   // requests in submission order (see the header's deadlock argument).
-  const std::lock_guard<std::mutex> lk(submit_mutex_);
+  const util::MutexLock lk(submit_mutex_);
   const std::uint64_t s = seq_++;
   {
-    const std::lock_guard<std::mutex> slk(solve_mutex_);
+    const util::MutexLock slk(solve_mutex_);
     inflight_seqs_.insert(s);
   }
   pool_.submit([this, s, line, stop, done = std::move(done)] {
@@ -179,7 +179,7 @@ void Engine::submit(const std::string& line, bool log_line,
       // Only now — with every lifetime counter for this request counted —
       // does the sequence leave the in-flight set, so a later stats frame
       // waiting on it snapshots this request's counters too.
-      const std::lock_guard<std::mutex> slk(solve_mutex_);
+      const util::MutexLock slk(solve_mutex_);
       inflight_seqs_.erase(s);
     }
     cv_solved_.notify_all();
@@ -187,24 +187,35 @@ void Engine::submit(const std::string& line, bool log_line,
   });
 }
 
-Engine::Result Engine::handle(const std::string& line, std::uint64_t s,
-                              const std::atomic<bool>* stop) {
-  // Take request s's registration turn; keyless requests (malformed or
-  // failed parses) just cede it so later requests can register.
-  const auto register_turn = [&](const std::string* key) {
-    std::unique_lock<std::mutex> lk(solve_mutex_);
-    cv_solved_.wait(lk, [&] { return next_register_ == s; });
+void Engine::register_turn(std::uint64_t s, const std::string* key) {
+  {
+    const util::MutexLock lk(solve_mutex_);
+    while (next_register_ != s) cv_solved_.wait(solve_mutex_);
     if (key != nullptr) key_queue_[*key].insert(s);
     ++next_register_;
-    cv_solved_.notify_all();
-  };
+  }
+  cv_solved_.notify_all();
+}
 
+Engine::Ticket::~Ticket() {
+  {
+    const util::MutexLock lk(engine.solve_mutex_);
+    const auto it = engine.key_queue_.find(key);
+    it->second.erase(s);
+    if (it->second.empty()) engine.key_queue_.erase(it);
+    if (claimed) engine.solving_.erase(key);
+  }
+  engine.cv_solved_.notify_all();
+}
+
+Engine::Result Engine::handle(const std::string& line, std::uint64_t s,
+                              const std::atomic<bool>* stop) {
   util::JsonValue doc;
   try {
     const obs::Span span("serve.parse");
     doc = util::parse_json(line);
   } catch (const util::JsonParseError& e) {
-    register_turn(nullptr);
+    register_turn(s, nullptr);
     return {render_error("null", 2,
                          std::string("malformed request JSON: ") + e.what()),
             ResponseKind::Error};
@@ -214,13 +225,13 @@ Engine::Result Engine::handle(const std::string& line, std::uint64_t s,
   // without touching the solve path.
   if (const util::JsonValue* st = doc.find("stats");
       st != nullptr && st->type == util::JsonValue::Type::Bool && st->boolean) {
-    register_turn(nullptr);
+    register_turn(s, nullptr);
     {
       // Snapshot only after every earlier request has completed: the
       // answer's counters are then deterministic in request order instead
       // of racing whatever solves happen to be in flight.
-      std::unique_lock<std::mutex> lk(solve_mutex_);
-      cv_solved_.wait(lk, [&] { return *inflight_seqs_.begin() == s; });
+      const util::MutexLock lk(solve_mutex_);
+      while (*inflight_seqs_.begin() != s) cv_solved_.wait(solve_mutex_);
     }
     return {render_stats(id, stats_document(-1)), ResponseKind::Stats};
   }
@@ -231,42 +242,21 @@ Engine::Result Engine::handle(const std::string& line, std::uint64_t s,
       const obs::Span span("serve.parse_request");
       return parse_request(doc);
     }();
-    register_turn(&req.key);
+    register_turn(s, &req.key);
     registered = true;
 
-    // Releases this request's queue slot (and solver claim) on every exit,
-    // including solver exceptions — a waiter stuck behind a dead request
-    // would deadlock the drain.
-    struct Ticket {
-      std::mutex& m;
-      std::condition_variable& cv;
-      std::map<std::string, std::set<std::uint64_t>>& queue;
-      std::set<std::string>& solving;
-      const std::string& key;
-      std::uint64_t s;
-      bool claimed = false;
-      ~Ticket() {
-        {
-          const std::lock_guard<std::mutex> lk(m);
-          const auto it = queue.find(key);
-          it->second.erase(s);
-          if (it->second.empty()) queue.erase(it);
-          if (claimed) solving.erase(key);
-        }
-        cv.notify_all();
-      }
-    } ticket{solve_mutex_, cv_solved_, key_queue_, solving_, req.key, s};
+    Ticket ticket{*this, req.key, s};
 
     {
       // Wait until no one is solving this key and every earlier request
       // for it is done, then probe exactly once: a coalesced waiter sees
       // the fresh entry as an ordinary hit, and per-request lookup counts
       // stay deterministic.
-      std::unique_lock<std::mutex> lk(solve_mutex_);
-      cv_solved_.wait(lk, [&] {
-        return solving_.count(req.key) == 0 &&
-               *key_queue_.find(req.key)->second.begin() == s;
-      });
+      const util::MutexLock lk(solve_mutex_);
+      while (solving_.count(req.key) != 0 ||
+             *key_queue_.find(req.key)->second.begin() != s) {
+        cv_solved_.wait(solve_mutex_);
+      }
       const obs::Span lookup_span("serve.lookup");
       if (auto cached = cache_.lookup(req.key)) {
         return {render_ok(req, *cached, /*hit=*/true, 0, us_since(t0)),
@@ -296,16 +286,16 @@ Engine::Result Engine::handle(const std::string& line, std::uint64_t s,
                       report.stats.evaluator_calls(), us_since(t0)),
             ResponseKind::OkMiss};
   } catch (const RequestError& e) {
-    if (!registered) register_turn(nullptr);
+    if (!registered) register_turn(s, nullptr);
     return {render_error(id, 2, e.what()), ResponseKind::Error};
   } catch (const solve::SolverError& e) {
-    if (!registered) register_turn(nullptr);
+    if (!registered) register_turn(s, nullptr);
     return {render_error(id, 2, e.what()), ResponseKind::Error};
   } catch (const cmp::TopologyError& e) {
-    if (!registered) register_turn(nullptr);
+    if (!registered) register_turn(s, nullptr);
     return {render_error(id, 2, e.what()), ResponseKind::Error};
   } catch (const std::exception& e) {
-    if (!registered) register_turn(nullptr);
+    if (!registered) register_turn(s, nullptr);
     return {render_error(id, 1, e.what()), ResponseKind::Error};
   }
 }

@@ -27,16 +27,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 
-#include <condition_variable>
-
 #include "obs/delta.hpp"
 #include "serve/cache.hpp"
 #include "util/jsonl.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace spgcmp::serve {
@@ -89,7 +87,8 @@ class Engine {
   /// Thread-safe; concurrent submitters are serialized so coalescing
   /// stays deterministic in submission order.
   void submit(const std::string& line, bool log_line,
-              const std::atomic<bool>* stop, std::function<void(Result)> done);
+              const std::atomic<bool>* stop, std::function<void(Result)> done)
+      SPGCMP_EXCLUDES(submit_mutex_, solve_mutex_, log_mutex_);
 
   /// Block until every submitted request has completed.
   void wait_idle() { pool_.wait_idle(); }
@@ -112,32 +111,52 @@ class Engine {
 
  private:
   [[nodiscard]] Result handle(const std::string& line, std::uint64_t s,
-                              const std::atomic<bool>* stop);
+                              const std::atomic<bool>* stop)
+      SPGCMP_EXCLUDES(solve_mutex_);
+
+  /// Take request `s`'s registration turn, enqueueing it under `key`;
+  /// keyless requests (malformed or failed parses) pass null and just
+  /// cede the turn so later requests can register.
+  void register_turn(std::uint64_t s, const std::string* key)
+      SPGCMP_EXCLUDES(solve_mutex_);
+
+  /// Releases one request's coalescing-queue slot (and solver claim) on
+  /// every exit from handle(), including solver exceptions — a waiter
+  /// stuck behind a dead request would deadlock the drain.
+  struct Ticket {
+    Engine& engine;
+    const std::string& key;
+    std::uint64_t s;
+    bool claimed = false;
+    ~Ticket() SPGCMP_EXCLUDES(engine.solve_mutex_);
+  };
+  friend struct Ticket;
 
   util::ThreadPool& pool_;
   MemoCache& cache_;
-  util::JsonlWriter* log_;
-  std::mutex log_mutex_;
+  util::JsonlWriter* const log_ SPGCMP_PT_GUARDED_BY(log_mutex_);
+  util::Mutex log_mutex_;
   obs::DeltaTracker delta_;
 
   // Serializes sequence assignment with the pool enqueue (see header).
-  std::mutex submit_mutex_;
-  std::uint64_t seq_ = 0;
+  util::Mutex submit_mutex_;
+  std::uint64_t seq_ SPGCMP_GUARDED_BY(submit_mutex_) = 0;
 
   // Deterministic coalescing of identical in-flight requests: every
   // request registers its cache key in submission order, the
   // lowest-numbered in-flight request for a key solves it, later ones
   // wait and serve the memoized payload as ordinary hits.
-  std::mutex solve_mutex_;
-  std::condition_variable cv_solved_;
-  std::uint64_t next_register_ = 0;
-  std::map<std::string, std::set<std::uint64_t>> key_queue_;
-  std::set<std::string> solving_;
+  util::Mutex solve_mutex_;
+  util::CondVar cv_solved_;
+  std::uint64_t next_register_ SPGCMP_GUARDED_BY(solve_mutex_) = 0;
+  std::map<std::string, std::set<std::uint64_t>> key_queue_
+      SPGCMP_GUARDED_BY(solve_mutex_);
+  std::set<std::string> solving_ SPGCMP_GUARDED_BY(solve_mutex_);
   /// Submitted-but-unanswered sequence numbers.  A stats frame waits until
   /// it is the lowest entry, so its snapshot deterministically reflects
   /// every earlier request (the waits are on strictly earlier sequences,
   /// which have all started — same deadlock-freedom argument as above).
-  std::set<std::uint64_t> inflight_seqs_;
+  std::set<std::uint64_t> inflight_seqs_ SPGCMP_GUARDED_BY(solve_mutex_);
 
   // Lifetime counters behind lifetime().
   std::atomic<std::uint64_t> accepted_{0};

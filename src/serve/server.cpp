@@ -1,15 +1,14 @@
 #include "serve/server.hpp"
 
-#include <condition_variable>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <stdexcept>
 #include <streambuf>
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace spgcmp::serve {
 
@@ -20,6 +19,59 @@ class NullBuf final : public std::streambuf {
  protected:
   int overflow(int c) override { return c == traits_type::eof() ? 0 : c; }
   std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+obs::Gauge& inflight_gauge() {
+  static auto& g = obs::Registry::instance().gauge("serve.inflight");
+  return g;
+}
+
+/// Order-restoring reorder buffer with backpressure, shared between the
+/// reader thread (acquire_slot) and the engine's completion callbacks on
+/// pool workers (complete).  The output stream and summary are only ever
+/// touched under the buffer's mutex, from whichever worker filled the
+/// next gap in request order.
+class Reorder {
+ public:
+  explicit Reorder(std::size_t limit) : limit_(limit) {}
+
+  /// Reader side: block until an in-flight slot frees up, then take it.
+  void acquire_slot() SPGCMP_EXCLUDES(mutex_) {
+    const util::MutexLock lock(mutex_);
+    while (inflight_ >= limit_) cv_slot_.wait(mutex_);
+    ++inflight_;
+    inflight_gauge().add(1);
+  }
+
+  /// Completion side: file result `s`, then emit every ready response
+  /// that is next in request order.
+  void complete(std::uint64_t s, Engine::Result result, std::ostream& out,
+                ServerSummary& summary) SPGCMP_EXCLUDES(mutex_) {
+    {
+      const util::MutexLock lock(mutex_);
+      ready_.emplace(s, std::move(result));
+      while (true) {
+        const auto it = ready_.find(next_emit_);
+        if (it == ready_.end()) break;
+        out << it->second.line << '\n';
+        count_response(it->second.kind, summary);
+        ready_.erase(it);
+        ++next_emit_;
+        --inflight_;
+        inflight_gauge().add(-1);
+      }
+      out.flush();
+    }
+    cv_slot_.notify_all();
+  }
+
+ private:
+  const std::size_t limit_;
+  util::Mutex mutex_;
+  util::CondVar cv_slot_;
+  std::map<std::uint64_t, Engine::Result> ready_ SPGCMP_GUARDED_BY(mutex_);
+  std::uint64_t next_emit_ SPGCMP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t inflight_ SPGCMP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace
@@ -50,31 +102,7 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
                                  const std::atomic<bool>* stop,
                                  bool log_requests) {
   ServerSummary summary;
-  const std::size_t limit = max_inflight();
-
-  std::mutex mutex;
-  std::condition_variable cv_slot;
-  std::map<std::uint64_t, Engine::Result> ready;
-  std::uint64_t next_emit = 0;
-  std::uint64_t inflight = 0;
-
-  static auto& g_inflight = obs::Registry::instance().gauge("serve.inflight");
-
-  // Emit every ready outcome that is next in request order; called under
-  // the lock by whichever worker filled the gap.
-  const auto emit_ready = [&] {
-    while (true) {
-      const auto it = ready.find(next_emit);
-      if (it == ready.end()) break;
-      out << it->second.line << '\n';
-      count_response(it->second.kind, summary);
-      ready.erase(it);
-      ++next_emit;
-      --inflight;
-      g_inflight.add(-1);
-    }
-    out.flush();
-  };
+  Reorder reorder(max_inflight());
 
   std::uint64_t seq = 0;
   std::string line;
@@ -87,18 +115,11 @@ ServerSummary Server::serve_impl(std::istream& in, std::ostream& out,
     ++summary.accepted;
 
     const std::uint64_t s = seq++;
-    {
-      std::unique_lock<std::mutex> lock(mutex);
-      cv_slot.wait(lock, [&] { return inflight < limit; });
-      ++inflight;
-      g_inflight.add(1);
-    }
-    engine_.submit(line, log_requests, stop, [&, s](Engine::Result result) {
-      const std::lock_guard<std::mutex> lock(mutex);
-      ready.emplace(s, std::move(result));
-      emit_ready();
-      cv_slot.notify_all();
-    });
+    reorder.acquire_slot();
+    engine_.submit(line, log_requests, stop,
+                   [&reorder, &out, &summary, s](Engine::Result result) {
+                     reorder.complete(s, std::move(result), out, summary);
+                   });
   }
 
   // Drain: every submitted request runs (or is refused by the engine's stop

@@ -14,6 +14,10 @@
 //   * a second signal restores the default disposition and re-raises, so
 //     an impatient operator still gets a hard kill — which the JSONL
 //     torn-tail recovery is designed to survive.
+//
+// The flag itself is a lock-free std::atomic<bool> (static_assert'd in the
+// .cpp), so there is no capability for the thread-safety analysis to
+// track: any thread may read it, only the handlers and tests write it.
 
 #include <atomic>
 

@@ -1,6 +1,7 @@
 #include "util/thread_pool.hpp"
 
 #include <array>
+#include <atomic>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -105,7 +106,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -123,7 +124,7 @@ void ThreadPool::submit(std::function<void()> task) {
         inner();
       });
   {
-    std::lock_guard lock(mutex_);
+    const MutexLock lock(mutex_);
     if (stop_) throw std::logic_error("ThreadPool::submit after shutdown");
     queue_.push(std::move(wrapped));
   }
@@ -134,16 +135,16 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  const MutexLock lock(mutex_);
+  while (!(queue_.empty() && in_flight_ == 0)) cv_idle_.wait(mutex_);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      const MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(mutex_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -157,7 +158,7 @@ void ThreadPool::worker_loop() {
       task();
     }
     {
-      std::lock_guard lock(mutex_);
+      const MutexLock lock(mutex_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
     }
@@ -181,7 +182,7 @@ void parallel_for(std::size_t begin, std::size_t end,
 
   std::atomic<std::size_t> next{begin};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   // Workers adopt the calling thread's context (e.g. an active per-solve
   // evaluator-call sink) for the duration of the loop; the calling thread
   // re-installs its own context onto itself, which is a no-op.
@@ -196,7 +197,7 @@ void parallel_for(std::size_t begin, std::size_t end,
       try {
         body(i);
       } catch (...) {
-        std::lock_guard lock(error_mutex);
+        const MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         next.store(end, std::memory_order_relaxed);  // drain remaining work
         return;

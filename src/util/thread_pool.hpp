@@ -8,14 +8,13 @@
 // per-item locking).  Heuristics themselves stay single-threaded so that
 // their internal behaviour is deterministic and comparable to the paper.
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace spgcmp::util {
 
@@ -31,23 +30,23 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a task for asynchronous execution.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) SPGCMP_EXCLUDES(mutex_);
 
   /// Block until all submitted tasks have finished.
-  void wait_idle();
+  void wait_idle() SPGCMP_EXCLUDES(mutex_);
 
   [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() SPGCMP_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::queue<std::function<void()>> queue_ SPGCMP_GUARDED_BY(mutex_);
+  std::size_t in_flight_ SPGCMP_GUARDED_BY(mutex_) = 0;
+  bool stop_ SPGCMP_GUARDED_BY(mutex_) = false;
 };
 
 /// Run `body(i)` for every i in [begin, end) across `threads` workers.

@@ -14,6 +14,7 @@
 #include <fstream>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 #ifndef _WIN32
 #include <sys/wait.h>
@@ -542,19 +543,59 @@ TEST(CampaignStore, WriteManifestReplacesStaleTmpAtomically) {
   campaign::CampaignService service(spec, dir.str());  // creates the directory
   const auto& store = service.store();
 
-  // A stale, oversized tmp from a crashed earlier attempt must not leak
-  // trailing bytes into the next manifest.
+  // A stale, oversized tmp from a crashed earlier attempt must never leak
+  // trailing bytes into the next manifest, and the per-writer temp the
+  // install goes through must be renamed away, not left behind.
   {
     std::ofstream os(store.manifest_path() + ".tmp");
     os << std::string(4096, 'x');
   }
   store.write_manifest({"tiny", 3, 2});
-  EXPECT_FALSE(fs::exists(store.manifest_path() + ".tmp"));
+  std::size_t writer_tmps = 0;
+  for (const auto& entry : fs::directory_iterator(dir.str())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("MANIFEST.json.tmp.", 0) == 0) ++writer_tmps;
+  }
+  EXPECT_EQ(writer_tmps, 0u);
   const auto m = store.read_manifest();
   ASSERT_TRUE(m.has_value());
   EXPECT_EQ(m->campaign, "tiny");
   EXPECT_EQ(m->shards_total, 3u);
   EXPECT_EQ(m->shards_done, 2u);
+}
+
+TEST(CampaignStore, ConcurrentManifestWritersNeverStrandEachOther) {
+  // Regression: the manifest temp name used to be the fixed
+  // MANIFEST.json.tmp, so two leased workers checkpointing concurrently
+  // (threads sharing a pid, or independent processes) shared one temp
+  // file and the loser's rename failed with ENOENT.  Per-writer names
+  // make every install independent.
+  const auto spec = campaign::CampaignSpec::parse_string(tiny_spec_text());
+  CampaignDir dir("manifest_race");
+  campaign::CampaignService service(spec, dir.str());
+  const auto& store = service.store();
+
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (std::size_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&store, &failed] {
+      for (int i = 0; i < 50 && !failed.load(); ++i) {
+        try {
+          store.write_manifest({"tiny", 3, 1});
+        } catch (const std::exception&) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_FALSE(failed.load());
+  const auto m = store.read_manifest();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->campaign, "tiny");
+  EXPECT_EQ(m->shards_total, 3u);
+  EXPECT_EQ(m->shards_done, 1u);
 }
 
 TEST(CampaignStore, ShardWallSecondsPersistAndOldLogsStayLoadable) {

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must
+# compile standalone (all its includes in place, no hidden ordering
+# dependency on whoever included it first).
+#
+# Usage: tools/check_headers.sh [compiler]
+#   compiler   defaults to $CXX, then c++.
+#
+# Each header is compiled as the sole content of a TU with -fsyntax-only;
+# any failure prints the header and the compiler diagnostics.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cxx="${1:-${CXX:-c++}}"
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+fail=0
+count=0
+while IFS= read -r header; do
+  count=$((count + 1))
+  printf '#include "%s"\n' "${header#src/}" > "${tmpdir}/tu.cpp"
+  if ! "${cxx}" -std=c++20 -fsyntax-only -Isrc -Wall -Wextra \
+       "${tmpdir}/tu.cpp" 2> "${tmpdir}/err.txt"; then
+    echo "NOT SELF-CONTAINED: ${header}"
+    cat "${tmpdir}/err.txt"
+    fail=1
+  fi
+done < <(find src -name '*.hpp' | sort)
+
+if [ "${fail}" -ne 0 ]; then
+  echo "check_headers: failures above (${count} headers checked)"
+  exit 1
+fi
+echo "check_headers: all ${count} headers self-contained ($(${cxx} --version | head -n1))"
